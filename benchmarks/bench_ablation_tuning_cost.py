@@ -1,0 +1,99 @@
+"""Ablation C: what observational tuning saves in production risk and time.
+
+Experimental tuning deploys each candidate to production for an observation
+window (weeks, in the paper). The bench converts Ablation B's probe counts
+into deployment-time and bad-config exposure, the two costs Section 2 says
+make cluster-wide experimentation untenable, and contrasts flighting-only
+observational tuning.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.core.applications.yarn_config import YarnConfigTuner
+from repro.core.whatif import WhatIfEngine
+from repro.optim.baselines import BayesianOptimization, RandomSearch
+from repro.utils.tables import TextTable
+
+OBSERVATION_WINDOW_DAYS = 14  # the paper: noisy workloads need >weeks
+BUDGET = 40
+DELTA = 4.0
+
+
+def test_ablation_tuning_cost(benchmark, production_run):
+    cluster, _, monitor = production_run
+    engine = WhatIfEngine()
+    engine.calibrate(monitor)
+    tuner = YarnConfigTuner(engine, delta_range=DELTA)
+    lp_result = tuner.tune(cluster)
+    groups = sorted(lp_result.optimal_containers)
+    sizes = {k.label: n for k, n in cluster.group_sizes().items()}
+    weights = {
+        g: engine.operating_point(g).tasks_per_hour * sizes[g] for g in groups
+    }
+    latency_budget = sum(
+        weights[g] * engine.operating_point(g).task_latency for g in groups
+    )
+
+    def latency_of(x: np.ndarray) -> float:
+        total = 0.0
+        for value, g in zip(x, groups):
+            slope, intercept = engine.latency_affine_in_containers(g)
+            total += weights[g] * (intercept + slope * value)
+        return total
+
+    def objective(x: np.ndarray) -> float:
+        if latency_of(x) > latency_budget + 1e-9:
+            return -1e18
+        return sum(sizes[g] * v for g, v in zip(groups, x))
+
+    bounds = [
+        (
+            max(1.0, engine.operating_point(g).containers - DELTA),
+            engine.operating_point(g).containers + DELTA,
+        )
+        for g in groups
+    ]
+
+    def tally():
+        rows = []
+        for search in (
+            RandomSearch(bounds, integer=False, seed=9),
+            BayesianOptimization(bounds, integer=False, seed=9),
+        ):
+            result = search.optimize(objective, BUDGET)
+            bad_configs = sum(
+                1 for e in result.history if latency_of(e.x) > latency_budget
+            )
+            rows.append(
+                (
+                    search.name,
+                    result.n_evaluations,
+                    result.n_evaluations * OBSERVATION_WINDOW_DAYS,
+                    bad_configs,
+                )
+            )
+        return rows
+
+    rows = benchmark(tally)
+
+    table = TextTable(
+        ["method", "prod deployments", "calendar days", "latency-regressing configs"],
+        title="Ablation C — cost of experimental vs observational tuning",
+    )
+    table.add_row(
+        ["KEA observational", "1 (flight + rollout)", 2 * OBSERVATION_WINDOW_DAYS, 0]
+    )
+    for name, deployments, days, bad in rows:
+        table.add_row([name, deployments, days, bad])
+    emit(
+        "ablation_tuning_cost",
+        table.render()
+        + "\n(each probe = one production deployment observed for "
+        f"{OBSERVATION_WINDOW_DAYS} days, per Section 2)",
+    )
+
+    for _name, deployments, days, bad in rows:
+        # Experimental tuning is calendar-infeasible and risk-laden at scale.
+        assert days > 6 * 2 * OBSERVATION_WINDOW_DAYS
+        assert bad > 0

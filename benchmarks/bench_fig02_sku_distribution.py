@@ -1,0 +1,45 @@
+"""Figure 2: machine count per SKU (left) and utilization ECDF per SKU (right).
+
+Paper: the fleet mixes many hardware generations; older generations — tuned
+for years — run substantially more utilized than newer ones.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.telemetry import ecdf
+from repro.utils.tables import TextTable
+
+
+def test_fig02_sku_distribution(benchmark, production_run):
+    cluster, result, monitor = production_run
+
+    def analyze():
+        counts = {sku: len(ms) for sku, ms in cluster.machines_by_sku().items()}
+        utilization = {}
+        for sku in counts:
+            values = monitor.filter(sku=sku).metric("CpuUtilization")
+            utilization[sku] = ecdf(values)
+        return counts, utilization
+
+    counts, utilization = benchmark(analyze)
+
+    table = TextTable(
+        ["SKU", "machines", "util p10", "util p50", "util p90"],
+        title="Figure 2 — machines per SKU and utilization distribution",
+    )
+    medians = {}
+    for sku in sorted(counts):
+        x, y = utilization[sku]
+        p10 = x[np.searchsorted(y, 0.10)]
+        p50 = x[np.searchsorted(y, 0.50)]
+        p90 = x[min(np.searchsorted(y, 0.90), x.size - 1)]
+        medians[sku] = p50
+        table.add_row([sku, counts[sku], f"{p10:.2f}", f"{p50:.2f}", f"{p90:.2f}"])
+    emit("fig02_sku_distribution", table.render())
+
+    # Paper's signature: older generations are substantially more utilized.
+    assert medians["Gen 1.1"] > medians["Gen 4.1"] + 0.1
+    assert medians["Gen 2.2"] > medians["Gen 4.2"]
+    # And the fleet is genuinely heterogeneous.
+    assert len(counts) == 7

@@ -1,0 +1,46 @@
+"""Figure 5: task execution times per SKU and critical-path share per SKU.
+
+Paper: tasks on slower machines are slower (ECDF, left) and are
+disproportionately likely to sit on the critical path of a job (right) —
+the Level III abstraction's justification.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.utils.tables import TextTable
+
+
+def test_fig05_critical_path(benchmark, production_run):
+    _, result, _ = production_run
+    log = result.task_log
+
+    def analyze():
+        return log.durations_by_sku(), log.critical_share_by_sku()
+
+    durations, critical = benchmark(analyze)
+
+    table = TextTable(
+        ["SKU", "mean task (s)", "p90 task (s)", "critical task pct"],
+        title="Figure 5 — task durations and critical-path share per SKU",
+    )
+    means = {}
+    for sku in sorted(durations):
+        values = durations[sku]
+        means[sku] = float(values.mean())
+        table.add_row(
+            [
+                sku,
+                f"{values.mean():.0f}",
+                f"{np.percentile(values, 90):.0f}",
+                f"{critical.get(sku, 0.0):.2%}",
+            ]
+        )
+    emit("fig05_critical_path", table.render())
+
+    # Slower SKUs: slower tasks AND higher critical share (the paper's claim).
+    assert means["Gen 1.1"] > 1.5 * means["Gen 4.1"]
+    assert critical["Gen 1.1"] > 2.0 * critical["Gen 4.1"]
+    # Critical shares ordered consistently with speed for the extremes.
+    ordered = sorted(means, key=means.get)  # fastest..slowest
+    assert critical[ordered[-1]] > critical[ordered[0]]

@@ -1,0 +1,59 @@
+"""Figure 9: the calibrated model set per SC-SKU group.
+
+Paper: Huber-regression fits of running containers vs CPU utilization and
+task execution time vs CPU utilization, one pair per machine group, on
+daily-aggregated observations. The bench regenerates every fitted line and
+its operating point.
+"""
+
+from benchmarks.common import emit
+from repro.core.whatif import WhatIfEngine
+from repro.ml.registry import RELATION_F, RELATION_G
+from repro.utils.tables import TextTable
+
+
+def test_fig09_calibrated_models(benchmark, production_run):
+    _, _, monitor = production_run
+
+    def calibrate():
+        engine = WhatIfEngine()
+        report = engine.calibrate(monitor)
+        return engine, report
+
+    engine, report = benchmark(calibrate)
+
+    table = TextTable(
+        ["group", "g: du/dm", "g R2", "f: dw/du (s)", "f R2", "m'", "x'", "w' (s)"],
+        title="Figure 9 — calibrated models per SC-SKU (Huber regression)",
+    )
+    g_slopes = {}
+    f_slopes = {}
+    for group in engine.groups():
+        g = engine.registry.get(group, RELATION_G)
+        f = engine.registry.get(group, RELATION_F)
+        point = engine.operating_point(group)
+        g_slopes[group] = g.model.slope
+        f_slopes[group] = f.model.slope
+        table.add_row(
+            [
+                group,
+                f"{g.model.slope:.4f}",
+                f"{g.fit.r_squared:.2f}",
+                f"{f.model.slope:.0f}",
+                f"{f.fit.r_squared:.2f}",
+                f"{point.containers:.1f}",
+                f"{point.utilization:.2f}",
+                f"{point.task_latency:.0f}",
+            ]
+        )
+    skipped = ", ".join(sorted(report.skipped_groups)) or "none"
+    emit("fig09_calibrated_models", table.render() + f"\nskipped groups: {skipped}")
+
+    # Containers drive utilization positively everywhere; latency rises with
+    # utilization; old groups are more latency-sensitive than new ones.
+    for group in engine.groups():
+        assert g_slopes[group] > 0, group
+    slow = [g for g in engine.groups() if "Gen 1.1" in g or "Gen 2.1" in g]
+    fast = [g for g in engine.groups() if "Gen 4" in g]
+    assert slow and fast
+    assert max(f_slopes[g] for g in fast) < max(f_slopes[g] for g in slow)

@@ -1,0 +1,33 @@
+"""Figure 10: the LP-suggested configuration change per machine group.
+
+Paper: "For slower machines, such as Gen 1.1, the model suggests to decrease
+the utilization by reducing the number of running containers, while for
+faster machines, such as Gen 4.1, the model suggests to increase it."
+"""
+
+from benchmarks.common import emit
+from repro.core.applications.yarn_config import YarnConfigTuner
+from repro.core.whatif import WhatIfEngine
+
+
+def test_fig10_suggested_config(benchmark, production_run):
+    cluster, _, monitor = production_run
+    engine = WhatIfEngine()
+    engine.calibrate(monitor)
+
+    def tune():
+        return YarnConfigTuner(engine, delta_range=4.0).tune(cluster)
+
+    result = benchmark(tune)
+    emit("fig10_suggested_config", result.summary())
+
+    shifts = result.suggested_shift
+    slow = [g for g in shifts if "Gen 1.1" in g]
+    fast = [g for g in shifts if "Gen 4" in g]
+    assert slow and fast
+    # Paper's direction: slow down, fast up.
+    assert all(shifts[g] < 0 for g in slow), shifts
+    assert all(shifts[g] > 0 for g in fast), shifts
+    # Latency constraint holds and capacity improves at the optimum.
+    assert result.predicted_cluster_latency <= result.baseline_cluster_latency + 1e-6
+    assert result.capacity_gain > 0

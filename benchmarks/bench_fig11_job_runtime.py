@@ -1,0 +1,55 @@
+"""Figure 11: benchmark-job runtime ECDFs before and after KEA deployment.
+
+Paper: three TPC-H/TPC-DS-derived benchmark jobs improve ~6% in average
+runtime after the container re-balance. The bench replays the same workload
+under the old and new configs and regenerates the per-template ECDFs.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.telemetry import ecdf
+from repro.utils.tables import TextTable
+
+
+def test_fig11_job_runtime(benchmark, kea_env):
+    kea, observation, engine = kea_env
+    tuning = kea.tune_yarn_config(observation, engine)
+
+    results = kea.benchmark_impact(
+        tuning.proposed_config, days=1.0, benchmark_period_hours=3.0
+    )
+
+    def analyze():
+        changes = {}
+        curves = {}
+        for template, (before, after) in results.items():
+            changes[template] = (after.mean() - before.mean()) / before.mean()
+            curves[template] = (ecdf(before), ecdf(after))
+        return changes, curves
+
+    changes, curves = benchmark(analyze)
+
+    table = TextTable(
+        ["benchmark job", "runs", "before mean (s)", "after mean (s)", "change"],
+        title="Figure 11 — benchmark job runtimes before/after deployment",
+    )
+    for template, (before, after) in sorted(results.items()):
+        table.add_row(
+            [
+                template,
+                before.size,
+                f"{before.mean():.0f}",
+                f"{after.mean():.0f}",
+                f"{changes[template]:+.1%}",
+            ]
+        )
+    mean_change = float(np.mean(list(changes.values())))
+    emit(
+        "fig11_job_runtime",
+        table.render() + f"\nmean runtime change: {mean_change:+.1%} (paper: -6%)",
+    )
+
+    assert len(results) == 3  # the three benchmark templates
+    # Shape: runtimes do not regress on average after the re-balance.
+    assert mean_change < 0.05

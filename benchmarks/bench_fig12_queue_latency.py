@@ -1,0 +1,36 @@
+"""Figure 12: queued containers and p99 queueing latency per SKU.
+
+Paper: when the cluster saturates, queue length and latency vary strongly by
+SKU — faster machines drain faster, motivating per-group queue limits.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from repro.cluster import small_fleet_spec
+from repro.core import Kea
+from repro.core.applications.queue_tuning import QueueTuner
+
+
+@pytest.fixture(scope="module")
+def saturated_run():
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=5150)
+    observation = kea.observe(days=0.5, load_multiplier=2.0)
+    return observation
+
+
+def test_fig12_queue_latency(benchmark, saturated_run):
+    tuner = QueueTuner(target_wait_seconds=300.0)
+
+    result = benchmark(tuner.tune, saturated_run.monitor)
+    emit("fig12_queue_latency", result.summary())
+
+    stats = {s.group: s for s in result.stats}
+    slow = stats["SC1_Gen 1.1"]
+    fast = stats["SC2_Gen 4.1"]
+    # Paper's shape: slower machines hold longer queues and far worse p99.
+    assert slow.avg_queue_length > fast.avg_queue_length
+    assert slow.p99_wait_seconds > 2.0 * fast.p99_wait_seconds
+    # And the tuner therefore allows deeper queues on fast machines.
+    limits = {k.label: v for k, v in result.recommended_limits.items()}
+    assert limits["SC2_Gen 4.1"] > limits["SC1_Gen 1.1"]

@@ -1,0 +1,54 @@
+"""Figure 13: SSD and RAM usage vs CPU cores in use (fine-grained samples).
+
+Paper: per-second observations of one SKU show linear SSD/RAM usage in the
+number of cores used — the projections p(c), q(c) of Eq. 11-12.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.core.applications.sku_design import SkuDesignStudy
+from repro.utils.tables import TextTable
+
+
+def test_fig13_resource_utilization(benchmark, production_run):
+    _, result, _ = production_run
+    samples = result.resource_samples
+    assert samples, "production fixture must collect resource samples"
+
+    study = SkuDesignStudy()
+    usage = benchmark(study.fit_usage, samples)
+
+    cores = np.array([s.cores_in_use for s in samples])
+    ssd = np.array([s.ssd_gb_in_use for s in samples])
+    ram = np.array([s.ram_gb_in_use for s in samples])
+    table = TextTable(
+        ["relation", "intercept (alpha)", "slope per core (beta)", "R2"],
+        title="Figure 13 — resource usage vs cores in use (Gen 4.1 samples)",
+    )
+    table.add_row(
+        [
+            "SSD = p(c)",
+            f"{usage.alpha_ssd:.1f} GB",
+            f"{usage.ssd_model.slope:.2f} GB/core",
+            f"{usage.ssd_model.summary(cores, ssd).r_squared:.2f}",
+        ]
+    )
+    table.add_row(
+        [
+            "RAM = q(c)",
+            f"{usage.alpha_ram:.1f} GB",
+            f"{usage.ram_model.slope:.2f} GB/core",
+            f"{usage.ram_model.summary(cores, ram).r_squared:.2f}",
+        ]
+    )
+    emit(
+        "fig13_resource_utilization",
+        table.render() + f"\nsamples: {usage.n_samples}",
+    )
+
+    # Linear, positive usage laws with meaningful fit quality.
+    assert usage.ssd_model.slope > 0
+    assert usage.ram_model.slope > 0
+    assert usage.ssd_model.summary(cores, ssd).r_squared > 0.5
+    assert usage.ram_model.summary(cores, ram).r_squared > 0.5

@@ -1,0 +1,54 @@
+"""Figure 14: expected cost over candidate (RAM, SSD) designs for 128 cores.
+
+Paper: under-provisioned designs are dominated by out-of-SSD/RAM penalties,
+over-provisioned ones by idle-resource cost; a sweet spot minimizes the
+Monte-Carlo expected cost.
+"""
+
+import numpy as np
+
+from benchmarks.common import emit
+from repro.core.applications.sku_design import SkuDesignStudy
+from repro.utils.tables import TextTable
+
+# Candidate axes bracket the projected demand of a 128-core machine
+# (~420 GB RAM, ~2.2 TB SSD per the Figure 13 usage slopes) on both sides.
+RAM_AXIS = [128.0, 256.0, 384.0, 512.0, 640.0, 896.0]
+SSD_AXIS = [800.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]
+
+
+def test_fig14_cost_surface(benchmark, production_run):
+    _, result, _ = production_run
+    study = SkuDesignStudy()
+    study.fit_usage(result.resource_samples)
+
+    design = benchmark(
+        study.sweep, RAM_AXIS, SSD_AXIS, 128, 200, 7
+    )
+
+    surface = {(r, s): c for r, s, c in design.surface_rows()}
+    table = TextTable(
+        ["RAM \\ SSD"] + [f"{s:.0f}" for s in SSD_AXIS],
+        title="Figure 14 — expected cost per (RAM GB, SSD GB) design, 128 cores",
+    )
+    for ram in RAM_AXIS:
+        row = [f"{ram:.0f}"]
+        for ssd in SSD_AXIS:
+            mark = "*" if (ram, ssd) == (design.best_ram_gb, design.best_ssd_gb) else ""
+            row.append(f"{surface[(ram, ssd)]:.0f}{mark}")
+        table.add_row(row)
+    emit(
+        "fig14_cost_surface",
+        table.render()
+        + f"\nsweet spot: {design.best_ram_gb:.0f} GB RAM, "
+        f"{design.best_ssd_gb:.0f} GB SSD",
+    )
+
+    # The sweet spot is interior on both axes (neither starved nor maximal),
+    # and the corners behave as the paper describes.
+    assert RAM_AXIS[0] < design.best_ram_gb < RAM_AXIS[-1]
+    assert SSD_AXIS[0] < design.best_ssd_gb < SSD_AXIS[-1]
+    starved = surface[(RAM_AXIS[0], SSD_AXIS[0])]
+    assert starved > 2.0 * design.best_cost  # stranding penalties dominate
+    bloated = surface[(RAM_AXIS[-1], SSD_AXIS[-1])]
+    assert bloated > design.best_cost  # idle cost dominates

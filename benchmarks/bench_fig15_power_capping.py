@@ -1,0 +1,83 @@
+"""Figure 15: performance impact of power capping at 10-30% below provision.
+
+Paper (Gen 4.x, Bytes per CPU Time): with the Feature, +5.0/+3.3/+1.2/-2.6/
+-7.8 percent at 10/15/20/25/30 percent capping; without it, -0.9/-0.4/-2.2/
+-4.8/-10.9. Shape to match: mild caps are ~free (positive with the Feature),
+deep caps hurt; the Feature always helps.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from repro.cluster import (
+    ClusterSimulator,
+    build_cluster,
+    default_fleet_spec,
+)
+from repro.core.applications.power_capping import PowerCappingStudy
+from repro.utils.rng import RngStreams
+from repro.workload import (
+    FLAT_PROFILE,
+    WorkloadGenerator,
+    default_templates,
+    estimate_jobs_per_hour,
+)
+
+LEVELS = [0.10, 0.15, 0.20, 0.25, 0.30]
+
+
+@pytest.fixture(scope="module")
+def capping_study():
+    def cluster_factory():
+        return build_cluster(default_fleet_spec(scale=0.4))
+
+    seeds = iter(range(8800, 9000))
+
+    def simulator_factory(cluster):
+        seed = next(seeds)
+        rate = estimate_jobs_per_hour(
+            cluster.total_container_slots, 1.0, default_templates(),
+            mean_task_duration_s=420.0,
+        )
+        workload = WorkloadGenerator(
+            default_templates(), jobs_per_hour=rate, seasonality=FLAT_PROFILE,
+            streams=RngStreams(seed),
+        ).generate(6.0)
+        return ClusterSimulator(cluster, workload, streams=RngStreams(seed + 1))
+
+    study = PowerCappingStudy(
+        cluster_factory=cluster_factory,
+        simulator_factory=simulator_factory,
+        sku="Gen 4.1",
+        group_size=8,
+    )
+    return study.run(capping_levels=LEVELS, hours_per_round=6.0)
+
+
+def test_fig15_power_capping(benchmark, capping_study):
+    def analyze():
+        return {
+            (metric, level, group): capping_study.impact(metric, level, group)
+            for metric in ("BytesPerCpuTime", "BytesPerSecond")
+            for level in LEVELS
+            for group in ("B", "C", "D")
+        }
+
+    impacts = benchmark(analyze)
+    emit(
+        "fig15_power_capping",
+        capping_study.summary()
+        + f"\nrecommended capping level: "
+        f"{capping_study.recommend_level(tolerance=0.0):.0%}",
+    )
+
+    metric = "BytesPerCpuTime"
+    # Feature + mild capping is net positive (paper: +5% at 10%).
+    assert impacts[(metric, 0.10, "D")] > 0.0
+    # Deep capping without the Feature clearly hurts (paper: -10.9% at 30%).
+    assert impacts[(metric, 0.30, "C")] < -0.02
+    # Deeper capping is monotonically worse at the extremes.
+    assert impacts[(metric, 0.30, "C")] < impacts[(metric, 0.10, "C")]
+    # The Feature helps at every level (paper: blue bars above orange).
+    for level in LEVELS:
+        assert impacts[(metric, level, "D")] > impacts[(metric, level, "C")]

@@ -1,0 +1,44 @@
+"""Section 5.2.2: production deployment impact of the YARN re-balance.
+
+Paper: with task latency held at the same level, Total Data Read improved by
+9%, sellable capacity by ~2% (t-values 4.45 and 7.13 across rounds). The
+bench measures paired before/after treatment effects on the same workload in
+the demand-bound regime.
+"""
+
+from benchmarks.common import emit
+from repro.core.capacity import CapacityValuation
+
+
+def test_sec52_deployment_impact(benchmark, kea_env):
+    kea, observation, engine = kea_env
+    tuning = kea.tune_yarn_config(
+        observation, engine, max_config_step=2, delta_range=6.0
+    )
+    impact = kea.deployment_impact(tuning.proposed_config, days=1.0)
+
+    def analyze():
+        return {
+            "throughput": impact.throughput.relative_effect,
+            "throughput_t": impact.throughput.test.t_value,
+            "latency": impact.latency.relative_effect,
+            "latency_t": impact.latency.test.t_value,
+            "capacity": impact.capacity_gain,
+        }
+
+    stats = benchmark(analyze)
+    valuation = CapacityValuation()
+    emit(
+        "sec52_deployment_impact",
+        impact.summary()
+        + "\n"
+        + valuation.describe(stats["capacity"])
+        + "\npaper: +9% Total Data Read at same latency; ~2% capacity; "
+        "t-values 4.45 / 7.13",
+    )
+
+    # Shape: significant throughput gain, latency no worse, capacity up.
+    assert stats["throughput"] > 0
+    assert stats["throughput_t"] > 1.96
+    assert stats["latency"] < 0.02
+    assert 0.0 < stats["capacity"] < 0.10

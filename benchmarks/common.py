@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and emits its
+rows/series both to stdout and to ``benchmarks/out/<name>.txt`` so results
+survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a figure/table reproduction and persist it under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"===== {name} ====="
+    payload = f"{banner}\n{text}\n"
+    print(payload)
+    (OUT_DIR / f"{name}.txt").write_text(payload)
+    return payload

@@ -1,0 +1,37 @@
+"""Observational tuning of per-group container-queue limits (Section 5.3).
+
+Saturates a small cluster so low-priority containers queue on machines,
+measures per-group queue length and p99 queueing latency (Figure 12), and
+derives per-group maximum queue lengths that equalize expected drain time —
+faster machines get deeper queues.
+
+Run:  python examples/queue_tuning.py
+"""
+
+from repro.cluster import small_fleet_spec
+from repro.core import Kea
+from repro.core.applications.queue_tuning import QueueTuner
+
+
+def main() -> None:
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=13)
+
+    print("saturating the cluster (load multiplier 2.0) so queues form...")
+    observation = kea.observe(days=0.5, load_multiplier=2.0)
+    queued = observation.result.tasks_queued
+    print(f"{queued} container placements were queued\n")
+
+    tuner = QueueTuner(target_wait_seconds=300.0)
+    result = tuner.tune(observation.monitor)
+    print(result.summary())
+
+    new_config = tuner.apply_to_config(kea.current_config, result)
+    kea.adopt(new_config)
+    print(
+        "\nadopted per-group queue limits targeting "
+        f"{result.target_wait_seconds:.0f}s expected drain time"
+    )
+
+
+if __name__ == "__main__":
+    main()

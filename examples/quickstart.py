@@ -1,0 +1,53 @@
+"""Quickstart: observe, calibrate, tune, and evaluate in ~40 lines.
+
+Runs the full observational-tuning loop of the paper's headline application
+(Section 5.2) on a small simulated cluster:
+
+1. observe "production" for a day (Performance Monitor);
+2. calibrate the What-if Engine (Huber regressions per machine group);
+3. solve the Eq. 7-10 LP for the optimal container re-balance;
+4. measure the deployment's before/after impact with treatment effects.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import small_fleet_spec
+from repro.core import Kea
+
+
+def main() -> None:
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=7)
+
+    print("=== 1. Observe production (Performance Monitor) ===")
+    observation = kea.observe(days=1.0)
+    monitor = observation.monitor
+    print(
+        f"collected {len(monitor)} machine-hour records over "
+        f"{len(observation.cluster.machines)} machines; "
+        f"mean CPU utilization {monitor.metric('CpuUtilization').mean():.0%}"
+    )
+
+    print("\n=== 2. Calibrate the What-if Engine (g/h/f per group) ===")
+    engine = kea.calibrate(monitor)
+    for group in engine.groups():
+        point = engine.operating_point(group)
+        print(
+            f"  {group:14s} m'={point.containers:5.1f} containers, "
+            f"x'={point.utilization:.0%} util, w'={point.task_latency:5.0f}s latency"
+        )
+
+    print("\n=== 3. Optimize max_num_running_containers (Eq. 7-10 LP) ===")
+    tuning = kea.tune_yarn_config(observation, engine)
+    print(tuning.summary())
+
+    print("\n=== 4. Deployment impact (treatment effects, Section 5.2.2) ===")
+    impact = kea.deployment_impact(tuning.proposed_config, days=1.0)
+    print(impact.summary())
+
+    if impact.latency.relative_effect <= 0.02:
+        kea.adopt(tuning.proposed_config)
+        print("\nconfiguration adopted as the new production baseline")
+
+
+if __name__ == "__main__":
+    main()

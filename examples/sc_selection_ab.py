@@ -1,0 +1,53 @@
+"""Experimental tuning: SC1 vs SC2 in the ideal setting (Table 4).
+
+Selects homogeneous SC1 racks, flips every other machine in each rack to SC2
+(local temp store on SSD instead of HDD), runs five simulated workdays, and
+reports the Table 4 comparison with Student's t-tests.
+
+Run:  python examples/sc_selection_ab.py
+"""
+
+from repro.cluster import (
+    ClusterSimulator,
+    build_cluster,
+    default_fleet_spec,
+)
+from repro.core.applications.sc_selection import ScSelectionExperiment
+from repro.utils.rng import RngStreams
+from repro.workload import (
+    WorkloadGenerator,
+    default_templates,
+    estimate_jobs_per_hour,
+)
+
+
+def main() -> None:
+    cluster = build_cluster(default_fleet_spec(scale=0.6))
+    experiment = ScSelectionExperiment(cluster, sku="Gen 2.2")
+
+    rate = estimate_jobs_per_hour(
+        cluster.total_container_slots, 0.7, default_templates(),
+        mean_task_duration_s=420.0,
+    )
+    days = 1.0  # the paper ran 5 workdays; 1 simulated day keeps this quick
+    workload = WorkloadGenerator(
+        default_templates(), jobs_per_hour=rate, streams=RngStreams(42),
+    ).generate(days * 24.0)
+    simulator = ClusterSimulator(cluster, workload, streams=RngStreams(43))
+
+    print("running the ideal-setting experiment "
+          f"({days:g} simulated day(s), alternate machines per rack)...")
+    result = experiment.run(simulator, days=days, n_racks=2)
+
+    print()
+    print(result.summary())
+    print(f"\nwinner: {result.winner()}")
+    bps = result.report.comparison("BytesPerSecond")
+    print(
+        f"Bytes per Second: {bps.pct_change:+.1%} (t={bps.test.t_value:.1f}) — "
+        "SC2 relieves the HDD temp-store bottleneck"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Hypothetical tuning: how much RAM and SSD should the next SKU carry?
+
+Reproduces the Section 6.1 study: fit linear usage projections (Eq. 11-12)
+on fine-grained resource samples, then Monte-Carlo the expected cost of each
+candidate (RAM, SSD) design for a future 128-core machine (Figure 13/14).
+No flighting, no deployment — the machines do not exist yet.
+
+Run:  python examples/sku_design_planning.py
+"""
+
+from repro.cluster import small_fleet_spec
+from repro.core import HypotheticalTuning, Kea
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=99)
+    campaign = HypotheticalTuning(kea)
+
+    outcome = campaign.run_sku_design(
+        observe_days=0.5,
+        sample_sku="Gen 4.1",
+        sample_period_s=60.0,
+        sample_machines=12,
+        n_cores=128,
+        ram_candidates_gb=[64.0, 128.0, 192.0, 256.0, 384.0, 512.0],
+        ssd_candidates_gb=[500.0, 1000.0, 1500.0, 2000.0, 3000.0, 4500.0],
+    )
+
+    design = outcome.design
+    for note in outcome.notes:
+        print(note)
+
+    print("\nExpected-cost surface (normalized; lower is better):")
+    ssd_axis = sorted({row[1] for row in design.surface_rows()})
+    ram_axis = sorted({row[0] for row in design.surface_rows()})
+    table = TextTable(["RAM \\ SSD (GB)"] + [f"{s:.0f}" for s in ssd_axis])
+    surface = {(row[0], row[1]): row[2] for row in design.surface_rows()}
+    for ram in ram_axis:
+        cells = [f"{ram:.0f}"]
+        for ssd in ssd_axis:
+            marker = " *" if (ram, ssd) == (design.best_ram_gb, design.best_ssd_gb) else ""
+            cells.append(f"{surface[(ram, ssd)]:.0f}{marker}")
+        table.add_row(cells)
+    print(table.render())
+    print(
+        f"\nsweet spot (*): {design.best_ram_gb:.0f} GB RAM + "
+        f"{design.best_ssd_gb:.0f} GB SSD for a {design.n_cores}-core machine "
+        f"(expected cost {design.best_cost:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

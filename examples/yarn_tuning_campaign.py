@@ -1,0 +1,81 @@
+"""A full YARN-tuning campaign with the three-phase KEA methodology.
+
+Walks the paper's methodology end to end (Figure 3):
+
+* Phase I  — fact finding & system conceptualization: validate the
+  abstraction ladder (implicit SLOs, critical-path bias, uniform spread);
+* Phase II — modeling & optimization: calibrate, solve the LP;
+* Phase III — deployment: pilot flights, staged rollout with a safety gate,
+  treatment-effect evaluation, adoption.
+
+Run:  python examples/yarn_tuning_campaign.py
+"""
+
+from repro.cluster import SimulationConfig, small_fleet_spec
+from repro.core import Kea, KeaProject, ProjectCharter, conceptualize
+
+
+def main() -> None:
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=2024)
+    project = KeaProject(
+        charter=ProjectCharter(
+            name="yarn-max-containers",
+            objective="maximize sellable capacity at constant task latency",
+            controllable_configurations=("max_num_running_containers per SC-SKU",),
+            constraints=("cluster-wide average task latency must not regress",),
+            tuning_approach="observational",
+        )
+    )
+
+    # ---- Phase I ---------------------------------------------------------
+    print("=== Phase I: fact finding & system conceptualization ===")
+    observation = kea.observe(
+        days=1.0,
+        sim_config=SimulationConfig(task_log_sample_rate=1.0),
+        benchmark_period_hours=6.0,
+    )
+    report = conceptualize(observation.result.jobs, observation.result.task_log)
+    print(report.summary())
+    if not report.all_passed:
+        print("abstraction ladder failed validation; stopping")
+        return
+    project.complete_fact_finding(report)
+
+    # ---- Phase II --------------------------------------------------------
+    print("\n=== Phase II: modeling & optimization ===")
+    engine = kea.calibrate(observation.monitor)
+    tuning = kea.tune_yarn_config(observation, engine)
+    print(tuning.summary())
+    project.complete_modeling(
+        calibration=engine.calibrate(observation.monitor),
+        optimization_summary=tuning.summary(),
+    )
+
+    # ---- Phase III -------------------------------------------------------
+    print("\n=== Phase III: flighting & deployment ===")
+    flights = kea.flight_validate(tuning, hours=8.0)
+    for flight_report in flights:
+        impact = flight_report.impact("AverageRunningContainers")
+        note = (
+            f"{flight_report.flight_name}: running containers "
+            f"{impact.relative_change:+.1%} vs control "
+            f"(t={impact.test.t_value:.1f})"
+        )
+        print("  " + note)
+        project.record_flight(note)
+
+    impact = kea.deployment_impact(tuning.proposed_config, days=1.0)
+    print(impact.summary())
+    adopted = impact.latency.relative_effect <= 0.02
+    if adopted:
+        kea.adopt(tuning.proposed_config)
+    project.complete_deployment(
+        impact.summary() + f"\nadopted: {adopted}"
+    )
+
+    print("\n=== Project ledger ===")
+    print(project.to_markdown())
+
+
+if __name__ == "__main__":
+    main()

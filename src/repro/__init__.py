@@ -1,0 +1,22 @@
+"""repro — a reproduction of "KEA: Tuning an Exabyte-Scale Data Infrastructure"
+(Zhu et al., SIGMOD 2021).
+
+The package is layered:
+
+* substrates — :mod:`repro.cluster` (simulated fleet), :mod:`repro.workload`
+  (SCOPE-like jobs), :mod:`repro.telemetry` (Performance Monitor),
+  :mod:`repro.ml` / :mod:`repro.stats` / :mod:`repro.optim` (modeling tools),
+  :mod:`repro.flighting` and :mod:`repro.experiment` (deployment machinery);
+* the paper's contribution — :mod:`repro.core` (KEA itself: the What-if
+  Engine, the Optimizer, and the three tuning modes with their applications).
+
+Quickstart::
+
+    from repro.core import Kea
+    kea = Kea.default(seed=7)
+    baseline = kea.observe(days=3)
+    proposal = kea.tune_yarn_config(baseline)
+    print(proposal.summary())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,53 @@
+"""Cluster substrate: the simulated Cosmos-like fleet.
+
+This package is the "system under tuning". It provides hardware generations
+(:mod:`~repro.cluster.sku`), software configurations
+(:mod:`~repro.cluster.software`), machines with power/contention models
+(:mod:`~repro.cluster.machine`), the YARN-like scheduler
+(:mod:`~repro.cluster.scheduler`), and the event-driven simulator
+(:mod:`~repro.cluster.simulator`).
+"""
+
+from repro.cluster.cluster import (
+    Cluster,
+    FleetSpec,
+    SkuPopulation,
+    build_cluster,
+    default_fleet_spec,
+    default_yarn_config,
+    small_fleet_spec,
+)
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.machine import Machine
+from repro.cluster.power import cap_watts_for_level, power_draw_watts, throttle_factor
+from repro.cluster.scheduler import YarnScheduler
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.cluster.sku import DEFAULT_SKUS, Sku, sku_by_name
+from repro.cluster.software import SC1, SC2, MachineGroupKey, SoftwareConfig
+
+__all__ = [
+    "Cluster",
+    "FleetSpec",
+    "SkuPopulation",
+    "build_cluster",
+    "default_fleet_spec",
+    "default_yarn_config",
+    "small_fleet_spec",
+    "GroupLimits",
+    "YarnConfig",
+    "Machine",
+    "cap_watts_for_level",
+    "power_draw_watts",
+    "throttle_factor",
+    "YarnScheduler",
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "DEFAULT_SKUS",
+    "Sku",
+    "sku_by_name",
+    "SC1",
+    "SC2",
+    "MachineGroupKey",
+    "SoftwareConfig",
+]

@@ -1,0 +1,339 @@
+"""Cluster: fleet topology, machine groups, and configuration application.
+
+A cluster is a fleet of machines organized physically (chassis → rack → row →
+sub-cluster) and logically (machine groups = SC–SKU combinations, the Level V
+abstraction). Racks are homogeneous in SKU and software configuration —
+machines racked together were purchased and imaged together (Section 7.1), a
+fact the "ideal" experiment setting exploits by splitting a rack into
+alternating control/experiment machines.
+
+The default fleet mirrors Figure 2's shape: a long tail of older generations
+that operators have pushed hard (overcommitted container limits) and newer
+generations still run conservatively — the tuning headroom KEA harvests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.machine import Machine
+from repro.cluster.power import cap_watts_for_level
+from repro.cluster.sku import DEFAULT_SKUS, Sku, sku_by_name
+from repro.cluster.software import SOFTWARE_CONFIGS, MachineGroupKey, SoftwareConfig
+from repro.utils.errors import ConfigurationError
+
+__all__ = [
+    "SkuPopulation",
+    "FleetSpec",
+    "Cluster",
+    "build_cluster",
+    "default_fleet_spec",
+    "small_fleet_spec",
+    "default_yarn_config",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SkuPopulation:
+    """How many machines of one SKU to deploy, and their software mix.
+
+    ``software_mix`` maps SC name → fraction; fractions must sum to 1. The mix
+    is applied at *rack* granularity (racks are homogeneous).
+    """
+
+    sku: Sku
+    count: int
+    software_mix: dict[str, float] = field(default_factory=lambda: {"SC1": 1.0})
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"{self.sku.name}: population must be >= 1")
+        total = sum(self.software_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"{self.sku.name}: software mix sums to {total}, expected 1.0"
+            )
+        for sc_name in self.software_mix:
+            if sc_name not in SOFTWARE_CONFIGS:
+                raise ConfigurationError(f"unknown software configuration {sc_name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSpec:
+    """Fleet composition plus physical topology parameters."""
+
+    populations: tuple[SkuPopulation, ...]
+    machines_per_chassis: int = 12
+    chassis_per_rack: int = 2
+    racks_per_row: int = 10
+    rows_per_subcluster: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.populations:
+            raise ConfigurationError("fleet spec needs at least one SKU population")
+        for n, label in (
+            (self.machines_per_chassis, "machines_per_chassis"),
+            (self.chassis_per_rack, "chassis_per_rack"),
+            (self.racks_per_row, "racks_per_row"),
+            (self.rows_per_subcluster, "rows_per_subcluster"),
+        ):
+            if n < 1:
+                raise ConfigurationError(f"{label} must be >= 1")
+
+    @property
+    def machines_per_rack(self) -> int:
+        return self.machines_per_chassis * self.chassis_per_rack
+
+    @property
+    def total_machines(self) -> int:
+        return sum(p.count for p in self.populations)
+
+
+class Cluster:
+    """A fleet of machines with topology indexes and config application."""
+
+    def __init__(self, name: str, machines: list[Machine], yarn_config: YarnConfig):
+        if not machines:
+            raise ConfigurationError("a cluster needs at least one machine")
+        self.name = name
+        self.machines = machines
+        self.yarn_config = yarn_config
+        self.apply_yarn_config(yarn_config)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def machines_by_group(self) -> dict[MachineGroupKey, list[Machine]]:
+        """Machines keyed by SC–SKU group (recomputed: SCs can be flipped)."""
+        groups: dict[MachineGroupKey, list[Machine]] = {}
+        for machine in self.machines:
+            groups.setdefault(machine.group_key, []).append(machine)
+        return groups
+
+    def group_sizes(self) -> dict[MachineGroupKey, int]:
+        """Machine count per group (the `n_k` of the LP in Eq. 7–10)."""
+        return {key: len(ms) for key, ms in self.machines_by_group().items()}
+
+    def machines_by_sku(self) -> dict[str, list[Machine]]:
+        """Machines keyed by SKU name (Figure 2 left)."""
+        result: dict[str, list[Machine]] = {}
+        for machine in self.machines:
+            result.setdefault(machine.sku.name, []).append(machine)
+        return result
+
+    def machines_in_rack(self, rack: int) -> list[Machine]:
+        """All machines in one rack, in position order."""
+        return [m for m in self.machines if m.rack == rack]
+
+    def machines_in_row(self, row: int) -> list[Machine]:
+        """All machines in one row of racks."""
+        return [m for m in self.machines if m.row == row]
+
+    def machines_in_subcluster(self, subcluster: int) -> list[Machine]:
+        """All machines in one sub-cluster."""
+        return [m for m in self.machines if m.subcluster == subcluster]
+
+    def racks(self) -> list[int]:
+        """Sorted rack ids."""
+        return sorted({m.rack for m in self.machines})
+
+    def rows(self) -> list[int]:
+        """Sorted row ids."""
+        return sorted({m.row for m in self.machines})
+
+    @property
+    def total_cores(self) -> int:
+        """Total CPU cores across the fleet."""
+        return sum(m.sku.cores for m in self.machines)
+
+    @property
+    def total_container_slots(self) -> int:
+        """Total `max_running_containers` across the fleet (sellable capacity)."""
+        return sum(m.max_running_containers for m in self.machines)
+
+    # ------------------------------------------------------------------
+    # Configuration application
+    # ------------------------------------------------------------------
+    def apply_yarn_config(self, config: YarnConfig) -> None:
+        """Apply per-group YARN limits to every machine."""
+        self.yarn_config = config
+        for machine in self.machines:
+            machine.apply_limits(config.for_group(machine.group_key))
+
+    def apply_power_cap(
+        self,
+        capping_level: float,
+        machines: list[Machine] | None = None,
+    ) -> None:
+        """Cap machines ``capping_level`` below their provisioned power.
+
+        Capping operates at chassis granularity (Section 7.2): if any machine
+        of a chassis is selected, the whole chassis is capped.
+        """
+        selected = self.machines if machines is None else machines
+        chassis_ids = {m.chassis for m in selected}
+        for machine in self.machines:
+            if machine.chassis in chassis_ids:
+                machine.cap_watts = cap_watts_for_level(machine.sku, capping_level)
+
+    def clear_power_caps(self, machines: list[Machine] | None = None) -> None:
+        """Remove power caps (whole fleet by default)."""
+        for machine in machines if machines is not None else self.machines:
+            machine.cap_watts = None
+
+    def set_feature(self, enabled: bool, machines: list[Machine] | None = None) -> None:
+        """Toggle the processor Feature on capable machines."""
+        for machine in machines if machines is not None else self.machines:
+            if machine.sku.feature_capable:
+                machine.feature_enabled = enabled
+
+    def set_software(self, software: SoftwareConfig, machines: list[Machine]) -> None:
+        """Re-image machines with a different software configuration."""
+        for machine in machines:
+            machine.software = software
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.name!r}, machines={len(self.machines)})"
+
+
+def default_yarn_config() -> YarnConfig:
+    """The manually tuned starting configuration (the paper's baseline).
+
+    Operators have had years to push old generations hard — their container
+    limits *overcommit* cores — while newer SKUs run conservatively (Section 2:
+    "older-generation machines are substantially more utilized"). These ratios
+    produce Figure 2's utilization ordering and leave the headroom Figure 10's
+    LP reallocates.
+    """
+    ratios = {
+        "Gen 1.1": 1.30,
+        "Gen 2.1": 1.20,
+        "Gen 2.2": 1.15,
+        "Gen 2.3": 1.10,
+        "Gen 3.1": 0.90,
+        "Gen 4.1": 0.72,
+        "Gen 4.2": 0.68,
+    }
+    config = YarnConfig()
+    for sku in DEFAULT_SKUS:
+        limit = max(1, int(round(sku.cores * ratios.get(sku.name, 0.9))))
+        for sc_name in SOFTWARE_CONFIGS:
+            key = MachineGroupKey(software=sc_name, sku=sku.name)
+            config.set_group(key, GroupLimits(max_running_containers=limit))
+    return config
+
+
+def default_fleet_spec(scale: float = 1.0) -> FleetSpec:
+    """Benchmark-scale fleet echoing Figure 2's SKU-count shape.
+
+    ``scale`` multiplies per-SKU counts (rounded to whole chassis).
+    """
+    base_counts = {
+        "Gen 1.1": 48,
+        "Gen 2.1": 60,
+        "Gen 2.2": 84,
+        "Gen 2.3": 48,
+        "Gen 3.1": 60,
+        "Gen 4.1": 84,
+        "Gen 4.2": 36,
+    }
+    mixes = {
+        "Gen 1.1": {"SC1": 1.0},
+        "Gen 2.1": {"SC1": 1.0},
+        "Gen 2.2": {"SC1": 0.75, "SC2": 0.25},
+        "Gen 2.3": {"SC1": 0.75, "SC2": 0.25},
+        "Gen 3.1": {"SC1": 0.5, "SC2": 0.5},
+        "Gen 4.1": {"SC1": 0.25, "SC2": 0.75},
+        "Gen 4.2": {"SC2": 1.0},
+    }
+    populations = []
+    for sku in DEFAULT_SKUS:
+        count = max(12, int(round(base_counts[sku.name] * scale / 12.0)) * 12)
+        populations.append(
+            SkuPopulation(sku=sku, count=count, software_mix=mixes[sku.name])
+        )
+    return FleetSpec(populations=tuple(populations))
+
+
+def small_fleet_spec() -> FleetSpec:
+    """A tiny three-SKU fleet for unit tests (fast to simulate)."""
+    return FleetSpec(
+        populations=(
+            SkuPopulation(sku=sku_by_name("Gen 1.1"), count=12),
+            SkuPopulation(
+                sku=sku_by_name("Gen 2.2"),
+                count=12,
+                software_mix={"SC1": 0.5, "SC2": 0.5},
+            ),
+            SkuPopulation(
+                sku=sku_by_name("Gen 4.1"), count=12, software_mix={"SC2": 1.0}
+            ),
+        ),
+        machines_per_chassis=6,
+        chassis_per_rack=1,
+        racks_per_row=2,
+        rows_per_subcluster=1,
+    )
+
+
+def build_cluster(
+    spec: FleetSpec,
+    yarn_config: YarnConfig | None = None,
+    name: str = "cosmos-sim",
+    rng: np.random.Generator | None = None,
+) -> Cluster:
+    """Materialize a :class:`Cluster` from a fleet spec.
+
+    Machines are laid into racks SKU by SKU (racks homogeneous in SKU and
+    software). ``rng`` only shuffles which racks get which software config
+    within a SKU; pass None for a deterministic layout.
+    """
+    config = yarn_config if yarn_config is not None else default_yarn_config()
+    machines: list[Machine] = []
+    machine_id = 0
+    rack_id = 0
+    per_rack = spec.machines_per_rack
+
+    for population in spec.populations:
+        n_racks = max(1, round(population.count / per_rack))
+        # Assign software configs to whole racks according to the mix.
+        rack_scs: list[SoftwareConfig] = []
+        for sc_name, fraction in sorted(population.software_mix.items()):
+            n_sc_racks = int(round(fraction * n_racks))
+            rack_scs.extend([SOFTWARE_CONFIGS[sc_name]] * n_sc_racks)
+        # Rounding may leave a shortfall/excess; pad with the majority SC.
+        majority = SOFTWARE_CONFIGS[
+            max(population.software_mix, key=population.software_mix.get)
+        ]
+        while len(rack_scs) < n_racks:
+            rack_scs.append(majority)
+        rack_scs = rack_scs[:n_racks]
+        if rng is not None:
+            rng.shuffle(rack_scs)  # type: ignore[arg-type]
+
+        for local_rack in range(n_racks):
+            software = rack_scs[local_rack]
+            for slot in range(per_rack):
+                chassis = rack_id * spec.chassis_per_rack + slot // spec.machines_per_chassis
+                row = rack_id // spec.racks_per_row
+                subcluster = row // spec.rows_per_subcluster
+                key = MachineGroupKey(software=software.name, sku=population.sku.name)
+                machines.append(
+                    Machine(
+                        machine_id=machine_id,
+                        sku=population.sku,
+                        software=software,
+                        rack=rack_id,
+                        chassis=chassis,
+                        row=row,
+                        subcluster=subcluster,
+                        limits=config.for_group(key),
+                    )
+                )
+                machine_id += 1
+            rack_id += 1
+
+    return Cluster(name=name, machines=machines, yarn_config=config)

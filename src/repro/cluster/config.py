@@ -1,0 +1,94 @@
+"""Cluster-wide YARN configuration: the knobs KEA tunes.
+
+The headline application (Section 5.2) tunes ``max_num_running_containers``
+per machine group; the queue-tuning discussion (Section 5.3) tunes the
+maximum queue length the same way. :class:`YarnConfig` is an immutable-ish
+mapping from :class:`~repro.cluster.software.MachineGroupKey` to those two
+limits, with helpers for the conservative "change by at most ±1" rollouts the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.software import MachineGroupKey
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["GroupLimits", "YarnConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupLimits:
+    """YARN limits for one machine group."""
+
+    max_running_containers: int
+    max_queued_containers: int = 1_000_000  # effectively unbounded by default
+
+    def __post_init__(self) -> None:
+        if self.max_running_containers < 1:
+            raise ConfigurationError(
+                f"max_running_containers must be >= 1, got {self.max_running_containers}"
+            )
+        if self.max_queued_containers < 0:
+            raise ConfigurationError(
+                f"max_queued_containers must be >= 0, got {self.max_queued_containers}"
+            )
+
+
+@dataclass
+class YarnConfig:
+    """Per-group YARN limits for a whole cluster.
+
+    The mapping is keyed by :class:`MachineGroupKey`. Unknown groups fall back
+    to ``default_limits`` so that freshly added SKUs always have *some*
+    (conservative) configuration, mirroring how never-tested-before SKUs enter
+    Cosmos sub-optimally tuned (Section 2).
+    """
+
+    limits: dict[MachineGroupKey, GroupLimits] = field(default_factory=dict)
+    default_limits: GroupLimits = field(
+        default_factory=lambda: GroupLimits(max_running_containers=16)
+    )
+
+    def for_group(self, key: MachineGroupKey) -> GroupLimits:
+        """Limits for ``key``, falling back to the default."""
+        return self.limits.get(key, self.default_limits)
+
+    def set_group(self, key: MachineGroupKey, limits: GroupLimits) -> None:
+        """Set the limits for one group (in place)."""
+        self.limits[key] = limits
+
+    def copy(self) -> "YarnConfig":
+        """A deep-enough copy: group limits are immutable, the dict is not."""
+        return YarnConfig(limits=dict(self.limits), default_limits=self.default_limits)
+
+    def with_container_delta(
+        self, deltas: dict[MachineGroupKey, int], min_containers: int = 1
+    ) -> "YarnConfig":
+        """Return a new config with per-group container deltas applied.
+
+        This is the paper's conservative rollout primitive: production changes
+        modify the maximum running containers by ±1 (later ±2) per group.
+        """
+        new = self.copy()
+        for key, delta in deltas.items():
+            current = new.for_group(key)
+            proposed = current.max_running_containers + int(delta)
+            if proposed < min_containers:
+                raise ConfigurationError(
+                    f"delta {delta:+d} for {key.label} would drop "
+                    f"max_running_containers below {min_containers}"
+                )
+            new.limits[key] = GroupLimits(
+                max_running_containers=proposed,
+                max_queued_containers=current.max_queued_containers,
+            )
+        return new
+
+    def container_limits_by_label(self) -> dict[str, int]:
+        """Convenience view: ``{'SC1_Gen 1.1': 18, ...}``."""
+        return {
+            key.label: limits.max_running_containers
+            for key, limits in sorted(self.limits.items())
+        }

@@ -1,0 +1,334 @@
+"""A single simulated machine (compute node).
+
+The machine owns all *local* runtime state — running containers, the
+low-priority container queue, power state — and all telemetry accounting.
+Telemetry uses exact time integrals: every state change first advances the
+integrals with the old state (``advance``), then applies the change, so the
+hourly averages are exact regardless of event spacing. At every hour boundary
+the simulator calls :meth:`flush_hour`, which emits one
+:class:`~repro.telemetry.records.MachineHourRecord` and resets accumulators.
+
+Task-duration model (Level IV abstraction — machines matter, individual
+task-to-task interference does not):
+
+``duration = work / (speed · feature · throttle) · (1 + beta·util) · io_penalty``
+
+where ``speed`` is the SKU per-core speed, ``throttle`` the power-capping
+frequency factor, ``beta`` the SKU contention sensitivity, ``util`` the CPU
+utilization at task start, and ``io_penalty`` grows with the machine's
+current I/O rate against the temp-store medium (HDD for SC1, SSD for SC2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cluster import power as power_model
+from repro.cluster.config import GroupLimits
+from repro.cluster.sku import Sku
+from repro.cluster.software import MachineGroupKey, SoftwareConfig
+from repro.telemetry.records import MachineHourRecord, QueueStats
+
+__all__ = ["Machine", "QueuedTask", "RAM_BASE_GB", "SSD_BASE_GB"]
+
+RAM_BASE_GB = 6.0
+"""OS / agent / cache RAM footprint with zero containers (intercept of Eq. 12)."""
+
+SSD_BASE_GB = 40.0
+"""Base SSD footprint (system images, logs) with zero containers (Eq. 11)."""
+
+
+@dataclass(slots=True)
+class QueuedTask:
+    """A container waiting in a machine's low-priority queue."""
+
+    task: object  # repro.workload.task.Task; typed loosely to avoid a cycle
+    enqueue_time: float
+
+
+class Machine:
+    """One compute node: identity, configuration, runtime state, telemetry."""
+
+    __slots__ = (
+        "machine_id",
+        "name",
+        "sku",
+        "software",
+        "rack",
+        "chassis",
+        "row",
+        "subcluster",
+        "max_running_containers",
+        "max_queued_containers",
+        "cap_watts",
+        "feature_enabled",
+        "n_running",
+        "active_cores",
+        "io_rate_bytes_per_s",
+        "ram_gb_in_use",
+        "ssd_gb_in_use",
+        "queue",
+        "_last_update",
+        "_int_active_cores",
+        "_int_containers",
+        "_int_io_bytes",
+        "_int_ram",
+        "_int_ssd",
+        "_int_power",
+        "_int_queue_len",
+        "_tasks_finished",
+        "_cpu_seconds",
+        "_task_seconds",
+        "_queue_waits",
+        "_queue_enqueued",
+        "_queue_dequeued",
+        "_uncapped_seconds",
+        "_uncapped_util_pow_seconds",
+    )
+
+    def __init__(
+        self,
+        machine_id: int,
+        sku: Sku,
+        software: SoftwareConfig,
+        rack: int,
+        chassis: int,
+        row: int,
+        subcluster: int,
+        limits: GroupLimits,
+    ):
+        self.machine_id = machine_id
+        self.name = f"m{machine_id:06d}"
+        self.sku = sku
+        self.software = software
+        self.rack = rack
+        self.chassis = chassis
+        self.row = row
+        self.subcluster = subcluster
+        self.max_running_containers = limits.max_running_containers
+        self.max_queued_containers = limits.max_queued_containers
+        self.cap_watts: float | None = None
+        self.feature_enabled = False
+        # Runtime state.
+        self.n_running = 0
+        self.active_cores = 0.0
+        self.io_rate_bytes_per_s = 0.0
+        self.ram_gb_in_use = RAM_BASE_GB
+        self.ssd_gb_in_use = SSD_BASE_GB
+        self.queue: deque[QueuedTask] = deque()
+        # Telemetry integrals for the current hour.
+        self._last_update = 0.0
+        self._reset_accumulators()
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def group_key(self) -> MachineGroupKey:
+        """The SC–SKU machine-group this machine belongs to."""
+        return MachineGroupKey(software=self.software.name, sku=self.sku.name)
+
+    @property
+    def has_free_slot(self) -> bool:
+        """True when another container may start right now."""
+        return self.n_running < self.max_running_containers
+
+    @property
+    def has_queue_space(self) -> bool:
+        """True when another container may be queued."""
+        return len(self.queue) < self.max_queued_containers
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Instantaneous CPU utilization in [0, 1]."""
+        return min(1.0, self.active_cores / self.sku.cores)
+
+    # ------------------------------------------------------------------
+    # Task-duration model
+    # ------------------------------------------------------------------
+    def effective_speed(self) -> float:
+        """Per-core speed including SKU, Feature, and power throttling."""
+        speed = self.sku.speed_factor
+        if self.feature_enabled:
+            speed *= power_model.FEATURE_SPEED_BOOST
+        speed *= power_model.throttle_factor(
+            self.sku, self.cpu_utilization, self.feature_enabled, self.cap_watts
+        )
+        return speed
+
+    def io_penalty(self) -> float:
+        """Duration multiplier from temp-store I/O contention (≥ 1).
+
+        SC1 (temp store on HDD) divides the current I/O rate by the slow HDD
+        bandwidth, SC2 by the much larger SSD bandwidth, so the same load
+        penalizes SC1 far more — the mechanism behind Table 4.
+        """
+        if self.software.temp_store_on_ssd:
+            capacity = self.sku.ssd_io_mbps * 1e6
+        else:
+            capacity = self.sku.hdd_io_mbps * 1e6
+        pressure = self.io_rate_bytes_per_s / capacity
+        return 1.0 + self.software.io_contention_coeff * pressure
+
+    def task_duration(self, work_seconds: float) -> float:
+        """Execution time of ``work_seconds`` of normalized work started now."""
+        utilization = self.cpu_utilization
+        speed = self.effective_speed()
+        contention = 1.0 + self.sku.contention_beta * utilization
+        return work_seconds / speed * contention * self.io_penalty()
+
+    def power_draw(self) -> float:
+        """Current power draw in watts (post-capping)."""
+        return power_model.power_draw_watts(
+            self.sku, self.cpu_utilization, self.feature_enabled, self.cap_watts
+        )
+
+    # ------------------------------------------------------------------
+    # State transitions (the simulator calls these)
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Integrate telemetry up to ``now`` with the current state.
+
+        Power draw is affine in utilization when no cap is set, so for
+        uncapped machines (the common case) the power integral is derived
+        from the active-core integral at flush time instead of per event.
+        """
+        dt = now - self._last_update
+        if dt <= 0.0:
+            self._last_update = max(self._last_update, now)
+            return
+        self._int_active_cores += min(self.active_cores, self.sku.cores) * dt
+        self._int_containers += self.n_running * dt
+        self._int_io_bytes += self.io_rate_bytes_per_s * dt
+        self._int_ram += self.ram_gb_in_use * dt
+        self._int_ssd += self.ssd_gb_in_use * dt
+        if self.cap_watts is not None:
+            self._int_power += self.power_draw() * dt
+        else:
+            self._uncapped_seconds += dt
+            self._uncapped_util_pow_seconds += (
+                self.cpu_utilization**power_model.UTILIZATION_EXPONENT * dt
+            )
+        if self.queue:
+            self._int_queue_len += len(self.queue) * dt
+        self._last_update = now
+
+    def start_task(self, now: float, cpu_fraction: float, ram_gb: float,
+                   ssd_gb: float, data_bytes: float, work_seconds: float) -> float:
+        """Admit one container now; return its execution duration in seconds."""
+        self.advance(now)
+        self.n_running += 1
+        self.active_cores += cpu_fraction
+        self.ram_gb_in_use += ram_gb
+        self.ssd_gb_in_use += ssd_gb
+        duration = self.task_duration(work_seconds)
+        self.io_rate_bytes_per_s += data_bytes / duration
+        return duration
+
+    def finish_task(self, now: float, cpu_fraction: float, ram_gb: float,
+                    ssd_gb: float, data_bytes: float, duration: float) -> None:
+        """Release one container's resources and account its totals."""
+        self.advance(now)
+        self.n_running -= 1
+        self.active_cores = max(0.0, self.active_cores - cpu_fraction)
+        self.ram_gb_in_use = max(RAM_BASE_GB, self.ram_gb_in_use - ram_gb)
+        self.ssd_gb_in_use = max(SSD_BASE_GB, self.ssd_gb_in_use - ssd_gb)
+        self.io_rate_bytes_per_s = max(
+            0.0, self.io_rate_bytes_per_s - data_bytes / duration
+        )
+        self._tasks_finished += 1
+        self._cpu_seconds += cpu_fraction * duration
+        self._task_seconds += duration
+
+    def enqueue(self, now: float, task: object) -> None:
+        """Queue a low-priority container on this machine."""
+        self.advance(now)
+        self.queue.append(QueuedTask(task=task, enqueue_time=now))
+        self._queue_enqueued += 1
+
+    def dequeue(self, now: float) -> tuple[object, float] | None:
+        """Pop the oldest queued container; returns (task, wait) or None."""
+        if not self.queue:
+            return None
+        self.advance(now)
+        queued = self.queue.popleft()
+        wait = now - queued.enqueue_time
+        self._queue_waits.append(wait)
+        self._queue_dequeued += 1
+        return queued.task, wait
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def flush_hour(self, now: float, hour: int) -> MachineHourRecord:
+        """Emit the machine-hour record ending at ``now`` and reset integrals."""
+        self.advance(now)
+        seconds = 3600.0
+        if self._uncapped_seconds > 0.0:
+            # Uncapped draw = idle + dynamic·util^exp; both terms were
+            # integrated piecewise in advance(), so this is exact.
+            dynamic = power_model.dynamic_power_watts(self.sku, self.feature_enabled)
+            self._int_power += (
+                self.sku.power_idle_watts * self._uncapped_seconds
+                + dynamic * self._uncapped_util_pow_seconds
+            )
+        record = MachineHourRecord(
+            machine_id=self.machine_id,
+            machine_name=self.name,
+            sku=self.sku.name,
+            software=self.software.name,
+            rack=self.rack,
+            row=self.row,
+            subcluster=self.subcluster,
+            hour=hour,
+            cpu_utilization=self._int_active_cores / (self.sku.cores * seconds),
+            avg_running_containers=self._int_containers / seconds,
+            total_data_read_bytes=self._int_io_bytes,
+            tasks_finished=self._tasks_finished,
+            total_cpu_seconds=self._cpu_seconds,
+            total_task_seconds=self._task_seconds,
+            avg_cores_in_use=self._int_active_cores / seconds,
+            avg_ram_gb_in_use=self._int_ram / seconds,
+            avg_ssd_gb_in_use=self._int_ssd / seconds,
+            avg_power_watts=self._int_power / seconds,
+            power_cap_watts=self.cap_watts,
+            feature_enabled=self.feature_enabled,
+            max_running_containers=self.max_running_containers,
+            queue=QueueStats(
+                avg_length=self._int_queue_len / seconds,
+                enqueued=self._queue_enqueued,
+                dequeued=self._queue_dequeued,
+                waits=self._queue_waits,
+            ),
+        )
+        self._reset_accumulators()
+        return record
+
+    def apply_limits(self, limits: GroupLimits) -> None:
+        """Apply new YARN limits (running tasks are never killed)."""
+        self.max_running_containers = limits.max_running_containers
+        self.max_queued_containers = limits.max_queued_containers
+
+    def _reset_accumulators(self) -> None:
+        self._uncapped_seconds = 0.0
+        self._uncapped_util_pow_seconds = 0.0
+        self._int_active_cores = 0.0
+        self._int_containers = 0.0
+        self._int_io_bytes = 0.0
+        self._int_ram = 0.0
+        self._int_ssd = 0.0
+        self._int_power = 0.0
+        self._int_queue_len = 0.0
+        self._tasks_finished = 0
+        self._cpu_seconds = 0.0
+        self._task_seconds = 0.0
+        self._queue_waits = []
+        self._queue_enqueued = 0
+        self._queue_dequeued = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.name}, {self.group_key.label}, "
+            f"running={self.n_running}/{self.max_running_containers})"
+        )

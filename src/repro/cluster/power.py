@@ -1,0 +1,124 @@
+"""Machine power-draw model, capping, and the processor "Feature".
+
+Section 7.2 of the paper experiments with capping machines 10–30% below their
+(conservatively high) provisioned power, combined with a processor-level
+feature that accelerates processor/graphics performance. We model:
+
+* draw = idle + dynamic · utilization^``UTILIZATION_EXPONENT``, where
+  dynamic = peak − idle. The sublinear exponent reflects real servers, whose
+  draw rises steeply at low load and flattens toward peak — the reason
+  operators discover their provisioned limits are "not cost-effective";
+* the Feature improves performance-per-watt: per-core speed × ``FEATURE_SPEED
+  _BOOST`` while scaling dynamic power by ``FEATURE_POWER_SCALE`` (< 1);
+* capping enforces draw ≤ cap by frequency throttling. With
+  voltage/frequency scaling, dynamic power shrinks ≈ quadratically in the
+  frequency multiplier ``f``, so the binding cap solves
+  ``idle + dynamic · util^exp · f² = cap``.
+
+Mild caps rarely bind at typical utilization (≈ no performance change; a net
+*gain* with the Feature on), deep caps bind most of the time (large loss) —
+the shape of Figure 15.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.sku import Sku
+
+__all__ = [
+    "FEATURE_SPEED_BOOST",
+    "FEATURE_POWER_SCALE",
+    "MIN_THROTTLE",
+    "dynamic_power_watts",
+    "power_draw_watts",
+    "throttle_factor",
+    "cap_watts_for_level",
+]
+
+FEATURE_SPEED_BOOST = 1.055
+"""Per-core speed multiplier when the processor Feature is enabled."""
+
+FEATURE_POWER_SCALE = 0.97
+"""Dynamic-power multiplier when the Feature is enabled.
+
+The Feature's perf/watt gain is mostly *performance* (speed boost) rather
+than lower draw, so deeply capped machines throttle with or without it —
+which is why Figure 15 shows even Feature-enabled machines losing
+performance at 25–30% capping."""
+
+MIN_THROTTLE = 0.30
+"""Floor on the frequency multiplier; below this the machine is unusable."""
+
+UTILIZATION_EXPONENT = 1.0 / 3.0
+"""Exponent of utilization in the dynamic-power term.
+
+Strongly sublinear: real servers draw a large share of peak power already at
+moderate load. This is what makes conservatively provisioned power "not
+cost-effective" (Section 7.2) — observed draw sits far below provision yet
+well above idle, so a 10–15% cap is free while a 25–30% cap bites."""
+
+
+def dynamic_power_watts(sku: Sku, feature_enabled: bool) -> float:
+    """Utilization-dependent power for this SKU, accounting for the Feature."""
+    dynamic = sku.dynamic_power_watts
+    if feature_enabled:
+        dynamic *= FEATURE_POWER_SCALE
+    return dynamic
+
+
+def power_draw_watts(
+    sku: Sku,
+    utilization: float,
+    feature_enabled: bool,
+    cap_watts: float | None,
+) -> float:
+    """Actual draw at ``utilization`` (fraction of cores busy), post-capping."""
+    utilization = min(max(utilization, 0.0), 1.0)
+    draw = sku.power_idle_watts + dynamic_power_watts(sku, feature_enabled) * (
+        utilization**UTILIZATION_EXPONENT
+    )
+    if cap_watts is not None:
+        draw = min(draw, cap_watts)
+    return draw
+
+
+def throttle_factor(
+    sku: Sku,
+    utilization: float,
+    feature_enabled: bool,
+    cap_watts: float | None,
+) -> float:
+    """Frequency multiplier in (0, 1] enforcing the power cap.
+
+    Returns 1.0 when no cap is set or the cap does not bind at this
+    utilization. When it binds, solves ``idle + dyn·util·f² = cap`` for ``f``,
+    floored at :data:`MIN_THROTTLE`.
+    """
+    if cap_watts is None:
+        return 1.0
+    utilization = min(max(utilization, 0.0), 1.0)
+    if utilization <= 0.0:
+        return 1.0
+    dynamic = dynamic_power_watts(sku, feature_enabled) * (
+        utilization**UTILIZATION_EXPONENT
+    )
+    uncapped = sku.power_idle_watts + dynamic
+    if uncapped <= cap_watts:
+        return 1.0
+    headroom = cap_watts - sku.power_idle_watts
+    if headroom <= 0.0:
+        return MIN_THROTTLE
+    factor = math.sqrt(headroom / dynamic)
+    return max(MIN_THROTTLE, min(1.0, factor))
+
+
+def cap_watts_for_level(sku: Sku, capping_level: float) -> float:
+    """Cap in watts for a capping level expressed as a fraction below provision.
+
+    ``capping_level=0.10`` means "cap 10% below the original provisioned
+    power", matching the x-axis of Figure 15.
+    """
+    if not 0.0 <= capping_level < 1.0:
+        raise ValueError(f"capping_level must be in [0, 1), got {capping_level}")
+    return sku.provisioned_power_watts * (1.0 - capping_level)

@@ -1,0 +1,347 @@
+"""Event-driven cluster simulator.
+
+Drives a :class:`~repro.cluster.cluster.Cluster` under a
+:class:`~repro.workload.generator.Workload` and produces exactly the
+telemetry the paper's Performance Monitor exposes: machine-hour records, job
+records, an (optionally sampled) task log, and fine-grained resource samples.
+
+Event kinds, in priority order at equal timestamps:
+
+* ``HOUR`` — telemetry flush for every machine. Runs first so a config
+  change scheduled exactly at an hour boundary does not leak into the
+  previous hour's records.
+* ``ACTION`` — a scheduled callback (flighting deployments, config changes,
+  power-cap changes). Runs before arrivals/finishes of the same instant.
+* ``ARRIVAL`` — a job arrives; its first stage's tasks are placed.
+* ``FINISH`` — a task finishes; stage/job bookkeeping, queue draining.
+
+The simulator is deterministic for a given seed (all randomness flows through
+named :class:`~repro.utils.rng.RngStreams`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine
+from repro.cluster.scheduler import YarnScheduler
+from repro.telemetry.records import (
+    JobRecord,
+    MachineHourRecord,
+    ResourceSample,
+    TaskLog,
+)
+from repro.utils.rng import RngStreams
+from repro.utils.units import SECONDS_PER_HOUR
+from repro.workload.generator import Workload
+from repro.workload.job import JobRuntime
+from repro.workload.task import Task
+
+__all__ = ["SimulationConfig", "SimulationResult", "ClusterSimulator"]
+
+_HOUR, _ACTION, _ARRIVAL, _FINISH, _SAMPLE = 0, 1, 2, 3, 4
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Knobs controlling what the simulation records.
+
+    ``task_log_sample_rate`` of 0 disables the per-task log entirely;
+    1.0 logs every task (needed for critical-path analyses).
+    ``resource_sample_period_s`` > 0 samples (cores, RAM, SSD) usage of up to
+    ``resource_sample_machines`` machines at that period (Figure 13 data).
+    """
+
+    task_log_sample_rate: float = 0.0
+    resource_sample_period_s: float = 0.0
+    resource_sample_machines: int = 0
+    resource_sample_sku: str | None = None
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    records: list[MachineHourRecord] = field(default_factory=list)
+    jobs: list[JobRecord] = field(default_factory=list)
+    task_log: TaskLog = field(default_factory=TaskLog)
+    resource_samples: list[ResourceSample] = field(default_factory=list)
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    tasks_started: int = 0
+    tasks_queued: int = 0
+    duration_hours: float = 0.0
+
+    @property
+    def tasks_per_day(self) -> float:
+        """Realized task throughput (Table 1 scale metric)."""
+        if self.duration_hours <= 0:
+            return 0.0
+        return self.tasks_started * 24.0 / self.duration_hours
+
+    @property
+    def jobs_per_day(self) -> float:
+        """Realized job throughput (Table 1 scale metric)."""
+        if self.duration_hours <= 0:
+            return 0.0
+        return self.jobs_submitted * 24.0 / self.duration_hours
+
+
+class _TaskRun:
+    """Payload of a FINISH event."""
+
+    __slots__ = ("machine", "job", "task", "duration", "log_row")
+
+    def __init__(self, machine: Machine, job: JobRuntime, task: Task,
+                 duration: float, log_row: int):
+        self.machine = machine
+        self.job = job
+        self.task = task
+        self.duration = duration
+        self.log_row = log_row
+
+
+class ClusterSimulator:
+    """Runs one workload against one cluster, collecting telemetry."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Workload,
+        streams: RngStreams | None = None,
+        config: SimulationConfig | None = None,
+    ):
+        self.cluster = cluster
+        self.workload = workload
+        self.streams = streams if streams is not None else RngStreams(0)
+        self.config = config if config is not None else SimulationConfig()
+        self.scheduler = YarnScheduler(
+            cluster, seed=self.streams.get("scheduler-seed").integers(0, 2**31).item()
+        )
+        self.result = SimulationResult(task_log=TaskLog(self.config.task_log_sample_rate))
+        self.now = 0.0
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._job_ids = itertools.count()
+        self._stage_rng = self.streams.get("stages")
+        self._log_rng = random.Random(
+            self.streams.get("tasklog-seed").integers(0, 2**31).item()
+        )
+        self._sampled_machines: list[Machine] = []
+        self._pending_actions: list[tuple[float, Callable[[ClusterSimulator], None]]] = []
+        # Maps id(task) -> JobRuntime for tasks sitting in machine queues.
+        self._job_of_queued: dict[int, JobRuntime] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule_action(
+        self, time: float, action: Callable[["ClusterSimulator"], None]
+    ) -> None:
+        """Register a callback to run at simulation time ``time`` (seconds).
+
+        Must be called before :meth:`run`. Used by flighting/deployment and
+        experiment designs to change configuration mid-run.
+        """
+        self._pending_actions.append((time, action))
+
+    def apply_yarn_config(self, config) -> None:
+        """Apply a new YARN config now and refresh scheduler bookkeeping."""
+        self.cluster.apply_yarn_config(config)
+        for machine in self.cluster.machines:
+            machine.advance(self.now)
+            self._drain_queue(machine)
+        self.scheduler.rebuild()
+
+    def run(self, duration_hours: float) -> SimulationResult:
+        """Simulate ``duration_hours`` hours and return the collected telemetry."""
+        if duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        horizon = duration_hours * SECONDS_PER_HOUR
+        self._push(0.0, _HOUR, 0)
+        for time, action in self._pending_actions:
+            if 0.0 <= time < horizon:
+                self._push(time, _ACTION, action)
+        self._pending_actions.clear()
+        self._setup_resource_sampling(horizon)
+
+        arrivals = self.workload.arrivals
+        arrival_index = 0
+        if arrivals and arrivals[0].time < horizon:
+            self._push(arrivals[0].time, _ARRIVAL, arrivals[0].template)
+
+        heap = self._heap
+        while heap:
+            time, kind, _seq, payload = heapq.heappop(heap)
+            if time > horizon:
+                break
+            self.now = time
+            if kind == _FINISH:
+                self._handle_finish(payload)
+            elif kind == _ARRIVAL:
+                self._handle_arrival(payload)
+                arrival_index += 1
+                if arrival_index < len(arrivals) and arrivals[arrival_index].time < horizon:
+                    self._push(
+                        arrivals[arrival_index].time, _ARRIVAL,
+                        arrivals[arrival_index].template,
+                    )
+            elif kind == _HOUR:
+                hour = payload
+                if hour > 0:
+                    self._flush_hour(hour - 1)
+                if hour * SECONDS_PER_HOUR < horizon:
+                    self._push((hour + 1) * SECONDS_PER_HOUR, _HOUR, hour + 1)
+            elif kind == _ACTION:
+                payload(self)
+            elif kind == _SAMPLE:
+                self._handle_sample(payload, horizon)
+
+        self.now = horizon
+        self.result.duration_hours = duration_hours
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._heap, (time, kind, next(self._seq), payload))
+
+    def _handle_arrival(self, template) -> None:
+        job = JobRuntime(
+            job_id=next(self._job_ids),
+            template=template,
+            submit_time=self.now,
+            rng=self._stage_rng,
+        )
+        self.result.jobs_submitted += 1
+        self._start_stage(job)
+
+    def _start_stage(self, job: JobRuntime) -> None:
+        tasks = job.start_next_stage(self._stage_rng)
+        for task in tasks:
+            self._place(job, task)
+
+    def _place(self, job: JobRuntime, task: Task) -> None:
+        placement = self.scheduler.place(task, self.now)
+        if placement.started:
+            self._start_on(placement.machine, job, task, queue_wait=0.0)
+            self.scheduler.note_started(placement.machine)
+        else:
+            self.result.tasks_queued += 1
+            self._job_of_queued[id(task)] = job
+
+    def _start_on(
+        self, machine: Machine, job: JobRuntime, task: Task, queue_wait: float
+    ) -> None:
+        duration = machine.start_task(
+            self.now,
+            cpu_fraction=task.cpu_fraction,
+            ram_gb=task.ram_gb,
+            ssd_gb=task.ssd_gb,
+            data_bytes=task.data_bytes,
+            work_seconds=task.work_seconds,
+        )
+        self.result.tasks_started += 1
+        log_row = -1
+        rate = self.result.task_log.sample_rate
+        if rate > 0.0 and (rate >= 1.0 or self._log_rng.random() < rate):
+            log_row = self.result.task_log.append(
+                sku=machine.sku.name,
+                software=machine.software.name,
+                rack=machine.rack,
+                op=task.operator,
+                duration=duration,
+                data_bytes=task.data_bytes,
+                cpu_seconds=task.cpu_fraction * duration,
+                start=self.now,
+                queue_wait=queue_wait,
+                job_template=job.template.name,
+            )
+        self._push(self.now + duration, _FINISH, _TaskRun(machine, job, task, duration, log_row))
+
+    def _handle_finish(self, run: _TaskRun) -> None:
+        machine, job, task = run.machine, run.job, run.task
+        machine.finish_task(
+            self.now,
+            cpu_fraction=task.cpu_fraction,
+            ram_gb=task.ram_gb,
+            ssd_gb=task.ssd_gb,
+            data_bytes=task.data_bytes,
+            duration=run.duration,
+        )
+        stage_done = job.on_task_finish(self.now, run.duration, run.log_row)
+        if stage_done:
+            if job.last_finish_log_row >= 0:
+                self.result.task_log.mark_critical(job.last_finish_log_row)
+            if job.has_next_stage:
+                self._start_stage(job)
+            else:
+                job.finished = True
+                self.result.jobs_completed += 1
+                self.result.jobs.append(
+                    JobRecord(
+                        job_id=job.job_id,
+                        template=job.template.name,
+                        submit_time=job.submit_time,
+                        finish_time=self.now,
+                        n_tasks=job.n_tasks_total,
+                        total_task_seconds=job.total_task_seconds,
+                        is_benchmark=job.template.is_benchmark,
+                    )
+                )
+        self._drain_queue(machine)
+        self.scheduler.refresh_machine(machine)
+
+    def _drain_queue(self, machine: Machine) -> None:
+        while machine.has_free_slot and machine.queue:
+            popped = machine.dequeue(self.now)
+            if popped is None:  # pragma: no cover - guarded by loop condition
+                break
+            task, wait = popped
+            job = self._job_of_queued.pop(id(task))
+            self._start_on(machine, job, task, queue_wait=wait)
+
+    def _flush_hour(self, hour: int) -> None:
+        end = (hour + 1) * SECONDS_PER_HOUR
+        records = self.result.records
+        for machine in self.cluster.machines:
+            records.append(machine.flush_hour(end, hour))
+
+    # ------------------------------------------------------------------
+    # Resource sampling (Figure 13 data)
+    # ------------------------------------------------------------------
+    def _setup_resource_sampling(self, horizon: float) -> None:
+        cfg = self.config
+        if cfg.resource_sample_period_s <= 0 or cfg.resource_sample_machines <= 0:
+            return
+        candidates = [
+            m
+            for m in self.cluster.machines
+            if cfg.resource_sample_sku is None or m.sku.name == cfg.resource_sample_sku
+        ]
+        self._sampled_machines = candidates[: cfg.resource_sample_machines]
+        if self._sampled_machines:
+            self._push(cfg.resource_sample_period_s, _SAMPLE, None)
+
+    def _handle_sample(self, _payload: object, horizon: float) -> None:
+        for machine in self._sampled_machines:
+            self.result.resource_samples.append(
+                ResourceSample(
+                    machine_id=machine.machine_id,
+                    sku=machine.sku.name,
+                    software=machine.software.name,
+                    time=self.now,
+                    cores_in_use=min(machine.active_cores, machine.sku.cores),
+                    ram_gb_in_use=machine.ram_gb_in_use,
+                    ssd_gb_in_use=machine.ssd_gb_in_use,
+                )
+            )
+        next_time = self.now + self.config.resource_sample_period_s
+        if next_time < horizon:
+            self._push(next_time, _SAMPLE, None)

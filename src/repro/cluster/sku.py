@@ -1,0 +1,189 @@
+"""Hardware generations (SKUs) of the simulated fleet.
+
+Cosmos accumulated more than 20 hardware generations over a decade (Section 2
+of the paper); each cluster mixes 6–9 of them. We model the seven generations
+named in Figure 2 with plausible, internally consistent hardware profiles:
+newer generations have more cores, faster cores, more RAM/SSD, and *lower*
+contention sensitivity (better memory/IO subsystems).
+
+``speed_factor`` is the per-core speed relative to Gen 4.1; task durations
+scale inversely with it. ``contention_beta`` controls how steeply task
+execution time grows with machine CPU utilization — older machines degrade
+faster under load, which is exactly the asymmetry KEA's LP exploits when it
+shifts containers from slow to fast machines (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Sku", "DEFAULT_SKUS", "sku_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sku:
+    """An immutable hardware-generation profile."""
+
+    name: str
+    cores: int
+    ram_gb: float
+    ssd_gb: float
+    hdd_gb: float
+    speed_factor: float
+    contention_beta: float
+    hdd_io_mbps: float
+    ssd_io_mbps: float
+    power_idle_watts: float
+    power_peak_watts: float
+    provisioned_power_watts: float
+    generation_year: int
+    feature_capable: bool
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"{self.name}: cores must be positive")
+        if self.speed_factor <= 0:
+            raise ValueError(f"{self.name}: speed_factor must be positive")
+        if self.power_peak_watts <= self.power_idle_watts:
+            raise ValueError(f"{self.name}: peak power must exceed idle power")
+        if self.provisioned_power_watts < self.power_peak_watts:
+            raise ValueError(
+                f"{self.name}: provisioned power below peak power would "
+                "throttle permanently; Cosmos provisioned conservatively high"
+            )
+
+    @property
+    def dynamic_power_watts(self) -> float:
+        """Peak minus idle: the utilization-dependent share of power draw."""
+        return self.power_peak_watts - self.power_idle_watts
+
+
+# The seven generations shown in Figure 2 of the paper. Profiles are
+# synthetic but monotone in generation: each step adds cores, speed, memory
+# and reduces contention sensitivity. Only Gen 4.x processors support the
+# power-efficiency "Feature" evaluated in Figure 15.
+DEFAULT_SKUS: tuple[Sku, ...] = (
+    Sku(
+        name="Gen 1.1",
+        cores=16,
+        ram_gb=64.0,
+        ssd_gb=480.0,
+        hdd_gb=16_000.0,
+        speed_factor=0.45,
+        contention_beta=1.10,
+        hdd_io_mbps=150.0,
+        ssd_io_mbps=400.0,
+        power_idle_watts=95.0,
+        power_peak_watts=240.0,
+        provisioned_power_watts=264.0,
+        generation_year=2012,
+        feature_capable=False,
+    ),
+    Sku(
+        name="Gen 2.1",
+        cores=24,
+        ram_gb=96.0,
+        ssd_gb=960.0,
+        hdd_gb=24_000.0,
+        speed_factor=0.60,
+        contention_beta=0.90,
+        hdd_io_mbps=180.0,
+        ssd_io_mbps=520.0,
+        power_idle_watts=100.0,
+        power_peak_watts=280.0,
+        provisioned_power_watts=308.0,
+        generation_year=2014,
+        feature_capable=False,
+    ),
+    Sku(
+        name="Gen 2.2",
+        cores=24,
+        ram_gb=128.0,
+        ssd_gb=960.0,
+        hdd_gb=32_000.0,
+        speed_factor=0.65,
+        contention_beta=0.85,
+        hdd_io_mbps=190.0,
+        ssd_io_mbps=540.0,
+        power_idle_watts=100.0,
+        power_peak_watts=285.0,
+        provisioned_power_watts=314.0,
+        generation_year=2015,
+        feature_capable=False,
+    ),
+    Sku(
+        name="Gen 2.3",
+        cores=28,
+        ram_gb=128.0,
+        ssd_gb=1_200.0,
+        hdd_gb=32_000.0,
+        speed_factor=0.72,
+        contention_beta=0.75,
+        hdd_io_mbps=200.0,
+        ssd_io_mbps=600.0,
+        power_idle_watts=105.0,
+        power_peak_watts=300.0,
+        provisioned_power_watts=330.0,
+        generation_year=2016,
+        feature_capable=False,
+    ),
+    Sku(
+        name="Gen 3.1",
+        cores=32,
+        ram_gb=192.0,
+        ssd_gb=1_600.0,
+        hdd_gb=40_000.0,
+        speed_factor=0.85,
+        contention_beta=0.60,
+        hdd_io_mbps=220.0,
+        ssd_io_mbps=900.0,
+        power_idle_watts=110.0,
+        power_peak_watts=330.0,
+        provisioned_power_watts=363.0,
+        generation_year=2018,
+        feature_capable=False,
+    ),
+    Sku(
+        name="Gen 4.1",
+        cores=48,
+        ram_gb=256.0,
+        ssd_gb=2_000.0,
+        hdd_gb=48_000.0,
+        speed_factor=1.00,
+        contention_beta=0.42,
+        hdd_io_mbps=250.0,
+        ssd_io_mbps=1_500.0,
+        power_idle_watts=120.0,
+        power_peak_watts=400.0,
+        provisioned_power_watts=440.0,
+        generation_year=2020,
+        feature_capable=True,
+    ),
+    Sku(
+        name="Gen 4.2",
+        cores=56,
+        ram_gb=320.0,
+        ssd_gb=2_400.0,
+        hdd_gb=56_000.0,
+        speed_factor=1.10,
+        contention_beta=0.36,
+        hdd_io_mbps=260.0,
+        ssd_io_mbps=1_800.0,
+        power_idle_watts=125.0,
+        power_peak_watts=420.0,
+        provisioned_power_watts=462.0,
+        generation_year=2021,
+        feature_capable=True,
+    ),
+)
+
+_SKU_INDEX = {sku.name: sku for sku in DEFAULT_SKUS}
+
+
+def sku_by_name(name: str) -> Sku:
+    """Look up a default SKU by its generation name (e.g. ``'Gen 4.1'``)."""
+    try:
+        return _SKU_INDEX[name]
+    except KeyError:
+        known = ", ".join(sorted(_SKU_INDEX))
+        raise KeyError(f"unknown SKU {name!r}; known SKUs: {known}") from None

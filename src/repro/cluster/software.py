@@ -1,0 +1,76 @@
+"""Software configurations (SCs) and machine-group keys.
+
+Cosmos machines run one of two main software configurations (Section 7.1):
+
+* **SC1** maps the local temp store to HDD — cheap, but task I/O contends on
+  the spinning disk, creating a write-latency bottleneck under load.
+* **SC2** maps the local temp store to SSD — removes the HDD bottleneck at
+  the cost of SSD wear/capacity.
+
+KEA models everything at the *machine group* level, where a group is one
+SC–SKU combination (Level V abstraction, Figure 4). :class:`MachineGroupKey`
+is the canonical identity of such a group; its ``label`` matches the labels
+used in the paper's figures (e.g. ``'SC2_Gen 4.1'``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SoftwareConfig", "SC1", "SC2", "SOFTWARE_CONFIGS", "MachineGroupKey"]
+
+
+@dataclass(frozen=True, slots=True)
+class SoftwareConfig:
+    """A software configuration: logical-drive to physical-media mapping.
+
+    ``io_contention_coeff`` scales how much concurrent I/O inflates task
+    durations; the HDD temp store (SC1) is markedly more sensitive.
+    """
+
+    name: str
+    temp_store_on_ssd: bool
+    io_contention_coeff: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.io_contention_coeff < 0:
+            raise ValueError("io_contention_coeff must be non-negative")
+
+
+SC1 = SoftwareConfig(
+    name="SC1",
+    temp_store_on_ssd=False,
+    io_contention_coeff=0.30,
+    description="local temp store on HDD (I/O-contended under load)",
+)
+
+SC2 = SoftwareConfig(
+    name="SC2",
+    temp_store_on_ssd=True,
+    io_contention_coeff=0.08,
+    description="local temp store on SSD (relieves HDD write bottleneck)",
+)
+
+SOFTWARE_CONFIGS: dict[str, SoftwareConfig] = {"SC1": SC1, "SC2": SC2}
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class MachineGroupKey:
+    """Identity of a machine group: one software–hardware (SC–SKU) combination."""
+
+    software: str
+    sku: str
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``'SC2_Gen 4.1'``."""
+        return f"{self.software}_{self.sku}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "MachineGroupKey":
+        """Parse a ``'SC_SKU'`` label back into a key."""
+        software, sep, sku = label.partition("_")
+        if not sep or not software or not sku:
+            raise ValueError(f"malformed machine-group label {label!r}")
+        return cls(software=software, sku=sku)

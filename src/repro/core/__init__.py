@@ -1,0 +1,65 @@
+"""KEA core: the paper's contribution.
+
+* :class:`~repro.core.kea.Kea` — the facade wiring Performance Monitor,
+  Modeling, Experimentation, Flighting, and Deployment (Figure 7);
+* :class:`~repro.core.whatif.WhatIfEngine` — the g/h/f calibrated model family;
+* the three tuning approaches (:mod:`repro.core.tuning`);
+* the applications of Table 3 (:mod:`repro.core.applications`);
+* the methodology phases (:mod:`repro.core.methodology`) and abstraction
+  validators (:mod:`repro.core.conceptualization`).
+"""
+
+from repro.core.capacity import CapacityValuation, capacity_gain_fraction
+from repro.core.conceptualization import (
+    ABSTRACTION_LADDER,
+    AbstractionLevel,
+    ConceptualizationReport,
+    ValidationOutcome,
+    conceptualize,
+    validate_critical_path_bias,
+    validate_implicit_slos,
+    validate_uniform_task_spread,
+)
+from repro.core.kea import DeploymentImpact, Kea, Observation
+from repro.core.methodology import KeaProject, Phase, ProjectCharter
+from repro.core.tuning import (
+    ExperimentalTuning,
+    HypotheticalOutcome,
+    HypotheticalTuning,
+    ObservationalOutcome,
+    ObservationalTuning,
+)
+from repro.core.whatif import (
+    CalibrationReport,
+    GroupOperatingPoint,
+    GroupPrediction,
+    WhatIfEngine,
+)
+
+__all__ = [
+    "CapacityValuation",
+    "capacity_gain_fraction",
+    "ABSTRACTION_LADDER",
+    "AbstractionLevel",
+    "ConceptualizationReport",
+    "ValidationOutcome",
+    "conceptualize",
+    "validate_critical_path_bias",
+    "validate_implicit_slos",
+    "validate_uniform_task_spread",
+    "DeploymentImpact",
+    "Kea",
+    "Observation",
+    "KeaProject",
+    "Phase",
+    "ProjectCharter",
+    "ExperimentalTuning",
+    "HypotheticalOutcome",
+    "HypotheticalTuning",
+    "ObservationalOutcome",
+    "ObservationalTuning",
+    "CalibrationReport",
+    "GroupOperatingPoint",
+    "GroupPrediction",
+    "WhatIfEngine",
+]

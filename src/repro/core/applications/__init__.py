@@ -1,0 +1,38 @@
+"""KEA applications (Table 3): one module per production tuning scenario."""
+
+from repro.core.applications.power_capping import (
+    PowerCappingStudy,
+    PowerCappingStudyResult,
+)
+from repro.core.applications.queue_tuning import (
+    QueueGroupStats,
+    QueueTuner,
+    QueueTuningResult,
+)
+from repro.core.applications.sc_selection import (
+    ScSelectionExperiment,
+    ScSelectionResult,
+)
+from repro.core.applications.sku_design import (
+    SkuCostModel,
+    SkuDesignResult,
+    SkuDesignStudy,
+    UsageModel,
+)
+from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
+
+__all__ = [
+    "PowerCappingStudy",
+    "PowerCappingStudyResult",
+    "QueueGroupStats",
+    "QueueTuner",
+    "QueueTuningResult",
+    "ScSelectionExperiment",
+    "ScSelectionResult",
+    "SkuCostModel",
+    "SkuDesignResult",
+    "SkuDesignStudy",
+    "UsageModel",
+    "YarnConfigTuner",
+    "YarnTuningResult",
+]

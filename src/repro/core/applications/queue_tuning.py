@@ -1,0 +1,137 @@
+"""Container-queue tuning (the Section 5.3 discussion, Figure 12).
+
+When the whole cluster reaches its container limits, low-priority containers
+queue on individual machines. Queue length and latency "vary significantly
+for machines with different SKUs and SCs"; faster machines drain faster, so
+they can safely hold longer queues. This application measures per-group queue
+behaviour and recommends per-group maximum queue lengths that equalize
+expected queueing delay — the same observational-tuning methodology applied
+to a second knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.software import MachineGroupKey
+from repro.telemetry.monitor import PerformanceMonitor
+from repro.utils.errors import TelemetryError
+from repro.utils.tables import TextTable
+
+__all__ = ["QueueGroupStats", "QueueTuningResult", "QueueTuner"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueueGroupStats:
+    """Observed queueing behaviour of one machine group (Figure 12 bars)."""
+
+    group: str
+    avg_queue_length: float
+    p99_wait_seconds: float
+    mean_wait_seconds: float
+    dequeue_rate_per_hour: float  # tasks finished per machine-hour ≈ drain rate
+
+
+@dataclass
+class QueueTuningResult:
+    """Per-group stats plus the recommended queue limits."""
+
+    stats: list[QueueGroupStats]
+    recommended_limits: dict[MachineGroupKey, int]
+    target_wait_seconds: float
+
+    def summary(self) -> str:
+        """Figure 12-style table plus the recommendation."""
+        table = TextTable(
+            ["group", "avg queue len", "p99 wait (s)", "drain rate (/h)",
+             "recommended max queue"],
+            title="Per-group container queueing",
+        )
+        recs = {k.label: v for k, v in self.recommended_limits.items()}
+        for stat in sorted(self.stats, key=lambda s: s.group):
+            table.add_row(
+                [
+                    stat.group,
+                    f"{stat.avg_queue_length:.2f}",
+                    f"{stat.p99_wait_seconds:.0f}",
+                    f"{stat.dequeue_rate_per_hour:.0f}",
+                    recs.get(stat.group, "-"),
+                ]
+            )
+        return table.render()
+
+
+class QueueTuner:
+    """Derive per-group queue limits from saturated-cluster telemetry."""
+
+    def __init__(self, target_wait_seconds: float = 300.0, min_limit: int = 1,
+                 max_limit: int = 64):
+        if target_wait_seconds <= 0:
+            raise ValueError("target_wait_seconds must be positive")
+        if not 1 <= min_limit <= max_limit:
+            raise ValueError("need 1 <= min_limit <= max_limit")
+        self.target_wait_seconds = target_wait_seconds
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+
+    def measure(self, monitor: PerformanceMonitor) -> list[QueueGroupStats]:
+        """Aggregate queue telemetry per machine group."""
+        stats: list[QueueGroupStats] = []
+        for group, group_monitor in monitor.by_group().items():
+            records = group_monitor.records
+            waits: list[float] = []
+            for record in records:
+                waits.extend(record.queue.waits)
+            avg_len = float(np.mean([r.queue.avg_length for r in records]))
+            tasks_per_hour = float(np.mean([r.tasks_finished for r in records]))
+            stats.append(
+                QueueGroupStats(
+                    group=group,
+                    avg_queue_length=avg_len,
+                    p99_wait_seconds=float(np.percentile(waits, 99)) if waits else 0.0,
+                    mean_wait_seconds=float(np.mean(waits)) if waits else 0.0,
+                    dequeue_rate_per_hour=tasks_per_hour,
+                )
+            )
+        if not stats:
+            raise TelemetryError("no telemetry to measure queue behaviour from")
+        return stats
+
+    def tune(self, monitor: PerformanceMonitor) -> QueueTuningResult:
+        """Recommend per-group queue limits equalizing expected drain time.
+
+        A queue of length L on a machine draining d tasks/hour waits ≈
+        L·3600/d seconds to clear; solving for L at the target wait gives the
+        per-group limit (clamped to [min_limit, max_limit]).
+        """
+        stats = self.measure(monitor)
+        limits: dict[MachineGroupKey, int] = {}
+        for stat in stats:
+            drain_per_second = stat.dequeue_rate_per_hour / 3600.0
+            raw = self.target_wait_seconds * drain_per_second
+            limit = int(np.clip(round(raw), self.min_limit, self.max_limit))
+            limits[MachineGroupKey.from_label(stat.group)] = limit
+        return QueueTuningResult(
+            stats=stats,
+            recommended_limits=limits,
+            target_wait_seconds=self.target_wait_seconds,
+        )
+
+    def apply_to_config(
+        self, config: YarnConfig, result: QueueTuningResult
+    ) -> YarnConfig:
+        """Return a new YarnConfig carrying the recommended queue limits."""
+        new = config.copy()
+        for key, limit in result.recommended_limits.items():
+            current = new.for_group(key)
+            new.set_group(
+                key,
+                GroupLimits(
+                    max_running_containers=current.max_running_containers,
+                    max_queued_containers=limit,
+                ),
+            )
+        return new

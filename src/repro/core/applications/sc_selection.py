@@ -1,0 +1,145 @@
+"""Software-configuration selection — experimental tuning (Section 7.1, Table 4).
+
+Compares SC1 (local temp store on HDD) against SC2 (temp store on SSD) in the
+*ideal* experiment setting: two rows of racks, every other machine in each
+rack flipped to SC2, run over consecutive workdays, then Student's t-tests on
+Total Data Read and Average Task Execution Time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import ClusterSimulator
+from repro.experiment.ab import ABReport, compare_groups
+from repro.experiment.design import GroupAssignment, ideal_setting
+from repro.flighting.build import SoftwareBuild
+from repro.telemetry.monitor import PerformanceMonitor
+from repro.utils.errors import ExperimentError
+from repro.utils.tables import TextTable
+from repro.utils.units import bytes_to_pb
+
+__all__ = ["ScSelectionExperiment", "ScSelectionResult"]
+
+
+@dataclass
+class ScSelectionResult:
+    """The Table 4 comparison plus the winner call."""
+
+    report: ABReport
+    assignment: GroupAssignment
+    n_days: float
+
+    def winner(self) -> str:
+        """'SC2' when the experiment arm dominates, 'SC1' when control does,
+        'tie' otherwise."""
+        throughput = self.report.winner("TotalDataRead", higher_is_better=True)
+        latency = self.report.winner("AverageTaskSeconds", higher_is_better=False)
+        if throughput == "experiment" and latency in ("experiment", "tie"):
+            return "SC2"
+        if throughput == "control" and latency in ("control", "tie"):
+            return "SC1"
+        if latency == "experiment" and throughput == "tie":
+            return "SC2"
+        if latency == "control" and throughput == "tie":
+            return "SC1"
+        return "tie"
+
+    def summary(self) -> str:
+        """Render the Table 4 layout (SC1, SC2, % change, t-value)."""
+        data_read = self.report.comparison("TotalDataRead")
+        task_time = self.report.comparison("AverageTaskSeconds")
+        table = TextTable(
+            ["Name", "SC1", "SC2", "% Changes", "t-value"],
+            title="Performance metrics for different software configurations",
+        )
+        # Total Data Read reported as PB per machine-day scaled to the arm.
+        scale = len(self.assignment.experiment) * max(self.n_days, 1.0)
+        table.add_row(
+            [
+                "Total Data Read (PB)",
+                f"{bytes_to_pb(data_read.control_mean * scale):.3f}",
+                f"{bytes_to_pb(data_read.experiment_mean * scale):.3f}",
+                f"{data_read.pct_change:+.1%}",
+                f"{data_read.test.t_value:.1f}",
+            ]
+        )
+        table.add_row(
+            [
+                "Average Task Execution Time (s)",
+                f"{task_time.control_mean:.1f}",
+                f"{task_time.experiment_mean:.1f}",
+                f"{task_time.pct_change:+.1%}",
+                f"{task_time.test.t_value:.1f}",
+            ]
+        )
+        return table.render()
+
+
+class ScSelectionExperiment:
+    """Run the ideal-setting SC1 vs SC2 experiment on a cluster."""
+
+    def __init__(self, cluster: Cluster, sku: str | None = None):
+        """``sku`` restricts candidate racks; default picks the largest SC1 SKU."""
+        self.cluster = cluster
+        self.sku = sku
+
+    def select_racks(self, n_racks: int) -> list[int]:
+        """Pick ``n_racks`` homogeneous SC1 racks (two "rows" in the paper)."""
+        candidates: list[int] = []
+        for rack in self.cluster.racks():
+            machines = self.cluster.machines_in_rack(rack)
+            groups = {(m.sku.name, m.software.name) for m in machines}
+            if len(groups) != 1:
+                continue
+            sku_name, sc_name = next(iter(groups))
+            if sc_name != "SC1":
+                continue
+            if self.sku is not None and sku_name != self.sku:
+                continue
+            candidates.append(rack)
+        if len(candidates) < n_racks:
+            raise ExperimentError(
+                f"only {len(candidates)} homogeneous SC1 racks available, "
+                f"need {n_racks}"
+            )
+        return candidates[:n_racks]
+
+    def prepare(self, n_racks: int = 4) -> GroupAssignment:
+        """Split the selected racks into interleaved control/experiment arms
+        and flip the experiment arm to SC2."""
+        racks = self.select_racks(n_racks)
+        assignment = ideal_setting(self.cluster, racks)
+        build = SoftwareBuild(software_name="SC2")
+        build.apply(self.cluster, assignment.experiment)
+        return assignment
+
+    def analyze(
+        self,
+        simulator_result_records,
+        assignment: GroupAssignment,
+        n_days: float,
+    ) -> ScSelectionResult:
+        """Produce the Table 4 report from collected telemetry."""
+        monitor = PerformanceMonitor(simulator_result_records)
+        report = compare_groups(
+            name="SC1-vs-SC2",
+            monitor=monitor,
+            assignment=assignment,
+            metrics=("TotalDataRead", "AverageTaskSeconds", "BytesPerSecond"),
+        )
+        return ScSelectionResult(report=report, assignment=assignment, n_days=n_days)
+
+    def run(
+        self,
+        simulator: ClusterSimulator,
+        days: float = 5.0,
+        n_racks: int = 4,
+    ) -> ScSelectionResult:
+        """Prepare arms, simulate ``days`` workdays, and analyze."""
+        assignment = self.prepare(n_racks=n_racks)
+        result = simulator.run(days * 24.0)
+        return self.analyze(result.records, assignment, n_days=days)

@@ -1,0 +1,215 @@
+"""Machine (SKU) configuration design — hypothetical tuning (Section 6.1).
+
+Decides how much SSD and RAM to buy for a future machine generation whose
+CPU core count is already fixed (128 cores in the paper). Two steps:
+
+1. **Projection models** (Eq. 11–12): fit ``s = p(c) = α_s + β_s·c`` and
+   ``r = q(c) = α_r + β_r·c`` on fine-grained (cores-in-use, SSD, RAM)
+   observations, and extract the *empirical distribution* of per-core slopes
+   so the Monte Carlo can capture workload variance.
+2. **Monte-Carlo cost** (Figure 14): for a candidate (SSD S, RAM R) design,
+   repeatedly draw slopes, compute the usable cores
+   ``c = min(128, p⁻¹(S), q⁻¹(R))``, and price idle cores/SSD/RAM plus a
+   stranding penalty when the design runs out of SSD or RAM ("Running out of
+   CPU is handled more gracefully ... than running out of RAM or SSD").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.linear import LinearRegression
+from repro.optim.grid import GridSearchResult, grid_search
+from repro.optim.montecarlo import MonteCarloResult, estimate_expected_value
+from repro.telemetry.records import ResourceSample
+from repro.utils.errors import TelemetryError
+
+__all__ = ["UsageModel", "SkuCostModel", "SkuDesignStudy", "SkuDesignResult"]
+
+
+@dataclass
+class UsageModel:
+    """Calibrated resource-usage projections with slope distributions."""
+
+    ssd_model: LinearRegression
+    ram_model: LinearRegression
+    ssd_slopes: np.ndarray  # empirical β_s draws
+    ram_slopes: np.ndarray  # empirical β_r draws
+    n_samples: int
+
+    @property
+    def alpha_ssd(self) -> float:
+        """SSD usage at zero cores (GB)."""
+        return self.ssd_model.intercept
+
+    @property
+    def alpha_ram(self) -> float:
+        """RAM usage at zero cores (GB)."""
+        return self.ram_model.intercept
+
+
+@dataclass(frozen=True, slots=True)
+class SkuCostModel:
+    """Unit prices and stranding penalties (normalized currency units).
+
+    ``oos_penalty``/``oom_penalty`` price the operational pain of a machine
+    stranded by SSD/RAM exhaustion; they dominate under-provisioned designs,
+    producing the steep left wall of the Figure 14 cost surface.
+    """
+
+    core_unit_cost: float = 40.0
+    ram_unit_cost_per_gb: float = 3.0
+    ssd_unit_cost_per_gb: float = 0.12
+    oos_penalty: float = 2500.0
+    oom_penalty: float = 2500.0
+    stranding_threshold: float = 1e-9
+
+
+@dataclass
+class SkuDesignResult:
+    """The swept cost surface and its sweet spot."""
+
+    grid: GridSearchResult
+    best_ram_gb: float
+    best_ssd_gb: float
+    best_cost: float
+    n_cores: int
+
+    def surface_rows(self) -> list[tuple[float, float, float]]:
+        """(ram_gb, ssd_gb, expected_cost) triples of the surface (Figure 14)."""
+        return [
+            (cell.point["ram_gb"], cell.point["ssd_gb"], cell.value)
+            for cell in self.grid.evaluations
+        ]
+
+
+class SkuDesignStudy:
+    """Calibrate usage models and sweep candidate (RAM, SSD) designs."""
+
+    def __init__(self, cost_model: SkuCostModel | None = None,
+                 min_cores_for_slope: float = 2.0):
+        self.cost_model = cost_model if cost_model is not None else SkuCostModel()
+        self.min_cores_for_slope = min_cores_for_slope
+        self.usage: UsageModel | None = None
+
+    # ------------------------------------------------------------------
+    # Step 1: projection models (Figure 13)
+    # ------------------------------------------------------------------
+    def fit_usage(self, samples: list[ResourceSample]) -> UsageModel:
+        """Fit p(c), q(c) and slope distributions from resource samples."""
+        if len(samples) < 10:
+            raise TelemetryError(
+                f"need at least 10 resource samples to fit usage models, "
+                f"got {len(samples)}"
+            )
+        cores = np.array([s.cores_in_use for s in samples])
+        ssd = np.array([s.ssd_gb_in_use for s in samples])
+        ram = np.array([s.ram_gb_in_use for s in samples])
+
+        ssd_model = LinearRegression().fit(cores, ssd)
+        ram_model = LinearRegression().fit(cores, ram)
+
+        # Per-observation slopes: β_i = (usage_i − α) / cores_i, over
+        # observations with enough cores in use for the ratio to be stable.
+        mask = cores >= self.min_cores_for_slope
+        if not mask.any():
+            raise TelemetryError(
+                "no resource sample has enough cores in use to estimate slopes"
+            )
+        ssd_slopes = (ssd[mask] - ssd_model.intercept) / cores[mask]
+        ram_slopes = (ram[mask] - ram_model.intercept) / cores[mask]
+        ssd_slopes = np.maximum(ssd_slopes, 0.0)
+        ram_slopes = np.maximum(ram_slopes, 0.0)
+
+        self.usage = UsageModel(
+            ssd_model=ssd_model,
+            ram_model=ram_model,
+            ssd_slopes=ssd_slopes,
+            ram_slopes=ram_slopes,
+            n_samples=len(samples),
+        )
+        return self.usage
+
+    # ------------------------------------------------------------------
+    # Step 2: Monte-Carlo expected cost (Figure 14)
+    # ------------------------------------------------------------------
+    def expected_cost(
+        self,
+        ram_gb: float,
+        ssd_gb: float,
+        n_cores: int = 128,
+        n_draws: int = 1000,
+        rng: np.random.Generator | None = None,
+    ) -> MonteCarloResult:
+        """Expected cost of a (RAM, SSD) design for an ``n_cores`` machine."""
+        usage = self._require_usage()
+        cost = self.cost_model
+        alpha_s, alpha_r = usage.alpha_ssd, usage.alpha_ram
+        ssd_slopes, ram_slopes = usage.ssd_slopes, usage.ram_slopes
+        n_slopes = ssd_slopes.size
+
+        def draw(gen: np.random.Generator) -> float:
+            index = int(gen.integers(0, n_slopes))
+            beta_s = max(float(ssd_slopes[index]), 1e-6)
+            beta_r = max(float(ram_slopes[index]), 1e-6)
+            # c = min(128, p^{-1}(S), q^{-1}(R))
+            c_ssd = (ssd_gb - alpha_s) / beta_s
+            c_ram = (ram_gb - alpha_r) / beta_r
+            c = min(float(n_cores), c_ssd, c_ram)
+            c = max(c, 0.0)
+            idle_cores = n_cores - c
+            idle_ssd = ssd_gb - (alpha_s + beta_s * c)
+            idle_ram = ram_gb - (alpha_r + beta_r * c)
+            total = (
+                cost.core_unit_cost * idle_cores
+                + cost.ssd_unit_cost_per_gb * max(idle_ssd, 0.0)
+                + cost.ram_unit_cost_per_gb * max(idle_ram, 0.0)
+            )
+            if idle_ssd <= cost.stranding_threshold:
+                total += cost.oos_penalty
+            if idle_ram <= cost.stranding_threshold:
+                total += cost.oom_penalty
+            return total
+
+        return estimate_expected_value(draw, n_draws=n_draws, rng=rng)
+
+    def sweep(
+        self,
+        ram_candidates_gb: list[float],
+        ssd_candidates_gb: list[float],
+        n_cores: int = 128,
+        n_draws: int = 400,
+        seed: int = 0,
+    ) -> SkuDesignResult:
+        """Sweep the design grid and locate the cost sweet spot."""
+        self._require_usage()
+        rng = np.random.default_rng(seed)
+
+        def objective(point: dict[str, float]) -> float:
+            return self.expected_cost(
+                ram_gb=point["ram_gb"],
+                ssd_gb=point["ssd_gb"],
+                n_cores=n_cores,
+                n_draws=n_draws,
+                rng=rng,
+            ).mean
+
+        grid = grid_search(
+            objective,
+            axes={"ram_gb": ram_candidates_gb, "ssd_gb": ssd_candidates_gb},
+            minimize=True,
+        )
+        return SkuDesignResult(
+            grid=grid,
+            best_ram_gb=grid.best.point["ram_gb"],
+            best_ssd_gb=grid.best.point["ssd_gb"],
+            best_cost=grid.best.value,
+            n_cores=n_cores,
+        )
+
+    def _require_usage(self) -> UsageModel:
+        if self.usage is None:
+            raise TelemetryError("fit_usage() must run before cost estimation")
+        return self.usage

@@ -1,0 +1,240 @@
+"""System conceptualization: the abstraction ladder of Figure 4, as code.
+
+Each abstraction level of Section 3.2 rests on a *verifiable statistical
+claim* about the system. Phase I of the methodology is precisely the exercise
+of validating those claims on telemetry before trusting any model built on
+them. This module encodes the ladder and its validators:
+
+* Level II (job level): recurring jobs have stable runtimes — implicit SLOs
+  are meaningful.
+* Level III (task level): slow machines hold a disproportionate share of
+  critical-path tasks, so protecting slow-task latency protects job runtime.
+* Level IV (machine level): the scheduler spreads task types uniformly across
+  racks, so machines see representative workloads.
+* Level V (machine-group level): the spread is uniform across SKUs too, so
+  modeling per SC–SKU group loses nothing material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.records import JobRecord, TaskLog
+
+__all__ = [
+    "AbstractionLevel",
+    "ABSTRACTION_LADDER",
+    "ValidationOutcome",
+    "validate_implicit_slos",
+    "validate_critical_path_bias",
+    "validate_uniform_task_spread",
+    "ConceptualizationReport",
+    "conceptualize",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AbstractionLevel:
+    """One rung of the Figure 4 ladder."""
+
+    level: int
+    name: str
+    models_what: str
+    ignores_what: str
+    rests_on: str
+
+
+ABSTRACTION_LADDER: tuple[AbstractionLevel, ...] = (
+    AbstractionLevel(
+        1, "Full system", "jobs, tasks, machines, and all interactions",
+        "nothing (intractable)", "—",
+    ),
+    AbstractionLevel(
+        2, "Job level", "job runtimes against implicit SLOs",
+        "which cluster resources served the job",
+        "recurring jobs have predictable runtimes (implicit SLOs)",
+    ),
+    AbstractionLevel(
+        3, "Task level", "slow tasks on the critical path",
+        "intra-job DAG structure beyond stage barriers",
+        "job runtimes are dominated by slow tasks in the critical path",
+    ),
+    AbstractionLevel(
+        4, "Machine level", "per-machine performance metrics",
+        "task-to-task interactions",
+        "the scheduler randomizes tasks uniformly across nodes",
+    ),
+    AbstractionLevel(
+        5, "Machine-group level", "per SC–SKU group metrics",
+        "machine-level idiosyncrasies",
+        "tasks are spread uniformly across SKUs as well",
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationOutcome:
+    """Result of validating one abstraction level's claim."""
+
+    level: int
+    claim: str
+    statistic: float
+    threshold: float
+    passed: bool
+    detail: str
+
+
+def validate_implicit_slos(
+    jobs: list[JobRecord], max_median_cv: float = 0.5, min_instances: int = 5
+) -> ValidationOutcome:
+    """Level II: per-template runtime coefficient of variation is modest."""
+    by_template: dict[str, list[float]] = {}
+    for job in jobs:
+        by_template.setdefault(job.template, []).append(job.runtime)
+    cvs = []
+    for runtimes in by_template.values():
+        if len(runtimes) < min_instances:
+            continue
+        arr = np.asarray(runtimes)
+        if arr.mean() > 0:
+            cvs.append(arr.std(ddof=1) / arr.mean())
+    if not cvs:
+        return ValidationOutcome(
+            2, "recurring jobs have implicit SLOs", float("nan"), max_median_cv,
+            False, "no template had enough instances to assess",
+        )
+    median_cv = float(np.median(cvs))
+    return ValidationOutcome(
+        level=2,
+        claim="recurring jobs have implicit SLOs",
+        statistic=median_cv,
+        threshold=max_median_cv,
+        passed=median_cv <= max_median_cv,
+        detail=f"median runtime CV across {len(cvs)} templates = {median_cv:.2f}",
+    )
+
+
+def validate_critical_path_bias(
+    task_log: TaskLog, min_ratio: float = 1.5
+) -> ValidationOutcome:
+    """Level III: the slowest SKU is over-represented on critical paths.
+
+    Compares the critical-task share of the slowest SKU (by mean task
+    duration) against the fastest; Figure 5's claim holds when the ratio is
+    comfortably above 1.
+    """
+    durations = task_log.durations_by_sku()
+    shares = task_log.critical_share_by_sku()
+    usable = {sku for sku in durations if sku in shares and durations[sku].size >= 30}
+    if len(usable) < 2:
+        return ValidationOutcome(
+            3, "slow machines dominate critical paths", float("nan"), min_ratio,
+            False, "need at least two SKUs with enough logged tasks",
+        )
+    slowest = max(usable, key=lambda sku: float(durations[sku].mean()))
+    fastest = min(usable, key=lambda sku: float(durations[sku].mean()))
+    fast_share = shares[fastest]
+    ratio = shares[slowest] / fast_share if fast_share > 0 else float("inf")
+    return ValidationOutcome(
+        level=3,
+        claim="slow machines dominate critical paths",
+        statistic=float(ratio),
+        threshold=min_ratio,
+        passed=ratio >= min_ratio,
+        detail=(
+            f"critical share {slowest}={shares[slowest]:.2%} vs "
+            f"{fastest}={fast_share:.2%} (ratio {ratio:.1f}x)"
+        ),
+    )
+
+
+def _total_variation(p: dict[str, float], q: dict[str, float]) -> float:
+    ops = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(op, 0.0) - q.get(op, 0.0)) for op in ops)
+
+
+def validate_uniform_task_spread(
+    task_log: TaskLog, key: str, max_distance: float = 0.1, min_tasks: int = 50
+) -> ValidationOutcome:
+    """Level IV/V: task-type mix per rack/SKU matches the overall mix.
+
+    Statistic: the worst total-variation distance between any group's
+    operator mix and the cluster-wide mix (Figure 6 visually shows ≈ 0).
+    """
+    level = 4 if key == "rack" else 5
+    mixes = task_log.op_mix_by(key)
+    counts: dict[object, int] = {}
+    for group in mixes:
+        counts[group] = sum(
+            1 for g in (task_log.rack if key == "rack" else task_log.sku) if g == group
+        )
+    overall: dict[str, float] = {}
+    total = len(task_log)
+    if total == 0:
+        return ValidationOutcome(
+            level, f"uniform task spread across {key}s", float("nan"),
+            max_distance, False, "task log is empty",
+        )
+    for op in task_log.op:
+        overall[op] = overall.get(op, 0.0) + 1.0 / total
+    distances = {
+        group: _total_variation(mix, overall)
+        for group, mix in mixes.items()
+        if counts.get(group, 0) >= min_tasks
+    }
+    if not distances:
+        return ValidationOutcome(
+            level, f"uniform task spread across {key}s", float("nan"),
+            max_distance, False, f"no {key} group has {min_tasks}+ logged tasks",
+        )
+    worst_group = max(distances, key=distances.get)
+    worst = distances[worst_group]
+    return ValidationOutcome(
+        level=level,
+        claim=f"uniform task spread across {key}s",
+        statistic=float(worst),
+        threshold=max_distance,
+        passed=worst <= max_distance,
+        detail=(
+            f"worst total-variation distance {worst:.3f} at {key} "
+            f"{worst_group!r} over {len(distances)} groups"
+        ),
+    )
+
+
+@dataclass
+class ConceptualizationReport:
+    """All validation outcomes for the abstraction ladder."""
+
+    outcomes: list[ValidationOutcome]
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every validated claim held."""
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        """One line per level."""
+        lines = []
+        for outcome in self.outcomes:
+            status = "PASS" if outcome.passed else "FAIL"
+            lines.append(
+                f"Level {outcome.level} [{status}] {outcome.claim}: {outcome.detail}"
+            )
+        return "\n".join(lines)
+
+
+def conceptualize(
+    jobs: list[JobRecord], task_log: TaskLog
+) -> ConceptualizationReport:
+    """Validate Levels II–V on telemetry (the Phase I deliverable)."""
+    return ConceptualizationReport(
+        outcomes=[
+            validate_implicit_slos(jobs),
+            validate_critical_path_bias(task_log),
+            validate_uniform_task_spread(task_log, key="rack"),
+            validate_uniform_task_spread(task_log, key="sku"),
+        ]
+    )

@@ -1,0 +1,409 @@
+"""The KEA facade: one object wiring all modules of Figure 7.
+
+:class:`Kea` owns the simulated "production" environment (fleet spec, current
+YARN config, workload mix) and exposes the architecture's modules as methods:
+
+* Performance Monitor — :meth:`observe` runs production and returns telemetry;
+* Modeling — :meth:`calibrate` fits the What-if Engine, :meth:`tune_yarn_config`
+  runs the Optimizer;
+* Flighting — :meth:`flight_validate` deploys a proposal to a machine subset;
+* Deployment — :meth:`deployment_impact` measures a before/after rollout with
+  treatment effects, and :meth:`adopt` makes a config the new production
+  baseline.
+
+Every simulation draws from named, derived RNG streams, so a `Kea` instance
+is fully reproducible from its seed. ``deployment_impact`` reuses one
+workload seed for the before and after runs: the comparison measures the
+configuration change, not workload luck.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import (
+    Cluster,
+    FleetSpec,
+    build_cluster,
+    default_fleet_spec,
+    default_yarn_config,
+)
+from repro.cluster.config import YarnConfig
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
+from repro.core.whatif import WhatIfEngine
+from repro.flighting.build import YarnLimitsBuild
+from repro.flighting.flight import Flight
+from repro.flighting.tool import FlightingTool, FlightReport
+from repro.ml.huber import HuberRegressor
+from repro.ml.model import LinearModelBase
+from repro.stats.treatment import TreatmentEffect, paired_effect
+from repro.telemetry.monitor import PerformanceMonitor
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RngStreams
+from repro.workload.generator import WorkloadGenerator, estimate_jobs_per_hour
+from repro.workload.seasonality import SeasonalityProfile
+from repro.workload.template import JobTemplate, default_templates
+
+__all__ = ["Observation", "DeploymentImpact", "Kea"]
+
+
+@dataclass
+class Observation:
+    """One production observation window: cluster, telemetry, raw results."""
+
+    cluster: Cluster
+    monitor: PerformanceMonitor
+    result: SimulationResult
+    days: float
+
+
+@dataclass
+class DeploymentImpact:
+    """Before/after evaluation of a config rollout (Section 5.2.2)."""
+
+    throughput: TreatmentEffect  # on machine-day Total Data Read
+    latency: TreatmentEffect  # on machine-day average task seconds
+    capacity_before: int
+    capacity_after: int
+    benchmark_runtime_change: dict[str, float]  # per-template relative change
+
+    @property
+    def capacity_gain(self) -> float:
+        """Relative sellable-capacity change (container slots)."""
+        if self.capacity_before <= 0:
+            return 0.0
+        return (self.capacity_after - self.capacity_before) / self.capacity_before
+
+    def summary(self) -> str:
+        """The paper's deployment readout."""
+        lines = [
+            f"throughput (Total Data Read): {self.throughput.relative_effect:+.1%} "
+            f"(t={self.throughput.test.t_value:.2f})",
+            f"task latency: {self.latency.relative_effect:+.1%} "
+            f"(t={self.latency.test.t_value:.2f})",
+            f"sellable capacity: {self.capacity_gain:+.1%} "
+            f"({self.capacity_before} → {self.capacity_after} containers)",
+        ]
+        if self.benchmark_runtime_change:
+            mean_change = float(np.mean(list(self.benchmark_runtime_change.values())))
+            lines.append(f"benchmark job runtime: {mean_change:+.1%} on average")
+        return "\n".join(lines)
+
+
+class Kea:
+    """KEA wired to a simulated Cosmos-like production environment."""
+
+    def __init__(
+        self,
+        fleet_spec: FleetSpec,
+        yarn_config: YarnConfig | None = None,
+        templates: tuple[JobTemplate, ...] | None = None,
+        seasonality: SeasonalityProfile | None = None,
+        jobs_per_hour: float | None = None,
+        seed: int = 0,
+        mean_task_duration_hint_s: float = 420.0,
+        target_occupancy: float = 0.62,
+    ):
+        self.fleet_spec = fleet_spec
+        self.current_config = (
+            yarn_config.copy() if yarn_config is not None else default_yarn_config()
+        )
+        self.templates = templates if templates is not None else default_templates()
+        self.seasonality = (
+            seasonality if seasonality is not None else SeasonalityProfile()
+        )
+        self.streams = RngStreams(seed)
+        self._run_counter = 0
+        if jobs_per_hour is None:
+            reference = build_cluster(fleet_spec, self.current_config.copy())
+            jobs_per_hour = estimate_jobs_per_hour(
+                reference.total_container_slots,
+                target_occupancy,
+                self.templates,
+                mean_task_duration_s=mean_task_duration_hint_s,
+            )
+        self.jobs_per_hour = jobs_per_hour
+
+    @classmethod
+    def default(cls, seed: int = 0, scale: float = 1.0, **kwargs) -> "Kea":
+        """A KEA instance over the default Figure 2-shaped fleet."""
+        return cls(fleet_spec=default_fleet_spec(scale=scale), seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Production environment
+    # ------------------------------------------------------------------
+    def build_cluster(self, config: YarnConfig | None = None) -> Cluster:
+        """A fresh cluster materialized with the given (default: current) config."""
+        chosen = config if config is not None else self.current_config
+        return build_cluster(self.fleet_spec, chosen.copy())
+
+    def _next_streams(self, tag: str, reuse_tag: str | None = None) -> RngStreams:
+        if reuse_tag is not None:
+            return self.streams.spawn(reuse_tag)
+        self._run_counter += 1
+        return self.streams.spawn(f"{tag}-{self._run_counter}")
+
+    def simulate(
+        self,
+        days: float,
+        config: YarnConfig | None = None,
+        sim_config: SimulationConfig | None = None,
+        benchmark_period_hours: float = 0.0,
+        workload_tag: str | None = None,
+        load_multiplier: float = 1.0,
+        actions: Callable[[ClusterSimulator], None] | None = None,
+    ) -> Observation:
+        """Run one production window and return its telemetry.
+
+        ``workload_tag`` pins the workload RNG so two runs (e.g. before/after
+        a config change) see the identical arrival sequence. ``actions`` may
+        register scheduled actions on the simulator before it runs.
+        """
+        if days <= 0:
+            raise ConfigurationError("days must be positive")
+        cluster = self.build_cluster(config)
+        streams = self._next_streams("run", reuse_tag=workload_tag)
+        generator = WorkloadGenerator(
+            self.templates,
+            jobs_per_hour=self.jobs_per_hour * load_multiplier,
+            seasonality=self.seasonality,
+            streams=streams.spawn("workload"),
+            benchmark_period_hours=benchmark_period_hours,
+        )
+        workload = generator.generate(days * 24.0)
+        simulator = ClusterSimulator(
+            cluster,
+            workload,
+            streams=streams.spawn("sim"),
+            config=sim_config if sim_config is not None else SimulationConfig(),
+        )
+        if actions is not None:
+            actions(simulator)
+        result = simulator.run(days * 24.0)
+        return Observation(
+            cluster=cluster,
+            monitor=PerformanceMonitor(result.records),
+            result=result,
+            days=days,
+        )
+
+    def observe(self, days: float = 3.0, **kwargs) -> Observation:
+        """Performance-Monitor entry point: observe current production."""
+        return self.simulate(days, config=self.current_config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Modeling + optimization
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        monitor: PerformanceMonitor,
+        model_factory: Callable[[], LinearModelBase] = HuberRegressor,
+    ) -> WhatIfEngine:
+        """Fit the What-if Engine on observed telemetry."""
+        engine = WhatIfEngine(model_factory=model_factory)
+        engine.calibrate(monitor)
+        return engine
+
+    def tune_yarn_config(
+        self,
+        observation: Observation | None = None,
+        engine: WhatIfEngine | None = None,
+        **tuner_kwargs,
+    ) -> YarnTuningResult:
+        """Observational tuning of max running containers (Section 5.2)."""
+        if observation is None:
+            observation = self.observe()
+        if engine is None:
+            engine = self.calibrate(observation.monitor)
+        tuner = YarnConfigTuner(engine, **tuner_kwargs)
+        return tuner.tune(observation.cluster)
+
+    # ------------------------------------------------------------------
+    # Flighting + deployment
+    # ------------------------------------------------------------------
+    def flight_validate(
+        self,
+        tuning: YarnTuningResult,
+        hours: float = 24.0,
+        machines_per_group: int = 8,
+        metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization"),
+        load_multiplier: float = 1.6,
+    ) -> list[FlightReport]:
+        """Pilot flights: verify the new limits actually move the direct metrics.
+
+        Mirrors the paper's first pilot flights, which confirmed that changing
+        ``max_num_running_containers`` changes observed running containers.
+        Flights run in the demand-bound regime (``load_multiplier`` > 1): a
+        raised limit can only show up in *observed* running containers when
+        there is queued work ready to fill the new slots.
+        """
+        reports: list[FlightReport] = []
+        cluster = self.build_cluster()
+        by_group = cluster.machines_by_group()
+
+        flights: list[Flight] = []
+        for key, delta in sorted(tuning.config_deltas.items()):
+            group_machines = by_group.get(key, [])
+            # Flight at most half the group: the other half is the control.
+            n_flighted = min(machines_per_group, len(group_machines) // 2)
+            machines = group_machines[:n_flighted]
+            if len(machines) < 2:
+                continue
+            new_limit = (
+                cluster.yarn_config.for_group(key).max_running_containers + delta
+            )
+            flights.append(
+                Flight(
+                    name=f"pilot-{key.label}-{delta:+d}",
+                    build=YarnLimitsBuild(max_running_containers=new_limit),
+                    machines=machines,
+                    start_hour=0.0,
+                    end_hour=hours,
+                )
+            )
+        if not flights:
+            return reports
+
+        def register(sim: ClusterSimulator) -> None:
+            tool = FlightingTool(sim)
+            for flight in flights:
+                tool.add_flight(flight)
+
+        # Run the flights against a demand-bound window on this cluster.
+        streams = self._next_streams("flight")
+        generator = WorkloadGenerator(
+            self.templates,
+            jobs_per_hour=self.jobs_per_hour * load_multiplier,
+            seasonality=self.seasonality,
+            streams=streams.spawn("workload"),
+        )
+        workload = generator.generate(hours)
+        simulator = ClusterSimulator(cluster, workload, streams=streams.spawn("sim"))
+        register(simulator)
+        result = simulator.run(hours)
+        monitor = PerformanceMonitor(result.records)
+        tool = FlightingTool(simulator)
+        for flight in flights:
+            reports.append(tool.evaluate(flight, monitor, metrics=metrics))
+        return reports
+
+    def deployment_impact(
+        self,
+        proposed: YarnConfig,
+        days: float = 2.0,
+        benchmark_period_hours: float = 6.0,
+        load_multiplier: float = 1.6,
+    ) -> DeploymentImpact:
+        """Before/after rollout evaluation with treatment effects (§5.2.2).
+
+        Both runs replay the identical workload arrival sequence, so the
+        paired per-machine effects isolate the configuration change. The
+        default ``load_multiplier`` pushes the cluster into the demand-bound
+        regime Cosmos operates in (there is always queued work), where extra
+        well-placed containers convert into throughput.
+        """
+        tag = f"deploy-{self._run_counter}"
+        before = self.simulate(
+            days,
+            config=self.current_config,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+        )
+        after = self.simulate(
+            days,
+            config=proposed,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+        )
+
+        def paired_machine_day(field: str) -> tuple[np.ndarray, np.ndarray]:
+            before_vals = {
+                (a.machine_id, a.day): getattr(a, field)
+                for a in before.monitor.daily_aggregates()
+            }
+            after_vals = {
+                (a.machine_id, a.day): getattr(a, field)
+                for a in after.monitor.daily_aggregates()
+            }
+            keys = sorted(set(before_vals) & set(after_vals))
+            return (
+                np.array([before_vals[k] for k in keys]),
+                np.array([after_vals[k] for k in keys]),
+            )
+
+        throughput = paired_effect(*paired_machine_day("total_data_read_bytes"))
+        latency = paired_effect(*paired_machine_day("avg_task_seconds"))
+
+        benchmark_change: dict[str, float] = {}
+        before_bench = _benchmark_runtimes(before)
+        after_bench = _benchmark_runtimes(after)
+        for template in sorted(set(before_bench) & set(after_bench)):
+            b = float(np.mean(before_bench[template]))
+            a = float(np.mean(after_bench[template]))
+            if b > 0:
+                benchmark_change[template] = (a - b) / b
+
+        return DeploymentImpact(
+            throughput=throughput,
+            latency=latency,
+            capacity_before=before.cluster.total_container_slots,
+            capacity_after=after.cluster.total_container_slots,
+            benchmark_runtime_change=benchmark_change,
+        )
+
+    def benchmark_impact(
+        self,
+        proposed: YarnConfig,
+        days: float = 1.0,
+        benchmark_period_hours: float = 3.0,
+        load_multiplier: float = 1.0,
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Before/after runtimes of the benchmark jobs (Figure 11).
+
+        Returns, per benchmark template, the (before, after) runtime arrays —
+        ready for ECDF plotting and mean-change computation. Runs at normal
+        production load by default: job runtimes at deep saturation are
+        dominated by queueing noise, which is not what Figure 11 measures.
+        """
+        tag = f"bench-{self._run_counter}"
+        before = self.simulate(
+            days,
+            config=self.current_config,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+        )
+        after = self.simulate(
+            days,
+            config=proposed,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+        )
+        before_runs = _benchmark_runtimes(before)
+        after_runs = _benchmark_runtimes(after)
+        return {
+            template: (
+                np.asarray(before_runs[template]),
+                np.asarray(after_runs[template]),
+            )
+            for template in sorted(set(before_runs) & set(after_runs))
+        }
+
+    def adopt(self, config: YarnConfig) -> None:
+        """Make ``config`` the production baseline for subsequent runs."""
+        self.current_config = config.copy()
+
+
+def _benchmark_runtimes(observation: Observation) -> dict[str, list[float]]:
+    runtimes: dict[str, list[float]] = {}
+    for job in observation.result.jobs:
+        if job.is_benchmark:
+            runtimes.setdefault(job.template, []).append(job.runtime)
+    return runtimes

@@ -1,0 +1,143 @@
+"""The three-phase KEA methodology (Section 3, Figure 3), as a workflow object.
+
+A :class:`KeaProject` walks a tuning project through:
+
+* **Phase I — Fact finding & system conceptualization**: record objectives,
+  controllable configurations, constraints; validate the abstraction ladder
+  on telemetry.
+* **Phase II — Modeling & optimization**: calibrate the What-if Engine and
+  run the application's optimizer.
+* **Phase III — Deployment**: flighting for validation, then (simulated)
+  production rollout.
+
+The object is deliberately a *ledger*: each phase records its artifacts, the
+project refuses to skip ahead, and ``to_markdown`` renders the whole history
+— mirroring how the paper's DS/DX collaboration produces auditable outputs at
+every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.conceptualization import ConceptualizationReport
+from repro.core.whatif import CalibrationReport
+from repro.utils.errors import ConfigurationError
+
+__all__ = ["Phase", "ProjectCharter", "KeaProject"]
+
+
+class Phase(Enum):
+    """Methodology phases in order."""
+
+    FACT_FINDING = 1
+    MODELING = 2
+    DEPLOYMENT = 3
+    COMPLETE = 4
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectCharter:
+    """The Phase I agreement between data scientists and domain experts."""
+
+    name: str
+    objective: str
+    controllable_configurations: tuple[str, ...]
+    constraints: tuple[str, ...]
+    tuning_approach: str  # "observational" | "hypothetical" | "experimental"
+
+    def __post_init__(self) -> None:
+        if self.tuning_approach not in ("observational", "hypothetical", "experimental"):
+            raise ConfigurationError(
+                f"unknown tuning approach {self.tuning_approach!r}"
+            )
+        if not self.controllable_configurations:
+            raise ConfigurationError("a project needs at least one controllable config")
+
+
+@dataclass
+class KeaProject:
+    """A tuning project's phase ledger."""
+
+    charter: ProjectCharter
+    phase: Phase = Phase.FACT_FINDING
+    conceptualization: ConceptualizationReport | None = None
+    calibration: CalibrationReport | None = None
+    optimization_summary: str | None = None
+    flighting_notes: list[str] = field(default_factory=list)
+    deployment_summary: str | None = None
+
+    # ------------------------------------------------------------------
+    # Phase transitions
+    # ------------------------------------------------------------------
+    def complete_fact_finding(self, report: ConceptualizationReport) -> None:
+        """Close Phase I with a validated conceptualization."""
+        self._expect(Phase.FACT_FINDING)
+        self.conceptualization = report
+        self.phase = Phase.MODELING
+
+    def complete_modeling(
+        self, calibration: CalibrationReport, optimization_summary: str
+    ) -> None:
+        """Close Phase II with calibrated models and the optimizer's output."""
+        self._expect(Phase.MODELING)
+        self.calibration = calibration
+        self.optimization_summary = optimization_summary
+        if self.charter.tuning_approach == "hypothetical":
+            # Hypothetical tuning has no deployment (the machines don't exist).
+            self.phase = Phase.COMPLETE
+        else:
+            self.phase = Phase.DEPLOYMENT
+
+    def record_flight(self, note: str) -> None:
+        """Append a flighting observation during Phase III."""
+        self._expect(Phase.DEPLOYMENT)
+        self.flighting_notes.append(note)
+
+    def complete_deployment(self, summary: str) -> None:
+        """Close Phase III after the production rollout."""
+        self._expect(Phase.DEPLOYMENT)
+        self.deployment_summary = summary
+        self.phase = Phase.COMPLETE
+
+    def _expect(self, phase: Phase) -> None:
+        if self.phase != phase:
+            raise ConfigurationError(
+                f"project {self.charter.name!r} is in phase {self.phase.name}, "
+                f"but this step belongs to {phase.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        """Render the project ledger."""
+        lines = [
+            f"# KEA project: {self.charter.name}",
+            f"- objective: {self.charter.objective}",
+            f"- tuning approach: {self.charter.tuning_approach}",
+            f"- controllables: {', '.join(self.charter.controllable_configurations)}",
+            f"- constraints: {', '.join(self.charter.constraints) or '(none)'}",
+            f"- phase: {self.phase.name}",
+        ]
+        if self.conceptualization is not None:
+            lines += ["", "## Phase I — conceptualization",
+                      self.conceptualization.summary()]
+        if self.calibration is not None:
+            lines += [
+                "",
+                "## Phase II — modeling",
+                f"calibrated {len(self.calibration.calibrated)} relations over "
+                f"{len(self.calibration.groups())} machine groups "
+                f"(min R² {self.calibration.min_r_squared():.2f}; "
+                f"skipped: {sorted(self.calibration.skipped_groups) or 'none'})",
+            ]
+            if self.optimization_summary:
+                lines += ["", "```", self.optimization_summary, "```"]
+        if self.flighting_notes:
+            lines += ["", "## Phase III — flighting"]
+            lines += [f"- {note}" for note in self.flighting_notes]
+        if self.deployment_summary:
+            lines += ["", "## Phase III — deployment", self.deployment_summary]
+        return "\n".join(lines)

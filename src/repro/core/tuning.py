@@ -1,0 +1,175 @@
+"""The three tuning approaches (Section 4.2), as orchestrated campaigns.
+
+Each class names the Figure 7 modules it requires and runs the corresponding
+end-to-end loop against a :class:`~repro.core.kea.Kea` environment:
+
+* :class:`ObservationalTuning` — monitor → model → optimize → flight → deploy.
+  No experiments: models are fitted purely on existing operating points.
+* :class:`HypotheticalTuning` — monitor → model. No flighting, no deployment:
+  the output configures machines that do not exist yet.
+* :class:`ExperimentalTuning` — all modules, experiments included: the last
+  resort when existing telemetry cannot predict a change's effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.simulator import SimulationConfig
+from repro.core.applications.sku_design import SkuDesignResult, SkuDesignStudy
+from repro.core.applications.yarn_config import YarnTuningResult
+from repro.core.kea import DeploymentImpact, Kea
+from repro.core.whatif import WhatIfEngine
+from repro.flighting.tool import FlightReport
+
+__all__ = [
+    "ObservationalTuning",
+    "ObservationalOutcome",
+    "HypotheticalTuning",
+    "HypotheticalOutcome",
+    "ExperimentalTuning",
+]
+
+
+@dataclass
+class ObservationalOutcome:
+    """Everything an observational campaign produced."""
+
+    tuning: YarnTuningResult
+    flights: list[FlightReport]
+    impact: DeploymentImpact
+    adopted: bool
+
+    def summary(self) -> str:
+        """Campaign readout: proposal, flight count, deployment effects."""
+        lines = [
+            self.tuning.summary(),
+            "",
+            f"pilot flights run: {len(self.flights)}",
+            self.impact.summary(),
+            f"configuration adopted: {self.adopted}",
+        ]
+        return "\n".join(lines)
+
+
+class ObservationalTuning:
+    """Section 5's loop: models instead of experiments, flighting as safety."""
+
+    required_modules = ("performance_monitor", "modeling", "flighting", "deployment")
+
+    def __init__(self, kea: Kea):
+        self.kea = kea
+
+    def run(
+        self,
+        observe_days: float = 3.0,
+        flight_hours: float = 24.0,
+        deploy_days: float = 2.0,
+        latency_guard: float = 0.02,
+        **tuner_kwargs,
+    ) -> ObservationalOutcome:
+        """Full campaign; adopts the config only when latency holds.
+
+        ``latency_guard`` is the maximum tolerated relative latency increase
+        measured at deployment (the Level II constraint surrogate).
+        """
+        observation = self.kea.observe(days=observe_days)
+        engine = self.kea.calibrate(observation.monitor)
+        tuning = self.kea.tune_yarn_config(observation, engine, **tuner_kwargs)
+        flights = self.kea.flight_validate(tuning, hours=flight_hours)
+        impact = self.kea.deployment_impact(tuning.proposed_config, days=deploy_days)
+        adopted = impact.latency.relative_effect <= latency_guard
+        if adopted:
+            self.kea.adopt(tuning.proposed_config)
+        return ObservationalOutcome(
+            tuning=tuning, flights=flights, impact=impact, adopted=adopted
+        )
+
+
+@dataclass
+class HypotheticalOutcome:
+    """A future-planning result (no deployment by construction)."""
+
+    design: SkuDesignResult
+    engine: WhatIfEngine | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+class HypotheticalTuning:
+    """Section 6's loop: model existing telemetry, plan future machines."""
+
+    required_modules = ("performance_monitor", "modeling")
+
+    def __init__(self, kea: Kea):
+        self.kea = kea
+
+    def run_sku_design(
+        self,
+        observe_days: float = 1.0,
+        sample_sku: str = "Gen 4.1",
+        sample_period_s: float = 60.0,
+        sample_machines: int = 40,
+        n_cores: int = 128,
+        ram_candidates_gb: list[float] | None = None,
+        ssd_candidates_gb: list[float] | None = None,
+        study: SkuDesignStudy | None = None,
+    ) -> HypotheticalOutcome:
+        """Observe fine-grained resource usage, then sweep (RAM, SSD) designs."""
+        observation = self.kea.observe(
+            days=observe_days,
+            sim_config=SimulationConfig(
+                resource_sample_period_s=sample_period_s,
+                resource_sample_machines=sample_machines,
+                resource_sample_sku=sample_sku,
+            ),
+        )
+        study = study if study is not None else SkuDesignStudy()
+        study.fit_usage(observation.result.resource_samples)
+        if ram_candidates_gb is None:
+            ram_candidates_gb = [float(x) for x in range(64, 513, 64)]
+        if ssd_candidates_gb is None:
+            ssd_candidates_gb = [float(x) for x in range(500, 6001, 500)]
+        design = study.sweep(
+            ram_candidates_gb=ram_candidates_gb,
+            ssd_candidates_gb=ssd_candidates_gb,
+            n_cores=n_cores,
+        )
+        return HypotheticalOutcome(
+            design=design,
+            notes=[
+                f"usage fitted on {study.usage.n_samples} samples of {sample_sku}",
+                f"sweet spot: {design.best_ram_gb:.0f} GB RAM, "
+                f"{design.best_ssd_gb:.0f} GB SSD for {n_cores} cores",
+            ],
+        )
+
+
+class ExperimentalTuning:
+    """Section 7's loop: flighted experiments when prediction is impossible.
+
+    The concrete experiment drivers live in
+    :mod:`repro.core.applications.power_capping` and
+    :mod:`repro.core.applications.sc_selection`; this class exists to document
+    the module footprint and gate the decision to experiment.
+    """
+
+    required_modules = (
+        "performance_monitor",
+        "modeling",
+        "experiment",
+        "flighting",
+        "deployment",
+    )
+
+    #: Configuration kinds whose effects existing telemetry cannot predict
+    #: (Section 4.2) — the justification check for running experiments.
+    unpredictable_changes = ("software_configuration", "power_capping",
+                             "new_hardware_feature")
+
+    def __init__(self, kea: Kea):
+        self.kea = kea
+
+    @classmethod
+    def justify(cls, change_kind: str) -> bool:
+        """True when experimental tuning is warranted for this change kind."""
+        return change_kind in cls.unpredictable_changes

@@ -1,0 +1,41 @@
+"""Experiment module: designs and A/B analyses for experimental tuning."""
+
+from repro.experiment.ab import (
+    ABReport,
+    MetricComparison,
+    compare_groups,
+    compare_time_slices,
+)
+from repro.experiment.design import (
+    GroupAssignment,
+    TimeSlice,
+    hybrid_setting,
+    ideal_setting,
+    time_slicing_schedule,
+)
+from repro.experiment.power_capping import (
+    PowerCappingGroups,
+    PowerCappingOutcome,
+    analyze_power_capping,
+    apply_power_capping_groups,
+    assign_power_capping_groups,
+    revert_power_capping_groups,
+)
+
+__all__ = [
+    "ABReport",
+    "MetricComparison",
+    "compare_groups",
+    "compare_time_slices",
+    "GroupAssignment",
+    "TimeSlice",
+    "hybrid_setting",
+    "ideal_setting",
+    "time_slicing_schedule",
+    "PowerCappingGroups",
+    "PowerCappingOutcome",
+    "analyze_power_capping",
+    "apply_power_capping_groups",
+    "assign_power_capping_groups",
+    "revert_power_capping_groups",
+]

@@ -1,0 +1,152 @@
+"""Experiment designs: ideal, time-slicing, and hybrid settings (Section 7).
+
+* **Ideal**: control and experiment machines interleaved within the same
+  racks ("choosing every other machine in the same rack"), so both groups see
+  near-identical workloads, hardware age, and data placement.
+* **Time-slicing**: one machine group alternates configurations over fixed
+  windows; comparison is across time intervals. Popular but fragile —
+  workloads drift between intervals.
+* **Hybrid**: different machine groups get different configurations; requires
+  matched groups, long windows, and load-insensitive (normalized) metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine
+from repro.utils.errors import ExperimentError
+
+__all__ = [
+    "GroupAssignment",
+    "ideal_setting",
+    "TimeSlice",
+    "time_slicing_schedule",
+    "hybrid_setting",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupAssignment:
+    """Control/experiment machine assignment."""
+
+    control: list[Machine]
+    experiment: list[Machine]
+
+    @property
+    def control_ids(self) -> set[int]:
+        """Machine ids of the control group."""
+        return {m.machine_id for m in self.control}
+
+    @property
+    def experiment_ids(self) -> set[int]:
+        """Machine ids of the experiment group."""
+        return {m.machine_id for m in self.experiment}
+
+
+def ideal_setting(cluster: Cluster, racks: list[int]) -> GroupAssignment:
+    """Alternate machines within each selected rack into control/experiment.
+
+    Validates the racks are homogeneous (same SKU and software) — otherwise
+    interleaving would not control hardware.
+    """
+    if not racks:
+        raise ExperimentError("ideal setting needs at least one rack")
+    control: list[Machine] = []
+    experiment: list[Machine] = []
+    for rack in racks:
+        machines = cluster.machines_in_rack(rack)
+        if len(machines) < 2:
+            raise ExperimentError(f"rack {rack} has fewer than 2 machines")
+        groups = {m.group_key for m in machines}
+        if len(groups) != 1:
+            raise ExperimentError(
+                f"rack {rack} is heterogeneous ({[g.label for g in groups]}); "
+                "the ideal setting requires homogeneous racks"
+            )
+        for index, machine in enumerate(machines):
+            (control if index % 2 == 0 else experiment).append(machine)
+    return GroupAssignment(control=control, experiment=experiment)
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSlice:
+    """One window of a time-slicing schedule."""
+
+    start_hour: float
+    end_hour: float
+    variant: str  # "control" | "experiment"
+
+
+def time_slicing_schedule(
+    duration_hours: float,
+    interval_hours: float = 5.0,
+    start_variant: str = "control",
+) -> list[TimeSlice]:
+    """Alternate variants every ``interval_hours`` over the duration.
+
+    The paper notes a 5-hour interval is chosen "instead of 24 hours to avoid
+    day of week effects" — an interval that divides 24 evenly would pin each
+    variant to fixed hours of the day.
+    """
+    if duration_hours <= 0 or interval_hours <= 0:
+        raise ExperimentError("durations must be positive")
+    if start_variant not in ("control", "experiment"):
+        raise ExperimentError("start_variant must be 'control' or 'experiment'")
+    slices: list[TimeSlice] = []
+    variant = start_variant
+    start = 0.0
+    while start < duration_hours:
+        end = min(start + interval_hours, duration_hours)
+        slices.append(TimeSlice(start_hour=start, end_hour=end, variant=variant))
+        variant = "experiment" if variant == "control" else "control"
+        start = end
+    return slices
+
+
+def hybrid_setting(
+    cluster: Cluster,
+    sku: str,
+    group_size: int,
+    n_groups: int = 2,
+    software: str | None = None,
+) -> list[list[Machine]]:
+    """Build ``n_groups`` matched machine groups of one SKU (hybrid setting).
+
+    Whole *chassis* are dealt round-robin across groups: power capping acts
+    at chassis granularity (Section 7.2: "all machines in the same chassis
+    have to be capped at the same level"), so groups must never share a
+    chassis — otherwise capping one group contaminates the others' baselines.
+    Dealing chassis cyclically still interleaves groups across racks, keeping
+    their hardware/placement composition matched.
+    """
+    if group_size < 1 or n_groups < 2:
+        raise ExperimentError("need group_size >= 1 and n_groups >= 2")
+    candidates = [
+        m
+        for m in cluster.machines
+        if m.sku.name == sku and (software is None or m.software.name == software)
+    ]
+    needed = group_size * n_groups
+    if len(candidates) < needed:
+        raise ExperimentError(
+            f"not enough {sku} machines for {n_groups} groups of {group_size} "
+            f"(have {len(candidates)}, need {needed})"
+        )
+    chassis_buckets: dict[int, list[Machine]] = {}
+    for machine in sorted(candidates, key=lambda m: (m.chassis, m.machine_id)):
+        chassis_buckets.setdefault(machine.chassis, []).append(machine)
+    groups: list[list[Machine]] = [[] for _ in range(n_groups)]
+    for index, chassis in enumerate(sorted(chassis_buckets)):
+        target = groups[index % n_groups]
+        if len(target) < group_size:
+            target.extend(chassis_buckets[chassis])
+    short = [i for i, group in enumerate(groups) if len(group) < group_size]
+    if short:
+        raise ExperimentError(
+            f"cannot build {n_groups} chassis-aligned groups of {group_size} "
+            f"{sku} machines; groups {short} came up short — lower group_size "
+            "or grow the fleet"
+        )
+    return [group[:group_size] for group in groups]

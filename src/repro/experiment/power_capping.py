@@ -1,0 +1,135 @@
+"""The four-group power-capping experiment design (Section 7.2).
+
+For each capping level, four matched machine groups of one SKU run
+simultaneously:
+
+* **Group A** — no capping, Feature off (the baseline of Figure 15)
+* **Group B** — no capping, Feature on
+* **Group C** — capping, Feature off ("Capping" bars)
+* **Group D** — capping, Feature on ("Feature + Capping" bars)
+
+The analysis benchmarks every group against Group A on the normalized,
+load-insensitive metrics Bytes per CPU Time and Bytes per Second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine
+from repro.experiment.design import hybrid_setting
+from repro.flighting.build import FeatureBuild, PowerCapBuild
+from repro.telemetry.monitor import PerformanceMonitor
+from repro.utils.errors import ExperimentError
+
+__all__ = ["PowerCappingGroups", "PowerCappingOutcome", "assign_power_capping_groups",
+           "apply_power_capping_groups", "analyze_power_capping"]
+
+GROUP_NAMES = ("A", "B", "C", "D")
+
+
+@dataclass
+class PowerCappingGroups:
+    """The four matched groups of one capping round."""
+
+    sku: str
+    capping_level: float
+    groups: dict[str, list[Machine]]
+
+    def ids(self, name: str) -> set[int]:
+        """Machine ids of one group."""
+        return {m.machine_id for m in self.groups[name]}
+
+
+@dataclass(frozen=True, slots=True)
+class PowerCappingOutcome:
+    """Per-group impact vs Group A on one metric, for one capping level."""
+
+    metric: str
+    capping_level: float
+    baseline_mean: float
+    impact_by_group: dict[str, float]  # relative change vs group A
+
+
+def assign_power_capping_groups(
+    cluster: Cluster, sku: str, group_size: int, capping_level: float
+) -> PowerCappingGroups:
+    """Select four matched groups of ``sku`` machines (Feature-capable SKUs only)."""
+    groups = hybrid_setting(cluster, sku=sku, group_size=group_size, n_groups=4)
+    sample = groups[0][0]
+    if not sample.sku.feature_capable:
+        raise ExperimentError(
+            f"SKU {sku} does not support the processor Feature; "
+            "pick a Gen 4.x SKU for the power-capping experiment"
+        )
+    return PowerCappingGroups(
+        sku=sku,
+        capping_level=capping_level,
+        groups=dict(zip(GROUP_NAMES, groups)),
+    )
+
+
+def apply_power_capping_groups(
+    cluster: Cluster, assignment: PowerCappingGroups
+) -> list[object]:
+    """Apply caps/Feature per group; returns the builds (for later revert)."""
+    builds: list[object] = []
+    feature_on_b = FeatureBuild(enabled=True)
+    feature_on_b.apply(cluster, assignment.groups["B"])
+    builds.append((feature_on_b, assignment.groups["B"]))
+
+    cap_c = PowerCapBuild(capping_level=assignment.capping_level)
+    cap_c.apply(cluster, assignment.groups["C"])
+    builds.append((cap_c, assignment.groups["C"]))
+
+    cap_d = PowerCapBuild(capping_level=assignment.capping_level)
+    cap_d.apply(cluster, assignment.groups["D"])
+    builds.append((cap_d, assignment.groups["D"]))
+    feature_on_d = FeatureBuild(enabled=True)
+    feature_on_d.apply(cluster, assignment.groups["D"])
+    builds.append((feature_on_d, assignment.groups["D"]))
+    return builds
+
+
+def revert_power_capping_groups(cluster: Cluster, builds: list[object]) -> None:
+    """Undo :func:`apply_power_capping_groups`."""
+    for build, machines in reversed(builds):
+        build.revert(cluster, machines)
+
+
+def analyze_power_capping(
+    monitor: PerformanceMonitor,
+    assignment: PowerCappingGroups,
+    metrics: tuple[str, ...] = ("BytesPerCpuTime", "BytesPerSecond"),
+    hour_range: tuple[int, int] | None = None,
+) -> list[PowerCappingOutcome]:
+    """Benchmark groups B/C/D against the uncapped, Feature-off Group A."""
+    base = monitor if hour_range is None else monitor.filter(hour_range=hour_range)
+    outcomes = []
+    for metric in metrics:
+        group_means: dict[str, float] = {}
+        for name in GROUP_NAMES:
+            records = base.filter(machine_ids=assignment.ids(name))
+            if len(records) < 2:
+                raise ExperimentError(
+                    f"power capping group {name} has too little telemetry"
+                )
+            group_means[name] = float(np.mean(records.metric(metric)))
+        baseline = group_means["A"]
+        if baseline <= 0:
+            raise ExperimentError(f"group A produced no signal for {metric}")
+        outcomes.append(
+            PowerCappingOutcome(
+                metric=metric,
+                capping_level=assignment.capping_level,
+                baseline_mean=baseline,
+                impact_by_group={
+                    name: (group_means[name] - baseline) / baseline
+                    for name in GROUP_NAMES
+                },
+            )
+        )
+    return outcomes

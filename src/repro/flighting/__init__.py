@@ -1,0 +1,31 @@
+"""Flighting & deployment: safe configuration changes in "production"."""
+
+from repro.flighting.build import (
+    ConfigBuild,
+    FeatureBuild,
+    PowerCapBuild,
+    SoftwareBuild,
+    YarnLimitsBuild,
+)
+from repro.flighting.deployment import DeploymentModule, RolloutPlan, RolloutWave
+from repro.flighting.flight import Flight
+from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
+from repro.flighting.tool import FlightImpact, FlightingTool, FlightReport
+
+__all__ = [
+    "ConfigBuild",
+    "FeatureBuild",
+    "PowerCapBuild",
+    "SoftwareBuild",
+    "YarnLimitsBuild",
+    "DeploymentModule",
+    "RolloutPlan",
+    "RolloutWave",
+    "Flight",
+    "GateVerdict",
+    "LatencyRegressionGate",
+    "SafetyGate",
+    "FlightImpact",
+    "FlightingTool",
+    "FlightReport",
+]

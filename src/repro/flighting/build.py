@@ -1,0 +1,147 @@
+"""Configuration "builds" that a flight can deploy to machines.
+
+In the paper's flighting tool, operators "create new builds to deploy to the
+selected machines" (Section 4.1). A build here is a reversible configuration
+change scoped to a machine subset: YARN limits, software configuration,
+power caps, or the processor Feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import GroupLimits
+from repro.cluster.machine import Machine
+from repro.cluster.power import cap_watts_for_level
+from repro.cluster.software import SOFTWARE_CONFIGS
+
+__all__ = [
+    "ConfigBuild",
+    "YarnLimitsBuild",
+    "SoftwareBuild",
+    "PowerCapBuild",
+    "FeatureBuild",
+]
+
+
+class ConfigBuild:
+    """A reversible configuration change applied to specific machines."""
+
+    name = "noop"
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        """Apply the build to ``machines``."""
+        raise NotImplementedError
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        """Undo the build on ``machines``."""
+        raise NotImplementedError
+
+
+@dataclass
+class YarnLimitsBuild(ConfigBuild):
+    """Override ``max_running_containers`` (and optionally queue bound)."""
+
+    max_running_containers: int
+    max_queued_containers: int | None = None
+    name: str = "yarn-limits"
+
+    def __post_init__(self) -> None:
+        self._saved: dict[int, GroupLimits] = {}
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            self._saved[machine.machine_id] = GroupLimits(
+                max_running_containers=machine.max_running_containers,
+                max_queued_containers=machine.max_queued_containers,
+            )
+            queued = (
+                self.max_queued_containers
+                if self.max_queued_containers is not None
+                else machine.max_queued_containers
+            )
+            machine.apply_limits(
+                GroupLimits(
+                    max_running_containers=self.max_running_containers,
+                    max_queued_containers=queued,
+                )
+            )
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            saved = self._saved.get(machine.machine_id)
+            if saved is not None:
+                machine.apply_limits(saved)
+
+
+@dataclass
+class SoftwareBuild(ConfigBuild):
+    """Re-image machines with another software configuration (SC1 ↔ SC2)."""
+
+    software_name: str
+    name: str = "software"
+
+    def __post_init__(self) -> None:
+        if self.software_name not in SOFTWARE_CONFIGS:
+            raise ValueError(f"unknown software configuration {self.software_name!r}")
+        self._saved: dict[int, str] = {}
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        target = SOFTWARE_CONFIGS[self.software_name]
+        for machine in machines:
+            self._saved[machine.machine_id] = machine.software.name
+            machine.software = target
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            previous = self._saved.get(machine.machine_id)
+            if previous is not None:
+                machine.software = SOFTWARE_CONFIGS[previous]
+
+
+@dataclass
+class PowerCapBuild(ConfigBuild):
+    """Cap machines a fraction below their provisioned power (chassis-wide)."""
+
+    capping_level: float
+    name: str = "power-cap"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.capping_level < 1.0:
+            raise ValueError("capping_level must be in [0, 1)")
+        self._saved: dict[int, float | None] = {}
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        chassis = {m.chassis for m in machines}
+        for machine in cluster.machines:
+            if machine.chassis in chassis:
+                self._saved[machine.machine_id] = machine.cap_watts
+                machine.cap_watts = cap_watts_for_level(machine.sku, self.capping_level)
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in cluster.machines:
+            if machine.machine_id in self._saved:
+                machine.cap_watts = self._saved[machine.machine_id]
+
+
+@dataclass
+class FeatureBuild(ConfigBuild):
+    """Toggle the processor Feature on capable machines."""
+
+    enabled: bool
+    name: str = "feature"
+
+    def __post_init__(self) -> None:
+        self._saved: dict[int, bool] = {}
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            if machine.sku.feature_capable:
+                self._saved[machine.machine_id] = machine.feature_enabled
+                machine.feature_enabled = self.enabled
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            if machine.machine_id in self._saved:
+                machine.feature_enabled = self._saved[machine.machine_id]

@@ -1,0 +1,157 @@
+"""The Deployment Module: conservative, progressive production roll-outs.
+
+Section 2: "changes must be rolled-out progressively across the fleet,
+mistakes are costly as performance may crater." Section 5.2.2: "The
+production roll-out process is very conservative where we only modify the
+configuration by a small margin, i.e. decrease or increase the maximum
+running containers for each group of machines by one."
+
+:class:`DeploymentModule` rolls a target YARN config out sub-cluster by
+sub-cluster, clamping per-group deltas to ``max_step`` containers per wave,
+and evaluates a safety gate between waves (rolling back on failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.software import MachineGroupKey
+from repro.flighting.safety import SafetyGate
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import hours
+
+__all__ = ["RolloutPlan", "RolloutWave", "DeploymentModule"]
+
+
+@dataclass(frozen=True, slots=True)
+class RolloutWave:
+    """One wave: the sub-clusters receiving the config at ``start_hour``."""
+
+    start_hour: float
+    subclusters: tuple[int, ...]
+
+
+@dataclass
+class RolloutPlan:
+    """A progressive rollout schedule for a target configuration."""
+
+    target: YarnConfig
+    waves: list[RolloutWave] = field(default_factory=list)
+
+    def validate(self, cluster: Cluster) -> None:
+        """Check waves cover every sub-cluster exactly once, in time order."""
+        covered: list[int] = []
+        last_start = -1.0
+        for wave in self.waves:
+            if wave.start_hour <= last_start:
+                raise ConfigurationError("rollout waves must be strictly ordered in time")
+            last_start = wave.start_hour
+            covered.extend(wave.subclusters)
+        expected = {m.subcluster for m in cluster.machines}
+        if sorted(covered) != sorted(expected) or len(covered) != len(set(covered)):
+            raise ConfigurationError(
+                f"rollout waves must cover each sub-cluster exactly once; "
+                f"got {sorted(covered)}, expected {sorted(expected)}"
+            )
+
+
+class DeploymentModule:
+    """Applies a target config progressively, honoring the ±`max_step` rule."""
+
+    def __init__(self, cluster: Cluster, max_step: int = 1):
+        if max_step < 1:
+            raise ConfigurationError("max_step must be >= 1")
+        self.cluster = cluster
+        self.max_step = max_step
+        self.deployed_subclusters: set[int] = set()
+        self.rolled_back = False
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def clamp_to_step(self, target: YarnConfig) -> YarnConfig:
+        """Clamp per-group container changes to ±``max_step`` vs current."""
+        current = self.cluster.yarn_config
+        clamped = current.copy()
+        for key, limits in target.limits.items():
+            now = current.for_group(key).max_running_containers
+            desired = limits.max_running_containers
+            step = max(-self.max_step, min(self.max_step, desired - now))
+            clamped.limits[key] = GroupLimits(
+                max_running_containers=now + step,
+                max_queued_containers=limits.max_queued_containers,
+            )
+        return clamped
+
+    def staged_plan(
+        self, target: YarnConfig, start_hour: float, wave_gap_hours: float
+    ) -> RolloutPlan:
+        """One wave per sub-cluster, ``wave_gap_hours`` apart."""
+        if wave_gap_hours <= 0:
+            raise ConfigurationError("wave_gap_hours must be positive")
+        subclusters = sorted({m.subcluster for m in self.cluster.machines})
+        waves = [
+            RolloutWave(start_hour=start_hour + i * wave_gap_hours, subclusters=(sc,))
+            for i, sc in enumerate(subclusters)
+        ]
+        plan = RolloutPlan(target=self.clamp_to_step(target), waves=waves)
+        plan.validate(self.cluster)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution on a simulator
+    # ------------------------------------------------------------------
+    def schedule_rollout(
+        self,
+        simulator: ClusterSimulator,
+        plan: RolloutPlan,
+        gate: SafetyGate | None = None,
+    ) -> None:
+        """Register the rollout's waves as simulator actions.
+
+        When ``gate`` is given, it is evaluated just before each wave after
+        the first; a failing gate cancels remaining waves and reverts the
+        already-deployed sub-clusters to the pre-rollout config.
+        """
+        plan.validate(self.cluster)
+        original = self.cluster.yarn_config.copy()
+
+        def wave_action(wave: RolloutWave):
+            def action(sim: ClusterSimulator) -> None:
+                if self.rolled_back:
+                    return
+                if gate is not None and self.deployed_subclusters:
+                    verdict = gate.evaluate(sim)
+                    if not verdict.passed:
+                        self._revert(sim, original)
+                        return
+                self._apply_to_subclusters(sim, plan.target, wave.subclusters)
+
+            return action
+
+        for wave in plan.waves:
+            simulator.schedule_action(hours(wave.start_hour), wave_action(wave))
+
+    def _apply_to_subclusters(
+        self, sim: ClusterSimulator, target: YarnConfig, subclusters: tuple[int, ...]
+    ) -> None:
+        selected = set(subclusters)
+        for machine in self.cluster.machines:
+            if machine.subcluster in selected:
+                machine.advance(sim.now)
+                machine.apply_limits(target.for_group(machine.group_key))
+                sim._drain_queue(machine)
+                sim.scheduler.refresh_machine(machine)
+        self.deployed_subclusters |= selected
+
+    def _revert(self, sim: ClusterSimulator, original: YarnConfig) -> None:
+        for machine in self.cluster.machines:
+            if machine.subcluster in self.deployed_subclusters:
+                machine.advance(sim.now)
+                machine.apply_limits(original.for_group(machine.group_key))
+                sim._drain_queue(machine)
+                sim.scheduler.refresh_machine(machine)
+        self.rolled_back = True

@@ -1,0 +1,69 @@
+"""Flights: deploying a build to named machines for a time window.
+
+Mirrors the paper's internal flighting tool (Section 4.1): "users can specify
+the machine names and the starting/ending time of each flighting and create
+new builds to deploy to the selected machines."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Machine
+from repro.cluster.simulator import ClusterSimulator
+from repro.flighting.build import ConfigBuild
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import hours
+
+__all__ = ["Flight"]
+
+
+@dataclass
+class Flight:
+    """One flighting window: build × machines × [start, end) hours."""
+
+    name: str
+    build: ConfigBuild
+    machines: list[Machine]
+    start_hour: float
+    end_hour: float | None = None  # None = until the end of the simulation
+    applied: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ConfigurationError(f"flight {self.name!r} selects no machines")
+        if self.start_hour < 0:
+            raise ConfigurationError(f"flight {self.name!r} starts before time zero")
+        if self.end_hour is not None and self.end_hour <= self.start_hour:
+            raise ConfigurationError(
+                f"flight {self.name!r} ends at {self.end_hour}h, "
+                f"not after its start {self.start_hour}h"
+            )
+
+    @property
+    def machine_ids(self) -> set[int]:
+        """Ids of the flighted machines (for telemetry filtering)."""
+        return {m.machine_id for m in self.machines}
+
+    def schedule_on(self, simulator: ClusterSimulator) -> None:
+        """Register apply/revert actions on a simulator (before ``run``)."""
+
+        def apply_action(sim: ClusterSimulator) -> None:
+            self.build.apply(sim.cluster, self.machines)
+            self.applied = True
+            for machine in self.machines:
+                machine.advance(sim.now)
+                sim.scheduler.refresh_machine(machine)
+
+        simulator.schedule_action(hours(self.start_hour), apply_action)
+
+        if self.end_hour is not None:
+
+            def revert_action(sim: ClusterSimulator) -> None:
+                self.build.revert(sim.cluster, self.machines)
+                self.applied = False
+                for machine in self.machines:
+                    machine.advance(sim.now)
+                    sim.scheduler.refresh_machine(machine)
+
+            simulator.schedule_action(hours(self.end_hour), revert_action)

@@ -1,0 +1,79 @@
+"""Safety gates: the pre-deployment checks guarding a rollout.
+
+Flighting exists as "a safety check before performing the full cluster
+deployment" (Section 4.1). A gate inspects recent telemetry mid-simulation
+and decides whether the rollout may proceed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.telemetry.monitor import PerformanceMonitor
+
+__all__ = ["GateVerdict", "SafetyGate", "LatencyRegressionGate"]
+
+
+@dataclass(frozen=True, slots=True)
+class GateVerdict:
+    """Outcome of a safety-gate evaluation."""
+
+    passed: bool
+    reason: str
+
+
+class SafetyGate:
+    """Interface: judge whether the system is healthy enough to continue."""
+
+    def evaluate(self, simulator: ClusterSimulator) -> GateVerdict:
+        """Inspect the simulator's telemetry so far and return a verdict."""
+        raise NotImplementedError
+
+
+class LatencyRegressionGate(SafetyGate):
+    """Fail when recent cluster task latency regresses past an allowance.
+
+    Compares mean task latency in the last ``window_hours`` against the first
+    ``window_hours`` of the run (the pre-change baseline). This encodes the
+    paper's job-level constraint surrogate: new config must not be worse than
+    the old one on task latency (Section 3.2, Level II/III).
+    """
+
+    def __init__(self, window_hours: int = 6, allowance: float = 0.05):
+        if window_hours < 1:
+            raise ValueError("window_hours must be >= 1")
+        if allowance < 0:
+            raise ValueError("allowance must be non-negative")
+        self.window_hours = window_hours
+        self.allowance = allowance
+
+    def evaluate(self, simulator: ClusterSimulator) -> GateVerdict:
+        monitor = PerformanceMonitor(simulator.result.records)
+        if not monitor.records:
+            return GateVerdict(passed=True, reason="no telemetry yet")
+        hours_seen = sorted({r.hour for r in monitor.records})
+        if len(hours_seen) < 2 * self.window_hours:
+            return GateVerdict(passed=True, reason="insufficient history for gate")
+        baseline = monitor.filter(hour_range=(hours_seen[0], hours_seen[0] + self.window_hours))
+        recent = monitor.filter(
+            hour_range=(hours_seen[-1] - self.window_hours + 1, hours_seen[-1] + 1)
+        )
+        base_latency = baseline.cluster_average_task_latency()
+        recent_latency = recent.cluster_average_task_latency()
+        if base_latency <= 0:
+            return GateVerdict(passed=True, reason="baseline latency unavailable")
+        regression = (recent_latency - base_latency) / base_latency
+        if regression > self.allowance:
+            return GateVerdict(
+                passed=False,
+                reason=(
+                    f"task latency regressed {regression:+.1%} "
+                    f"(allowance {self.allowance:+.1%})"
+                ),
+            )
+        return GateVerdict(
+            passed=True, reason=f"latency change {regression:+.1%} within allowance"
+        )

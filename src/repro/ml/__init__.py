@@ -1,0 +1,47 @@
+"""ML substrate: small, explainable regression models written from scratch.
+
+Linear models dominate by design — "Linear models are more explainable,
+which is critical for domain experts" (Section 5.1). The Huber regressor is
+the paper's calibration workhorse (Section 5.2.1).
+"""
+
+from repro.ml.huber import HuberRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.model import FitSummary, LinearModelBase
+from repro.ml.quantile import QuantileRegressor
+from repro.ml.registry import (
+    RELATION_F,
+    RELATION_G,
+    RELATION_H,
+    CalibratedRelation,
+    ModelRegistry,
+    Relation,
+)
+from repro.ml.validation import (
+    ResidualSummary,
+    mae,
+    mse,
+    r2_score,
+    residual_summary,
+    train_test_split,
+)
+
+__all__ = [
+    "HuberRegressor",
+    "LinearRegression",
+    "FitSummary",
+    "LinearModelBase",
+    "QuantileRegressor",
+    "RELATION_F",
+    "RELATION_G",
+    "RELATION_H",
+    "CalibratedRelation",
+    "ModelRegistry",
+    "Relation",
+    "ResidualSummary",
+    "mae",
+    "mse",
+    "r2_score",
+    "residual_summary",
+    "train_test_split",
+]

@@ -1,0 +1,62 @@
+"""Ordinary least-squares linear regression (1-D), from scratch.
+
+Used for the SKU-design projections of Eq. 11–12 ("we use a simple linear
+regression model") and as the non-robust comparator in the Huber-vs-OLS
+ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.model import LinearModelBase
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression(LinearModelBase):
+    """``y ≈ intercept + slope·x`` by least squares, with standard errors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.slope_stderr: float | None = None
+        self.intercept_stderr: float | None = None
+
+    def _fit_params(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        x_mean = x.mean()
+        y_mean = y.mean()
+        sxx = float(np.sum((x - x_mean) ** 2))
+        if sxx == 0.0:
+            # Degenerate design: all x identical; flat line through the mean.
+            slope, intercept = 0.0, float(y_mean)
+        else:
+            slope = float(np.sum((x - x_mean) * (y - y_mean)) / sxx)
+            intercept = float(y_mean - slope * x_mean)
+        self._compute_stderr(x, y, slope, intercept, sxx)
+        return slope, intercept
+
+    def _compute_stderr(
+        self, x: np.ndarray, y: np.ndarray, slope: float, intercept: float, sxx: float
+    ) -> None:
+        n = x.size
+        if n <= 2 or sxx == 0.0:
+            self.slope_stderr = math.inf
+            self.intercept_stderr = math.inf
+            return
+        residuals = y - (intercept + slope * x)
+        sigma_sq = float(np.sum(residuals**2)) / (n - 2)
+        self.slope_stderr = math.sqrt(sigma_sq / sxx)
+        self.intercept_stderr = math.sqrt(
+            sigma_sq * (1.0 / n + x.mean() ** 2 / sxx)
+        )
+
+    def slope_t_value(self) -> float:
+        """t statistic of the slope against zero (∞-safe)."""
+        self._require_fitted()
+        if not self.slope_stderr or math.isinf(self.slope_stderr):
+            return 0.0
+        if self.slope_stderr == 0.0:
+            return math.inf
+        return self.slope / self.slope_stderr

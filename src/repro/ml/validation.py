@@ -1,0 +1,86 @@
+"""Model validation utilities: splits, error metrics, residual checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["train_test_split", "mse", "mae", "r2_score", "ResidualSummary",
+           "residual_summary"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into (x_train, y_train, x_test, y_test)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size:
+        raise ValueError("x and y lengths differ")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = x.size
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("split leaves no training data")
+    order = rng.permutation(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination (1 for a perfect fit)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True, slots=True)
+class ResidualSummary:
+    """Quick residual diagnostics for a fitted relation."""
+
+    mean: float
+    std: float
+    max_abs: float
+    skewness: float
+
+
+def residual_summary(y_true: np.ndarray, y_pred: np.ndarray) -> ResidualSummary:
+    """Summarize residuals (mean ≈ 0 and low skew indicate a sane fit)."""
+    residuals = np.asarray(y_true, dtype=float) - np.asarray(y_pred, dtype=float)
+    std = float(residuals.std(ddof=1)) if residuals.size > 1 else 0.0
+    if std > 0:
+        skew = float(np.mean(((residuals - residuals.mean()) / std) ** 3))
+    else:
+        skew = 0.0
+    return ResidualSummary(
+        mean=float(residuals.mean()),
+        std=std,
+        max_abs=float(np.max(np.abs(residuals))),
+        skewness=skew,
+    )

@@ -1,0 +1,19 @@
+"""Optimization substrate: LP (from-scratch simplex), grids, Monte Carlo,
+and experiment-based search baselines."""
+
+from repro.optim.grid import GridPoint, GridSearchResult, grid_search
+from repro.optim.lp import LinearProgram, LpSolution
+from repro.optim.montecarlo import MonteCarloResult, estimate_expected_value
+from repro.optim.simplex import SimplexResult, simplex_solve
+
+__all__ = [
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search",
+    "LinearProgram",
+    "LpSolution",
+    "MonteCarloResult",
+    "estimate_expected_value",
+    "SimplexResult",
+    "simplex_solve",
+]

@@ -1,0 +1,24 @@
+"""Experiment-based tuning baselines (the approaches Section 8 contrasts).
+
+All baselines share the :class:`~repro.optim.baselines.base.SearchBaseline`
+interface and count objective calls — in a production setting every call is a
+flighted experiment, which is exactly why the paper prefers observational
+tuning.
+"""
+
+from repro.optim.baselines.base import Evaluation, SearchBaseline, SearchResult
+from repro.optim.baselines.bayesian import BayesianOptimization, GaussianProcess
+from repro.optim.baselines.genetic import GeneticSearch
+from repro.optim.baselines.hill_climbing import HillClimbing
+from repro.optim.baselines.random_search import RandomSearch
+
+__all__ = [
+    "Evaluation",
+    "SearchBaseline",
+    "SearchResult",
+    "BayesianOptimization",
+    "GaussianProcess",
+    "GeneticSearch",
+    "HillClimbing",
+    "RandomSearch",
+]

@@ -1,0 +1,89 @@
+"""Common interface for black-box (experiment-counting) tuning baselines.
+
+The paper's core argument against "experimental tuning" approaches (BO, RL,
+hill climbing, genetic search — Sections 1, 5, 8) is not that they cannot
+find good configurations, but that **every objective evaluation is a
+production experiment** that takes weeks and risks regressions. Each baseline
+here therefore reports how many evaluations it consumed; the ablation
+benchmark compares that against KEA's observational tuning, which needs zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Evaluation", "SearchResult", "SearchBaseline", "clip_to_bounds"]
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True, slots=True)
+class Evaluation:
+    """One (configuration, objective) probe — i.e., one would-be experiment."""
+
+    x: np.ndarray
+    value: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    best_x: np.ndarray
+    best_value: float
+    history: list[Evaluation] = field(default_factory=list)
+
+    @property
+    def n_evaluations(self) -> int:
+        """Experiments the method consumed (the paper's real cost metric)."""
+        return len(self.history)
+
+    def best_after(self, n: int) -> float:
+        """Best objective seen within the first ``n`` evaluations."""
+        if n < 1 or not self.history:
+            raise ValueError("need n >= 1 and a non-empty history")
+        return max(e.value for e in self.history[:n])
+
+
+class SearchBaseline:
+    """Base class: maximize ``objective`` over an integer/continuous box."""
+
+    name = "baseline"
+
+    def __init__(self, bounds: Sequence[tuple[float, float]], integer: bool = True,
+                 seed: int = 0):
+        if not bounds:
+            raise ValueError("bounds must be non-empty")
+        for low, high in bounds:
+            if high < low:
+                raise ValueError(f"invalid bound ({low}, {high})")
+        self.bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        self.integer = integer
+        self.rng = np.random.default_rng(seed)
+
+    # -- helpers --------------------------------------------------------
+    def _random_point(self) -> np.ndarray:
+        point = np.array(
+            [self.rng.uniform(lo, hi) for lo, hi in self.bounds], dtype=float
+        )
+        return self._snap(point)
+
+    def _snap(self, x: np.ndarray) -> np.ndarray:
+        x = clip_to_bounds(x, self.bounds)
+        if self.integer:
+            x = np.round(x)
+        return x
+
+    def optimize(self, objective: Objective, n_evaluations: int) -> SearchResult:
+        """Run the search with a budget of ``n_evaluations`` probes."""
+        raise NotImplementedError
+
+
+def clip_to_bounds(x: np.ndarray, bounds: Sequence[tuple[float, float]]) -> np.ndarray:
+    """Clip each coordinate of ``x`` into its box bound."""
+    lows = np.array([lo for lo, _ in bounds])
+    highs = np.array([hi for _, hi in bounds])
+    return np.minimum(np.maximum(np.asarray(x, dtype=float), lows), highs)

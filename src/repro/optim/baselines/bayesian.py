@@ -1,0 +1,138 @@
+"""Bayesian optimization with a from-scratch Gaussian process (CherryPick-like).
+
+CherryPick [4] tunes cloud configurations with Bayesian optimization and an
+Expected Improvement acquisition. We implement the standard loop — RBF-kernel
+GP posterior (Cholesky), EI maximized over a random candidate pool — entirely
+on numpy. As with every baseline here, each objective call models one
+production experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.optim.baselines.base import Evaluation, Objective, SearchBaseline, SearchResult
+
+__all__ = ["GaussianProcess", "BayesianOptimization"]
+
+
+class GaussianProcess:
+    """A minimal RBF-kernel GP regressor with observation noise."""
+
+    def __init__(self, length_scale: float = 1.0, signal_variance: float = 1.0,
+                 noise_variance: float = 1e-4):
+        if length_scale <= 0 or signal_variance <= 0 or noise_variance < 0:
+            raise ValueError("GP hyperparameters must be positive (noise >= 0)")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+        self.noise_variance = noise_variance
+        self._x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dists = (
+            np.sum(a**2, axis=1)[:, None]
+            + np.sum(b**2, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        return self.signal_variance * np.exp(-0.5 * np.maximum(sq_dists, 0.0)
+                                             / self.length_scale**2)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition the GP on observations (x: n×d, y: n)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError("x and y row counts differ")
+        self._y_mean = float(y.mean())
+        k = self._kernel(x, x) + self.noise_variance * np.eye(x.shape[0])
+        self._chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, y - self._y_mean)
+        )
+        self._x = x
+        return self
+
+    def predict(self, x_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at ``x_new`` (m×d)."""
+        if self._x is None:
+            raise RuntimeError("GaussianProcess.predict called before fit")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        k_star = self._kernel(self._x, x_new)
+        mean = self._y_mean + k_star.T @ self._alpha
+        v = np.linalg.solve(self._chol, k_star)
+        variance = np.maximum(
+            self.signal_variance - np.sum(v**2, axis=0), 1e-12
+        )
+        return mean, variance
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z**2) / math.sqrt(2.0 * math.pi)
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    # erf is available via numpy only through scipy; use the math.erf ufunc-free
+    # route with a vectorized wrapper (inputs are small candidate pools).
+    return np.array([0.5 * (1.0 + math.erf(v / math.sqrt(2.0))) for v in np.ravel(z)]).reshape(np.shape(z))
+
+
+class BayesianOptimization(SearchBaseline):
+    """GP + Expected Improvement over a random candidate pool."""
+
+    name = "bayesian"
+
+    def __init__(self, bounds, integer: bool = True, seed: int = 0,
+                 n_initial: int = 3, candidate_pool: int = 256,
+                 length_scale: float | None = None):
+        super().__init__(bounds, integer=integer, seed=seed)
+        if n_initial < 2:
+            raise ValueError("n_initial must be >= 2")
+        self.n_initial = n_initial
+        self.candidate_pool = candidate_pool
+        if length_scale is None:
+            spans = [hi - lo for lo, hi in self.bounds]
+            length_scale = max(1e-6, 0.2 * float(np.mean(spans)))
+        self.length_scale = length_scale
+
+    def optimize(self, objective: Objective, n_evaluations: int) -> SearchResult:
+        if n_evaluations < self.n_initial:
+            raise ValueError("budget must cover the initial design")
+        history: list[Evaluation] = []
+
+        def probe(x: np.ndarray) -> float:
+            value = float(objective(x))
+            history.append(Evaluation(x=x.copy(), value=value))
+            return value
+
+        xs: list[np.ndarray] = []
+        ys: list[float] = []
+        for _ in range(self.n_initial):
+            x = self._random_point()
+            xs.append(x)
+            ys.append(probe(x))
+
+        while len(history) < n_evaluations:
+            y_arr = np.array(ys)
+            y_std = float(y_arr.std()) or 1.0
+            gp = GaussianProcess(
+                length_scale=self.length_scale,
+                signal_variance=y_std**2,
+                noise_variance=max(1e-8, 1e-4 * y_std**2),
+            ).fit(np.array(xs), y_arr)
+            candidates = np.array([self._random_point() for _ in range(self.candidate_pool)])
+            mean, variance = gp.predict(candidates)
+            std = np.sqrt(variance)
+            best_y = max(ys)
+            z = (mean - best_y) / std
+            ei = (mean - best_y) * _normal_cdf(z) + std * _normal_pdf(z)
+            x_next = candidates[int(np.argmax(ei))]
+            xs.append(x_next)
+            ys.append(probe(x_next))
+
+        best = max(history, key=lambda e: e.value)
+        return SearchResult(best_x=best.x, best_value=best.value, history=history)

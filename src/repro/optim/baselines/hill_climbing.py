@@ -1,0 +1,67 @@
+"""Gray-box hill climbing, in the spirit of MRONLINE [36].
+
+MRONLINE tunes map-reduce configurations on-line with a two-step hill
+climber (global probing phase, then local search). We implement the local
+neighborhood climb with random restarts; every probe counts as an experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.baselines.base import Evaluation, Objective, SearchBaseline, SearchResult
+
+__all__ = ["HillClimbing"]
+
+
+class HillClimbing(SearchBaseline):
+    """Steepest-ascent ±step coordinate moves with random restarts."""
+
+    name = "hill_climbing"
+
+    def __init__(self, bounds, integer: bool = True, seed: int = 0, step: float = 1.0,
+                 start: np.ndarray | None = None):
+        super().__init__(bounds, integer=integer, seed=seed)
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.step = step
+        self.start = None if start is None else self._snap(np.asarray(start, dtype=float))
+
+    def optimize(self, objective: Objective, n_evaluations: int) -> SearchResult:
+        if n_evaluations < 1:
+            raise ValueError("n_evaluations must be >= 1")
+        history: list[Evaluation] = []
+
+        def probe(x: np.ndarray) -> float:
+            value = float(objective(x))
+            history.append(Evaluation(x=x.copy(), value=value))
+            return value
+
+        best_x = self.start if self.start is not None else self._random_point()
+        best_value = probe(best_x)
+        current_x, current_value = best_x, best_value
+
+        while len(history) < n_evaluations:
+            improved = False
+            for dim in range(len(self.bounds)):
+                for direction in (+1.0, -1.0):
+                    if len(history) >= n_evaluations:
+                        break
+                    candidate = current_x.copy()
+                    candidate[dim] += direction * self.step
+                    candidate = self._snap(candidate)
+                    if np.array_equal(candidate, current_x):
+                        continue
+                    value = probe(candidate)
+                    if value > current_value:
+                        current_x, current_value = candidate, value
+                        improved = True
+            if current_value > best_value:
+                best_x, best_value = current_x, current_value
+            if not improved and len(history) < n_evaluations:
+                # Plateau: random restart.
+                current_x = self._random_point()
+                current_value = probe(current_x)
+                if current_value > best_value:
+                    best_x, best_value = current_x, current_value
+        return SearchResult(best_x=best_x, best_value=best_value, history=history)

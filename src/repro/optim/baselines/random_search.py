@@ -1,0 +1,26 @@
+"""Random search: the sanity-check baseline every tuner must beat."""
+
+from __future__ import annotations
+
+from repro.optim.baselines.base import Evaluation, Objective, SearchBaseline, SearchResult
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchBaseline):
+    """Uniformly random probes over the box."""
+
+    name = "random"
+
+    def optimize(self, objective: Objective, n_evaluations: int) -> SearchResult:
+        if n_evaluations < 1:
+            raise ValueError("n_evaluations must be >= 1")
+        history: list[Evaluation] = []
+        best_x, best_value = None, float("-inf")
+        for _ in range(n_evaluations):
+            x = self._random_point()
+            value = float(objective(x))
+            history.append(Evaluation(x=x, value=value))
+            if value > best_value:
+                best_x, best_value = x, value
+        return SearchResult(best_x=best_x, best_value=best_value, history=history)

@@ -1,0 +1,64 @@
+"""Exhaustive grid search.
+
+Used two ways: to sweep configuration surfaces (the RAM × SSD cost surface of
+Figure 14) and as an exact cross-check for the LP (the paper's constraint is
+linearized; grid search over the small integer space verifies the
+linearization did not move the optimum).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["GridPoint", "GridSearchResult", "grid_search"]
+
+
+@dataclass(frozen=True, slots=True)
+class GridPoint:
+    """One evaluated grid cell."""
+
+    point: dict[str, float]
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class GridSearchResult:
+    """Best cell plus the full evaluated surface."""
+
+    best: GridPoint
+    evaluations: list[GridPoint]
+
+    def surface(self) -> list[GridPoint]:
+        """All evaluations (alias emphasizing the Figure 14 use case)."""
+        return self.evaluations
+
+
+def grid_search(
+    objective: Callable[[dict[str, float]], float],
+    axes: dict[str, Sequence[float]],
+    minimize: bool = True,
+) -> GridSearchResult:
+    """Evaluate ``objective`` on the cartesian product of ``axes``.
+
+    ``axes`` maps dimension name → candidate values. Returns the best cell
+    (min or max) and every evaluation, in axis-product order.
+    """
+    if not axes:
+        raise ValueError("grid_search needs at least one axis")
+    for name, values in axes.items():
+        if len(values) == 0:
+            raise ValueError(f"axis {name!r} has no candidate values")
+    names = list(axes)
+    evaluations: list[GridPoint] = []
+    best: GridPoint | None = None
+    for combo in itertools.product(*(axes[name] for name in names)):
+        point = dict(zip(names, combo))
+        value = float(objective(point))
+        cell = GridPoint(point=point, value=value)
+        evaluations.append(cell)
+        if best is None or (value < best.value if minimize else value > best.value):
+            best = cell
+    assert best is not None  # axes validated non-empty above
+    return GridSearchResult(best=best, evaluations=evaluations)

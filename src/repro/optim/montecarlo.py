@@ -1,0 +1,53 @@
+"""Monte-Carlo estimation of expected costs.
+
+The SKU-design application (Section 6.1) has no closed-form objective:
+"we use a Monte-Carlo simulation to estimate the objective function, i.e. the
+expected total cost of each configuration", repeating the draw-and-evaluate
+process 1000 times per candidate configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MonteCarloResult", "estimate_expected_value"]
+
+
+@dataclass(frozen=True, slots=True)
+class MonteCarloResult:
+    """Sample mean of a simulated quantity with its standard error."""
+
+    mean: float
+    std: float
+    stderr: float
+    n_draws: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI around the mean."""
+        return self.mean - z * self.stderr, self.mean + z * self.stderr
+
+
+def estimate_expected_value(
+    draw: Callable[[np.random.Generator], float],
+    n_draws: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> MonteCarloResult:
+    """Estimate ``E[draw(rng)]`` by simple Monte Carlo."""
+    if n_draws < 2:
+        raise ValueError("n_draws must be at least 2")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    samples = np.empty(n_draws)
+    for i in range(n_draws):
+        samples[i] = draw(rng)
+    std = float(samples.std(ddof=1))
+    return MonteCarloResult(
+        mean=float(samples.mean()),
+        std=std,
+        stderr=std / math.sqrt(n_draws),
+        n_draws=n_draws,
+    )

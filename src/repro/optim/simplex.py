@@ -1,0 +1,245 @@
+"""A two-phase primal simplex solver, written from scratch.
+
+The paper solves its container-rebalancing LP with "commercial solvers"
+(Section 5.2); our problems are tiny (one variable per machine group, a
+handful of constraints), so a dense-tableau simplex is more than enough. The
+implementation is deliberately textbook: Bland's rule (no cycling), phase 1
+artificial variables, explicit status reporting. Results are cross-checked
+against ``scipy.optimize.linprog`` in the test suite.
+
+Problem form solved here (the :mod:`repro.optim.lp` builder produces it)::
+
+    maximize    c · x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lower <= x <= upper   (finite lower bounds required)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import OptimizationError
+
+__all__ = ["SimplexResult", "simplex_solve"]
+
+_TOL = 1e-9
+_MAX_PIVOTS = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class SimplexResult:
+    """Solution of a linear program."""
+
+    x: np.ndarray
+    objective: float
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    n_pivots: int
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status == "optimal"
+
+
+def simplex_solve(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    lower: np.ndarray | None = None,
+    upper: np.ndarray | None = None,
+) -> SimplexResult:
+    """Maximize ``c·x`` under linear constraints and box bounds."""
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    lower = np.zeros(n) if lower is None else np.asarray(lower, dtype=float)
+    upper = np.full(n, np.inf) if upper is None else np.asarray(upper, dtype=float)
+    if lower.size != n or upper.size != n:
+        raise OptimizationError("bounds length must match the number of variables")
+    if not np.isfinite(lower).all():
+        raise OptimizationError("simplex_solve requires finite lower bounds")
+    if np.any(upper < lower - _TOL):
+        return SimplexResult(np.full(n, np.nan), np.nan, "infeasible", 0)
+
+    # Shift x = lower + z with z >= 0; fold finite upper bounds into A_ub.
+    rows_ub: list[np.ndarray] = []
+    rhs_ub: list[float] = []
+    if a_ub is not None:
+        a_ub = np.atleast_2d(np.asarray(a_ub, dtype=float))
+        b_ub = np.asarray(b_ub, dtype=float).ravel()
+        for i in range(a_ub.shape[0]):
+            rows_ub.append(a_ub[i])
+            rhs_ub.append(float(b_ub[i] - a_ub[i] @ lower))
+    for j in range(n):
+        if np.isfinite(upper[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            rows_ub.append(row)
+            rhs_ub.append(float(upper[j] - lower[j]))
+
+    rows_eq: list[np.ndarray] = []
+    rhs_eq: list[float] = []
+    if a_eq is not None:
+        a_eq = np.atleast_2d(np.asarray(a_eq, dtype=float))
+        b_eq = np.asarray(b_eq, dtype=float).ravel()
+        for i in range(a_eq.shape[0]):
+            rows_eq.append(a_eq[i])
+            rhs_eq.append(float(b_eq[i] - a_eq[i] @ lower))
+
+    z, objective_shift, status, pivots = _solve_standard(
+        c, rows_ub, rhs_ub, rows_eq, rhs_eq
+    )
+    if status != "optimal":
+        return SimplexResult(np.full(n, np.nan), np.nan, status, pivots)
+    x = lower + z
+    return SimplexResult(x, float(c @ x), "optimal", pivots)
+
+
+def _solve_standard(
+    c: np.ndarray,
+    rows_ub: list[np.ndarray],
+    rhs_ub: list[float],
+    rows_eq: list[np.ndarray],
+    rhs_eq: list[float],
+) -> tuple[np.ndarray, float, str, int]:
+    """Two-phase simplex on: max c·z, rows_ub·z <= rhs_ub, rows_eq·z = rhs_eq, z >= 0."""
+    n = c.size
+    m_ub, m_eq = len(rows_ub), len(rhs_eq)
+    m = m_ub + m_eq
+    if m == 0:
+        # Unconstrained except z >= 0: bounded only if c <= 0.
+        if np.any(c > _TOL):
+            return np.zeros(n), 0.0, "unbounded", 0
+        return np.zeros(n), 0.0, "optimal", 0
+
+    # Build equality system [A | slacks | artificials] z_ext = b with b >= 0.
+    a = np.zeros((m, n + m_ub))
+    b = np.zeros(m)
+    needs_artificial: list[int] = []
+    for i in range(m_ub):
+        a[i, :n] = rows_ub[i]
+        a[i, n + i] = 1.0
+        b[i] = rhs_ub[i]
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+            needs_artificial.append(i)  # slack now has coefficient -1
+    for k in range(m_eq):
+        i = m_ub + k
+        a[i, :n] = rows_eq[k]
+        b[i] = rhs_eq[k]
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+        needs_artificial.append(i)
+
+    n_art = len(needs_artificial)
+    total = n + m_ub + n_art
+    tableau = np.zeros((m, total))
+    tableau[:, : n + m_ub] = a
+    basis = np.empty(m, dtype=int)
+    art_cols: list[int] = []
+    for idx, row in enumerate(needs_artificial):
+        col = n + m_ub + idx
+        tableau[row, col] = 1.0
+        basis[row] = col
+        art_cols.append(col)
+    for i in range(m):
+        if i not in needs_artificial:
+            basis[i] = n + i  # the slack of row i
+
+    pivots = 0
+
+    # ---- Phase 1: minimize sum of artificials (maximize the negative). ----
+    if n_art:
+        phase1_c = np.zeros(total)
+        for col in art_cols:
+            phase1_c[col] = -1.0
+        status, pivots = _optimize(tableau, b, basis, phase1_c, pivots)
+        if status == "unbounded":  # pragma: no cover - phase 1 is bounded
+            return np.zeros(n), 0.0, "infeasible", pivots
+        art_value = sum(b[i] for i in range(m) if basis[i] in art_cols)
+        if art_value > 1e-7:
+            return np.zeros(n), 0.0, "infeasible", pivots
+        # Pivot remaining (degenerate) artificials out of the basis if possible.
+        for i in range(m):
+            if basis[i] in art_cols:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(n + m_ub)
+                        if abs(tableau[i, j]) > _TOL
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    _pivot(tableau, b, basis, i, pivot_col)
+                    pivots += 1
+
+    # ---- Phase 2: original objective over structural + slack columns. ----
+    phase2_c = np.zeros(total)
+    phase2_c[:n] = c
+    for col in art_cols:
+        tableau[:, col] = 0.0  # retire artificial columns
+    status, pivots = _optimize(tableau, b, basis, phase2_c, pivots)
+    if status == "unbounded":
+        return np.zeros(n), 0.0, "unbounded", pivots
+
+    z = np.zeros(total)
+    for i in range(m):
+        z[basis[i]] = b[i]
+    return z[:n], float(phase2_c @ z), "optimal", pivots
+
+
+def _optimize(
+    tableau: np.ndarray,
+    b: np.ndarray,
+    basis: np.ndarray,
+    c: np.ndarray,
+    pivots: int,
+) -> tuple[str, int]:
+    """Primal simplex iterations with Bland's rule. Mutates arguments."""
+    m, total = tableau.shape
+    for _ in range(_MAX_PIVOTS):
+        cb = c[basis]
+        reduced = c - cb @ tableau
+        entering = -1
+        for j in range(total):  # Bland: smallest improving index
+            if reduced[j] > _TOL:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal", pivots
+        ratios = np.full(m, np.inf)
+        col = tableau[:, entering]
+        positive = col > _TOL
+        ratios[positive] = b[positive] / col[positive]
+        if not positive.any():
+            return "unbounded", pivots
+        min_ratio = ratios.min()
+        candidates = [i for i in range(m) if ratios[i] <= min_ratio + _TOL]
+        leaving = min(candidates, key=lambda i: basis[i])  # Bland tie-break
+        _pivot(tableau, b, basis, leaving, entering)
+        pivots += 1
+    raise OptimizationError(
+        f"simplex exceeded {_MAX_PIVOTS} pivots; the problem is likely degenerate"
+    )
+
+
+def _pivot(
+    tableau: np.ndarray, b: np.ndarray, basis: np.ndarray, row: int, col: int
+) -> None:
+    """Gaussian pivot on (row, col). Mutates arguments."""
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    b[row] /= pivot_value
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 1e-14:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            b[i] -= factor * b[row]
+    basis[row] = col

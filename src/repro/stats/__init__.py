@@ -1,0 +1,44 @@
+"""Statistics substrate: t-tests, treatment effects, bootstrap, descriptives.
+
+The t distribution itself is implemented from scratch in
+:mod:`repro.stats.distributions` and validated against scipy in the tests.
+"""
+
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci
+from repro.stats.describe import Description, describe, percentile
+from repro.stats.distributions import (
+    regularized_incomplete_beta,
+    student_t_cdf,
+    student_t_sf,
+)
+from repro.stats.treatment import (
+    TreatmentEffect,
+    before_after_effect,
+    difference_in_differences,
+    paired_effect,
+)
+from repro.stats.ttest import (
+    TTestResult,
+    one_sample_t_test,
+    students_t_test,
+    welch_t_test,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_ci",
+    "Description",
+    "describe",
+    "percentile",
+    "regularized_incomplete_beta",
+    "student_t_cdf",
+    "student_t_sf",
+    "TreatmentEffect",
+    "before_after_effect",
+    "difference_in_differences",
+    "paired_effect",
+    "TTestResult",
+    "one_sample_t_test",
+    "students_t_test",
+    "welch_t_test",
+]

@@ -1,0 +1,67 @@
+"""Bootstrap confidence intervals.
+
+Used wherever the paper quantifies "natural variance" without a parametric
+assumption — e.g. the spread of the per-core usage slopes feeding the
+Monte-Carlo SKU-design study (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "bootstrap_ci"]
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapResult:
+    """A point estimate with a percentile bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    @property
+    def width(self) -> float:
+        """Interval width (high − low)."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for ``statistic`` of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        raise ValueError("bootstrap needs at least two observations")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be at least 10")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    estimates = np.empty(n_resamples)
+    n = values.size
+    for i in range(n_resamples):
+        resample = values[rng.integers(0, n, size=n)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(statistic(values)),
+        low=float(np.percentile(estimates, 100 * alpha)),
+        high=float(np.percentile(estimates, 100 * (1 - alpha))),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

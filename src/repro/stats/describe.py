@@ -1,0 +1,58 @@
+"""Descriptive statistics helpers shared by views, models, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Description", "describe", "percentile"]
+
+
+@dataclass(frozen=True, slots=True)
+class Description:
+    """Summary statistics of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def describe(values: np.ndarray) -> Description:
+    """Summarize a sample (ddof=1 standard deviation; 0 for singletons)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    pct = np.percentile(values, [5, 25, 50, 75, 95, 99])
+    return Description(
+        n=int(values.size),
+        mean=float(values.mean()),
+        std=std,
+        minimum=float(values.min()),
+        p5=float(pct[0]),
+        p25=float(pct[1]),
+        median=float(pct[2]),
+        p75=float(pct[3]),
+        p95=float(pct[4]),
+        p99=float(pct[5]),
+        maximum=float(values.max()),
+    )
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """Single percentile with validation (q in [0, 100])."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    return float(np.percentile(values, q))

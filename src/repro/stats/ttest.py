@@ -1,0 +1,107 @@
+"""Student's and Welch's two-sample t-tests.
+
+The paper evaluates every before/after and control/experiment comparison with
+Student's t-test and reports the t-value alongside the percentage change
+(e.g. Table 4: +10.9% Total Data Read, t = 40.4). :class:`TTestResult`
+carries exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.distributions import student_t_sf
+
+__all__ = ["TTestResult", "students_t_test", "welch_t_test", "one_sample_t_test"]
+
+
+@dataclass(frozen=True, slots=True)
+class TTestResult:
+    """Outcome of a t-test plus the effect sizes the paper reports."""
+
+    t_value: float
+    df: float
+    p_value: float
+    mean_a: float
+    mean_b: float
+
+    @property
+    def diff(self) -> float:
+        """Absolute difference of means (b − a)."""
+        return self.mean_b - self.mean_a
+
+    @property
+    def pct_change(self) -> float:
+        """Relative change of b versus a, as a fraction (0.109 = +10.9%)."""
+        if self.mean_a == 0:
+            return math.inf if self.mean_b != 0 else 0.0
+        return (self.mean_b - self.mean_a) / abs(self.mean_a)
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the two-sided p-value falls below ``alpha``."""
+        return self.p_value < alpha
+
+
+def _validate(sample: np.ndarray, name: str, min_n: int = 2) -> np.ndarray:
+    sample = np.asarray(sample, dtype=float)
+    if sample.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    if sample.size < min_n:
+        raise ValueError(f"{name} needs at least {min_n} observations, got {sample.size}")
+    return sample
+
+
+def students_t_test(a: np.ndarray, b: np.ndarray) -> TTestResult:
+    """Two-sample Student's t-test (pooled variance, equal-variance assumption)."""
+    a = _validate(a, "sample a")
+    b = _validate(b, "sample b")
+    na, nb = a.size, b.size
+    va, vb = a.var(ddof=1), b.var(ddof=1)
+    df = na + nb - 2
+    pooled = ((na - 1) * va + (nb - 1) * vb) / df
+    se = math.sqrt(pooled * (1.0 / na + 1.0 / nb))
+    if se == 0.0:
+        t = 0.0 if a.mean() == b.mean() else math.inf
+    else:
+        t = (b.mean() - a.mean()) / se
+    p = 2.0 * student_t_sf(abs(t), df) if math.isfinite(t) else 0.0
+    return TTestResult(t_value=t, df=df, p_value=p, mean_a=float(a.mean()),
+                       mean_b=float(b.mean()))
+
+
+def welch_t_test(a: np.ndarray, b: np.ndarray) -> TTestResult:
+    """Welch's t-test (no equal-variance assumption; Welch–Satterthwaite df)."""
+    a = _validate(a, "sample a")
+    b = _validate(b, "sample b")
+    na, nb = a.size, b.size
+    va, vb = a.var(ddof=1), b.var(ddof=1)
+    se_sq = va / na + vb / nb
+    if se_sq == 0.0:
+        t = 0.0 if a.mean() == b.mean() else math.inf
+        df = float(na + nb - 2)
+    else:
+        t = (b.mean() - a.mean()) / math.sqrt(se_sq)
+        df = se_sq**2 / (
+            (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+        )
+    p = 2.0 * student_t_sf(abs(t), df) if math.isfinite(t) else 0.0
+    return TTestResult(t_value=t, df=df, p_value=p, mean_a=float(a.mean()),
+                       mean_b=float(b.mean()))
+
+
+def one_sample_t_test(sample: np.ndarray, popmean: float) -> TTestResult:
+    """One-sample t-test of ``mean(sample) == popmean``."""
+    sample = _validate(sample, "sample")
+    n = sample.size
+    se = sample.std(ddof=1) / math.sqrt(n)
+    if se == 0.0:
+        t = 0.0 if sample.mean() == popmean else math.inf
+    else:
+        t = (sample.mean() - popmean) / se
+    df = n - 1
+    p = 2.0 * student_t_sf(abs(t), df) if math.isfinite(t) else 0.0
+    return TTestResult(t_value=t, df=df, p_value=p, mean_a=popmean,
+                       mean_b=float(sample.mean()))

@@ -1,0 +1,51 @@
+"""Telemetry: records, the Table 2 metric registry, the Performance Monitor,
+and dashboard-style views."""
+
+from repro.telemetry.export import (
+    read_machine_hours_csv,
+    write_jobs_csv,
+    write_machine_hours_csv,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_REGISTRY,
+    Metric,
+    MetricRegistry,
+    metric_values,
+)
+from repro.telemetry.monitor import MachineDayRecord, PerformanceMonitor
+from repro.telemetry.records import (
+    JobRecord,
+    MachineHourRecord,
+    QueueStats,
+    ResourceSample,
+    TaskLog,
+)
+from repro.telemetry.views import (
+    PercentileBands,
+    ScatterSeries,
+    ecdf,
+    scatter_view,
+    utilization_bands,
+)
+
+__all__ = [
+    "read_machine_hours_csv",
+    "write_jobs_csv",
+    "write_machine_hours_csv",
+    "DEFAULT_REGISTRY",
+    "Metric",
+    "MetricRegistry",
+    "metric_values",
+    "MachineDayRecord",
+    "PerformanceMonitor",
+    "JobRecord",
+    "MachineHourRecord",
+    "QueueStats",
+    "ResourceSample",
+    "TaskLog",
+    "PercentileBands",
+    "ScatterSeries",
+    "ecdf",
+    "scatter_view",
+    "utilization_bands",
+]

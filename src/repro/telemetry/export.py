@@ -1,0 +1,128 @@
+"""CSV export of telemetry records.
+
+The paper's Performance Monitor runs "an end-to-end data orchestration
+pipeline ... deployed in production on Cosmos itself" that lands daily metric
+batches for every downstream analysis. The simulator keeps records in memory;
+this module persists them in a stable, analysis-friendly CSV layout so runs
+can be archived and diffed, and external tools (pandas, spreadsheets) can
+consume them.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.telemetry.records import JobRecord, MachineHourRecord
+
+__all__ = ["write_machine_hours_csv", "write_jobs_csv", "read_machine_hours_csv"]
+
+_MACHINE_HOUR_FIELDS = (
+    "machine_id",
+    "machine_name",
+    "sku",
+    "software",
+    "rack",
+    "row",
+    "subcluster",
+    "hour",
+    "cpu_utilization",
+    "avg_running_containers",
+    "total_data_read_bytes",
+    "tasks_finished",
+    "total_cpu_seconds",
+    "total_task_seconds",
+    "avg_cores_in_use",
+    "avg_ram_gb_in_use",
+    "avg_ssd_gb_in_use",
+    "avg_power_watts",
+    "power_cap_watts",
+    "feature_enabled",
+    "max_running_containers",
+)
+
+
+def write_machine_hours_csv(records: list[MachineHourRecord], path: str | Path) -> int:
+    """Write machine-hour records to ``path``; returns the row count.
+
+    Queue wait lists are summarized (count, mean, p99) rather than exploded —
+    the CSV stays one row per machine-hour.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            _MACHINE_HOUR_FIELDS
+            + ("queue_avg_length", "queue_enqueued", "queue_mean_wait", "queue_p99_wait")
+        )
+        for record in records:
+            row = [getattr(record, field) for field in _MACHINE_HOUR_FIELDS]
+            row += [
+                record.queue.avg_length,
+                record.queue.enqueued,
+                record.queue.mean_wait(),
+                record.queue.p99_wait(),
+            ]
+            writer.writerow(row)
+    return len(records)
+
+
+def write_jobs_csv(jobs: list[JobRecord], path: str | Path) -> int:
+    """Write job records to ``path``; returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ("job_id", "template", "submit_time", "finish_time", "runtime",
+             "n_tasks", "total_task_seconds", "is_benchmark")
+        )
+        for job in jobs:
+            writer.writerow(
+                (job.job_id, job.template, job.submit_time, job.finish_time,
+                 job.runtime, job.n_tasks, job.total_task_seconds,
+                 job.is_benchmark)
+            )
+    return len(jobs)
+
+
+def read_machine_hours_csv(path: str | Path) -> list[MachineHourRecord]:
+    """Read machine-hour records back from a CSV written by this module.
+
+    Queue waits are not round-tripped (the CSV stores summaries); the
+    reconstructed records carry empty queue stats with the summary length.
+    """
+    from repro.telemetry.records import QueueStats
+
+    records: list[MachineHourRecord] = []
+    with Path(path).open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            cap = row["power_cap_watts"]
+            records.append(
+                MachineHourRecord(
+                    machine_id=int(row["machine_id"]),
+                    machine_name=row["machine_name"],
+                    sku=row["sku"],
+                    software=row["software"],
+                    rack=int(row["rack"]),
+                    row=int(row["row"]),
+                    subcluster=int(row["subcluster"]),
+                    hour=int(row["hour"]),
+                    cpu_utilization=float(row["cpu_utilization"]),
+                    avg_running_containers=float(row["avg_running_containers"]),
+                    total_data_read_bytes=float(row["total_data_read_bytes"]),
+                    tasks_finished=int(row["tasks_finished"]),
+                    total_cpu_seconds=float(row["total_cpu_seconds"]),
+                    total_task_seconds=float(row["total_task_seconds"]),
+                    avg_cores_in_use=float(row["avg_cores_in_use"]),
+                    avg_ram_gb_in_use=float(row["avg_ram_gb_in_use"]),
+                    avg_ssd_gb_in_use=float(row["avg_ssd_gb_in_use"]),
+                    avg_power_watts=float(row["avg_power_watts"]),
+                    power_cap_watts=float(cap) if cap not in ("", "None") else None,
+                    feature_enabled=row["feature_enabled"] == "True",
+                    max_running_containers=int(row["max_running_containers"]),
+                    queue=QueueStats(avg_length=float(row["queue_avg_length"])),
+                )
+            )
+    return records

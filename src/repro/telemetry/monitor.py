@@ -1,0 +1,205 @@
+"""The Performance Monitor (Section 4.1).
+
+Joins simulator telemetry into the machine-hour observations all KEA analyses
+consume, with filtering, grouping, and the *daily aggregation* used to fit the
+calibrated models of Figure 9 ("each small dot corresponds to an observation
+aggregated at the daily level for a machine").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.metrics import DEFAULT_REGISTRY, MetricRegistry
+from repro.telemetry.records import MachineHourRecord
+from repro.utils.errors import TelemetryError
+
+__all__ = ["MachineDayRecord", "PerformanceMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineDayRecord:
+    """One machine-day aggregate (the dots of Figure 9)."""
+
+    machine_id: int
+    sku: str
+    software: str
+    day: int
+    cpu_utilization: float
+    avg_running_containers: float
+    total_data_read_bytes: float
+    tasks_finished: int
+    total_task_seconds: float
+    total_cpu_seconds: float
+    hours_observed: int
+
+    @property
+    def group(self) -> str:
+        """Machine-group label (SC–SKU combination)."""
+        return f"{self.software}_{self.sku}"
+
+    @property
+    def tasks_per_hour(self) -> float:
+        """Tasks finished per observed hour (the `l` of Eq. 3–4)."""
+        if self.hours_observed <= 0:
+            return 0.0
+        return self.tasks_finished / self.hours_observed
+
+    @property
+    def avg_task_seconds(self) -> float:
+        """Mean task execution time over the day (the `w` of Eq. 5–6)."""
+        if self.tasks_finished <= 0:
+            return 0.0
+        return self.total_task_seconds / self.tasks_finished
+
+    @property
+    def bytes_per_cpu_time(self) -> float:
+        """Data read per CPU-second over the day."""
+        if self.total_cpu_seconds <= 0:
+            return 0.0
+        return self.total_data_read_bytes / self.total_cpu_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Data read per task-execution-second over the day."""
+        if self.total_task_seconds <= 0:
+            return 0.0
+        return self.total_data_read_bytes / self.total_task_seconds
+
+
+class PerformanceMonitor:
+    """A queryable collection of machine-hour records."""
+
+    def __init__(self, records: Iterable[MachineHourRecord] = ()):
+        self.records: list[MachineHourRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(self, record: MachineHourRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[MachineHourRecord]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    # ------------------------------------------------------------------
+    # Filtering / grouping
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        group: str | None = None,
+        sku: str | None = None,
+        software: str | None = None,
+        hour_range: tuple[int, int] | None = None,
+        machine_ids: set[int] | None = None,
+        predicate: Callable[[MachineHourRecord], bool] | None = None,
+    ) -> "PerformanceMonitor":
+        """Return a new monitor restricted to matching records.
+
+        ``hour_range`` is half-open ``[start, end)``. All criteria AND together.
+        """
+        selected = self.records
+        if group is not None:
+            selected = [r for r in selected if r.group == group]
+        if sku is not None:
+            selected = [r for r in selected if r.sku == sku]
+        if software is not None:
+            selected = [r for r in selected if r.software == software]
+        if hour_range is not None:
+            start, end = hour_range
+            selected = [r for r in selected if start <= r.hour < end]
+        if machine_ids is not None:
+            selected = [r for r in selected if r.machine_id in machine_ids]
+        if predicate is not None:
+            selected = [r for r in selected if predicate(r)]
+        return PerformanceMonitor(selected)
+
+    def groups(self) -> list[str]:
+        """Sorted machine-group labels present in the data."""
+        return sorted({r.group for r in self.records})
+
+    def skus(self) -> list[str]:
+        """Sorted SKU names present in the data."""
+        return sorted({r.sku for r in self.records})
+
+    def by_group(self) -> dict[str, "PerformanceMonitor"]:
+        """Split into one monitor per machine group."""
+        split: dict[str, list[MachineHourRecord]] = {}
+        for record in self.records:
+            split.setdefault(record.group, []).append(record)
+        return {label: PerformanceMonitor(rs) for label, rs in sorted(split.items())}
+
+    # ------------------------------------------------------------------
+    # Metric extraction
+    # ------------------------------------------------------------------
+    def metric(self, name: str, registry: MetricRegistry = DEFAULT_REGISTRY) -> np.ndarray:
+        """One metric across all records, as a float array."""
+        extract = registry.get(name).extract
+        return np.array([extract(r) for r in self.records], dtype=float)
+
+    def hours(self) -> np.ndarray:
+        """The ``hour`` field across all records."""
+        return np.array([r.hour for r in self.records], dtype=int)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def daily_aggregates(self, min_hours: int = 1) -> list[MachineDayRecord]:
+        """Aggregate to machine-day observations (Figure 9's granularity).
+
+        Machine-days observed fewer than ``min_hours`` hours are dropped:
+        partially observed days (e.g. around a flight boundary) would
+        otherwise bias sums like Total Data Read downward.
+        """
+        if min_hours < 1:
+            raise TelemetryError("min_hours must be >= 1")
+        # Bucket by group as well as machine: a machine re-imaged mid-window
+        # (SC flip experiments) must not mix its SC1 and SC2 hours.
+        buckets: dict[tuple[int, str, int], list[MachineHourRecord]] = {}
+        for record in self.records:
+            key = (record.machine_id, record.group, record.hour // 24)
+            buckets.setdefault(key, []).append(record)
+        aggregates: list[MachineDayRecord] = []
+        for (machine_id, _group, day), rows in sorted(buckets.items()):
+            if len(rows) < min_hours:
+                continue
+            first = rows[0]
+            aggregates.append(
+                MachineDayRecord(
+                    machine_id=machine_id,
+                    sku=first.sku,
+                    software=first.software,
+                    day=day,
+                    cpu_utilization=float(np.mean([r.cpu_utilization for r in rows])),
+                    avg_running_containers=float(
+                        np.mean([r.avg_running_containers for r in rows])
+                    ),
+                    total_data_read_bytes=float(
+                        np.sum([r.total_data_read_bytes for r in rows])
+                    ),
+                    tasks_finished=int(np.sum([r.tasks_finished for r in rows])),
+                    total_task_seconds=float(
+                        np.sum([r.total_task_seconds for r in rows])
+                    ),
+                    total_cpu_seconds=float(np.sum([r.total_cpu_seconds for r in rows])),
+                    hours_observed=len(rows),
+                )
+            )
+        return aggregates
+
+    def cluster_average_task_latency(self) -> float:
+        """Cluster-wide mean task execution time (the paper's `W̄`)."""
+        total_seconds = sum(r.total_task_seconds for r in self.records)
+        total_tasks = sum(r.tasks_finished for r in self.records)
+        if total_tasks <= 0:
+            return 0.0
+        return total_seconds / total_tasks
+
+    def total_data_read_bytes(self) -> float:
+        """Cluster-wide Total Data Read over all records."""
+        return float(sum(r.total_data_read_bytes for r in self.records))

@@ -1,0 +1,124 @@
+"""Dashboard-style views over telemetry (the visualizations of Figures 1–8).
+
+Each view returns plain data (arrays / dicts), not plots: benchmarks print
+the series, tests assert on them, and a user can feed them to any plotting
+library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.monitor import PerformanceMonitor
+
+__all__ = [
+    "ecdf",
+    "PercentileBands",
+    "utilization_bands",
+    "ScatterSeries",
+    "scatter_view",
+]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities).
+
+    Probabilities use the `i / n` convention so the last point is exactly 1.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.array([]), np.array([])
+    x = np.sort(values)
+    y = np.arange(1, x.size + 1) / x.size
+    return x, y
+
+
+@dataclass(frozen=True, slots=True)
+class PercentileBands:
+    """Time series of distribution percentiles (Figure 1's shaded bands)."""
+
+    hours: np.ndarray
+    p5: np.ndarray
+    p25: np.ndarray
+    p50: np.ndarray
+    p75: np.ndarray
+    p95: np.ndarray
+    mean: np.ndarray
+
+    @property
+    def overall_mean(self) -> float:
+        """Average of the hourly means (the paper's '>60% average')."""
+        if self.mean.size == 0:
+            return 0.0
+        return float(np.mean(self.mean))
+
+
+def utilization_bands(
+    monitor: PerformanceMonitor, metric: str = "CpuUtilization"
+) -> PercentileBands:
+    """Per-hour percentile bands of a metric across machines (Figure 1)."""
+    hours = monitor.hours()
+    values = monitor.metric(metric)
+    unique_hours = np.unique(hours)
+    percentiles = {p: [] for p in (5, 25, 50, 75, 95)}
+    means = []
+    for hour in unique_hours:
+        hour_values = values[hours == hour]
+        for p in percentiles:
+            percentiles[p].append(np.percentile(hour_values, p))
+        means.append(np.mean(hour_values))
+    return PercentileBands(
+        hours=unique_hours,
+        p5=np.array(percentiles[5]),
+        p25=np.array(percentiles[25]),
+        p50=np.array(percentiles[50]),
+        p75=np.array(percentiles[75]),
+        p95=np.array(percentiles[95]),
+        mean=np.array(means),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ScatterSeries:
+    """One machine group's (x, y) cloud in the scatter view (Figure 8)."""
+
+    group: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def linear_trend(self) -> tuple[float, float]:
+        """Least-squares (slope, intercept) of y on x."""
+        if self.x.size < 2:
+            return 0.0, float(np.mean(self.y)) if self.y.size else 0.0
+        slope, intercept = np.polyfit(self.x, self.y, deg=1)
+        return float(slope), float(intercept)
+
+    def correlation(self) -> float:
+        """Pearson correlation between x and y (0 when degenerate)."""
+        if self.x.size < 2 or np.std(self.x) == 0 or np.std(self.y) == 0:
+            return 0.0
+        return float(np.corrcoef(self.x, self.y)[0, 1])
+
+
+def scatter_view(
+    monitor: PerformanceMonitor,
+    x_metric: str = "CpuUtilization",
+    y_metric: str = "TotalDataRead",
+) -> list[ScatterSeries]:
+    """Per-group scatter of two metrics over machine-hours (Figure 8).
+
+    Each point is one machine during one hour, exactly as in the paper's
+    performance-monitor dashboard.
+    """
+    series: list[ScatterSeries] = []
+    for group, group_monitor in monitor.by_group().items():
+        series.append(
+            ScatterSeries(
+                group=group,
+                x=group_monitor.metric(x_metric),
+                y=group_monitor.metric(y_metric),
+            )
+        )
+    return series

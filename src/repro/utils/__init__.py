@@ -1,0 +1,56 @@
+"""Shared utilities: errors, deterministic RNG streams, units, text tables.
+
+These helpers are intentionally dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.utils.errors import (
+    ConfigurationError,
+    ExperimentError,
+    ModelNotCalibratedError,
+    OptimizationError,
+    ReproError,
+    SchedulingError,
+    TelemetryError,
+)
+from repro.utils.rng import RngStreams, derive_seed
+from repro.utils.tables import TextTable, format_float, format_pct
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    PB,
+    TB,
+    bytes_to_gb,
+    bytes_to_pb,
+    bytes_to_tb,
+    hours,
+    minutes,
+    seconds,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchedulingError",
+    "TelemetryError",
+    "ModelNotCalibratedError",
+    "OptimizationError",
+    "ExperimentError",
+    "RngStreams",
+    "derive_seed",
+    "TextTable",
+    "format_float",
+    "format_pct",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "bytes_to_gb",
+    "bytes_to_tb",
+    "bytes_to_pb",
+    "seconds",
+    "minutes",
+    "hours",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the KEA reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without masking genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster, YARN, or application configuration was supplied."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something impossible.
+
+    Examples: placing a task on a machine that does not exist, or submitting
+    a job whose DAG contains a cycle.
+    """
+
+
+class TelemetryError(ReproError):
+    """Telemetry records were missing, malformed, or inconsistent."""
+
+
+class ModelNotCalibratedError(ReproError):
+    """A predictive model was used before :meth:`fit` was called."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a solution.
+
+    Raised for infeasible or unbounded linear programs and for search
+    baselines that exhaust their budget without a feasible candidate.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment design could not be realized on the given cluster."""

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The paper reports results as tables and figures; our benchmarks print the
+same rows/series as aligned text. This module is deliberately simple — no
+external dependencies, no colour, stable column widths — so benchmark output
+diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable", "format_float", "format_pct"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with ``digits`` decimals, handling None gracefully."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_pct(value: float, digits: int = 1, signed: bool = True) -> str:
+    """Format a fraction as a percentage string (``0.109`` → ``'+10.9%'``)."""
+    if value is None:
+        return "-"
+    sign = "+" if signed and value > 0 else ""
+    return f"{sign}{value * 100:.{digits}f}%"
+
+
+class TextTable:
+    """An aligned, pipe-delimited text table.
+
+    >>> t = TextTable(["SKU", "count"])
+    >>> t.add_row(["Gen 1.1", 120])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    SKU     | count
+    --------+------
+    Gen 1.1 | 120
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; values are stringified with ``str()``."""
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table to an aligned multi-line string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines.append(header)
+        lines.append(rule)
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

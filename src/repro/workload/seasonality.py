@@ -1,0 +1,55 @@
+"""Load seasonality: diurnal and weekly modulation of job arrivals.
+
+Figure 1 of the paper shows the weekly CPU-utilization rhythm of a Cosmos
+cluster; cluster-wide tuning must cope with "long-term workload seasonalities"
+(Section 2). The profile here is a deterministic rate multiplier: a cosine
+diurnal cycle peaking mid-afternoon plus a weekend dip. Randomness enters via
+the Poisson arrival process, not the profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+__all__ = ["SeasonalityProfile", "FLAT_PROFILE"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeasonalityProfile:
+    """Deterministic arrival-rate multiplier over the week.
+
+    ``multiplier`` averages ≈ 1 over a full week, so the generator's base
+    jobs-per-hour stays interpretable as the weekly mean rate.
+    """
+
+    diurnal_amplitude: float = 0.25
+    peak_hour: float = 14.0
+    weekend_dip: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 <= self.weekend_dip < 1.0:
+            raise ValueError("weekend_dip must be in [0, 1)")
+
+    def multiplier(self, t_seconds: float) -> float:
+        """Rate multiplier at simulation time ``t_seconds`` (t=0 is Monday 00:00)."""
+        hour_of_day = (t_seconds % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        day_of_week = int(t_seconds // SECONDS_PER_DAY) % 7
+        diurnal = 1.0 + self.diurnal_amplitude * math.cos(
+            2.0 * math.pi * (hour_of_day - self.peak_hour) / 24.0
+        )
+        weekly = 1.0 - self.weekend_dip if day_of_week >= 5 else 1.0
+        return diurnal * weekly
+
+    @property
+    def max_multiplier(self) -> float:
+        """Upper bound of :meth:`multiplier`, used for Poisson thinning."""
+        return 1.0 + self.diurnal_amplitude
+
+
+FLAT_PROFILE = SeasonalityProfile(diurnal_amplitude=0.0, weekend_dip=0.0)
+"""A constant-rate profile (useful in tests and controlled experiments)."""

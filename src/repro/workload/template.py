@@ -1,0 +1,205 @@
+"""Job templates: the recurring-job abstraction.
+
+A *job template* is a recurring job with the specific data inputs removed
+(Section 3.2, footnote 1). Instances of the same template have statistically
+similar shape, which is what makes implicit SLOs meaningful: the recent
+runtimes of a template bound the expected runtime of its next instance.
+
+A template is a chain of stages (SCOPE jobs compile to DAGs; a chain with a
+barrier between stages preserves the critical-path structure the paper relies
+on). Stage task counts and per-task work are sampled per instance, with a
+template-level size multiplier so "the same job on bigger data" is captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workload.operators import operator_by_name
+
+__all__ = [
+    "StageSpec",
+    "JobTemplate",
+    "default_templates",
+    "benchmark_templates",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StageSpec:
+    """One stage of a template: an operator fanned out over tasks."""
+
+    operator: str
+    n_tasks_mean: float
+    n_tasks_sigma: float = 0.3  # log-space sigma; 0 = deterministic count
+    work_scale: float = 1.0
+    data_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        operator_by_name(self.operator)  # validate eagerly
+        if self.n_tasks_mean < 1:
+            raise ValueError("n_tasks_mean must be >= 1")
+
+    def sample_n_tasks(self, rng: np.random.Generator, size_mult: float = 1.0) -> int:
+        """Draw the task count for one instance of this stage."""
+        mean = self.n_tasks_mean * size_mult
+        if self.n_tasks_sigma <= 0:
+            return max(1, int(round(mean)))
+        mu = np.log(mean) - self.n_tasks_sigma**2 / 2.0
+        return max(1, int(round(rng.lognormal(mu, self.n_tasks_sigma))))
+
+
+@dataclass(frozen=True, slots=True)
+class JobTemplate:
+    """A recurring job: named chain of stages plus an arrival-mix weight."""
+
+    name: str
+    stages: tuple[StageSpec, ...]
+    weight: float = 1.0
+    size_sigma: float = 0.25  # log-space sigma of the per-instance size multiplier
+    is_benchmark: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"template {self.name!r} needs at least one stage")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+
+    def sample_size_multiplier(self, rng: np.random.Generator) -> float:
+        """Per-instance input-size multiplier (1.0 in expectation)."""
+        if self.size_sigma <= 0:
+            return 1.0
+        mu = -self.size_sigma**2 / 2.0
+        return float(rng.lognormal(mu, self.size_sigma))
+
+    @property
+    def expected_tasks(self) -> float:
+        """Expected task count of one instance (for load calibration)."""
+        return float(sum(stage.n_tasks_mean for stage in self.stages))
+
+    def expected_work_seconds(self) -> float:
+        """Expected total normalized CPU work of one instance."""
+        total = 0.0
+        for stage in self.stages:
+            op = operator_by_name(stage.operator)
+            total += stage.n_tasks_mean * op.work_mean_s * stage.work_scale
+        return total
+
+
+def default_templates() -> tuple[JobTemplate, ...]:
+    """The production-like template mix used across the benchmarks.
+
+    Mirrors the qualitative mix Section 2 describes: mostly small/medium
+    recurring SCOPE jobs, a tail of large multi-stage pipelines.
+    """
+    return (
+        JobTemplate(
+            name="hourly_ingest",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=12),
+                StageSpec("Process", n_tasks_mean=8),
+            ),
+            weight=3.0,
+        ),
+        JobTemplate(
+            name="log_cook",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=16),
+                StageSpec("Partition", n_tasks_mean=10),
+                StageSpec("Aggregate", n_tasks_mean=6),
+            ),
+            weight=2.5,
+        ),
+        JobTemplate(
+            name="ad_hoc_query",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=6, work_scale=0.6),
+                StageSpec("Aggregate", n_tasks_mean=4, work_scale=0.6),
+            ),
+            weight=4.0,
+        ),
+        JobTemplate(
+            name="daily_rollup",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=20),
+                StageSpec("Combine", n_tasks_mean=12),
+                StageSpec("PodAggregate", n_tasks_mean=8),
+                StageSpec("Aggregate", n_tasks_mean=4),
+            ),
+            weight=1.5,
+        ),
+        JobTemplate(
+            name="index_build",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=18),
+                StageSpec("IndexedPartition", n_tasks_mean=14, work_scale=1.2),
+                StageSpec("Combine", n_tasks_mean=8),
+            ),
+            weight=1.0,
+        ),
+        JobTemplate(
+            name="feature_join",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=10),
+                StageSpec("Cross", n_tasks_mean=8, work_scale=1.1),
+                StageSpec("Process", n_tasks_mean=6),
+            ),
+            weight=1.0,
+        ),
+        JobTemplate(
+            name="ml_prep_pipeline",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=14),
+                StageSpec("Split", n_tasks_mean=10),
+                StageSpec("Process", n_tasks_mean=12, work_scale=1.3),
+                StageSpec("Partition", n_tasks_mean=8),
+                StageSpec("Aggregate", n_tasks_mean=5),
+            ),
+            weight=0.8,
+        ),
+    )
+
+
+def benchmark_templates() -> tuple[JobTemplate, ...]:
+    """Three TPC-H/TPC-DS-flavoured benchmark jobs (Figure 11).
+
+    Benchmark instances use low size variance so before/after runtime
+    comparisons measure the *cluster*, not the workload draw.
+    """
+    return (
+        JobTemplate(
+            name="tpch_q1_like",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=16, n_tasks_sigma=0.0),
+                StageSpec("Aggregate", n_tasks_mean=8, n_tasks_sigma=0.0),
+            ),
+            weight=0.0,
+            size_sigma=0.05,
+            is_benchmark=True,
+        ),
+        JobTemplate(
+            name="tpch_q18_like",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=14, n_tasks_sigma=0.0),
+                StageSpec("Cross", n_tasks_mean=10, n_tasks_sigma=0.0),
+                StageSpec("Aggregate", n_tasks_mean=6, n_tasks_sigma=0.0),
+            ),
+            weight=0.0,
+            size_sigma=0.05,
+            is_benchmark=True,
+        ),
+        JobTemplate(
+            name="tpcds_q64_like",
+            stages=(
+                StageSpec("Extract", n_tasks_mean=12, n_tasks_sigma=0.0),
+                StageSpec("Partition", n_tasks_mean=10, n_tasks_sigma=0.0),
+                StageSpec("Cross", n_tasks_mean=8, n_tasks_sigma=0.0),
+                StageSpec("Aggregate", n_tasks_mean=6, n_tasks_sigma=0.0),
+            ),
+            weight=0.0,
+            size_sigma=0.05,
+            is_benchmark=True,
+        ),
+    )

@@ -1,0 +1,124 @@
+"""Tests for the experiment-based search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.optim.baselines import (
+    BayesianOptimization,
+    GaussianProcess,
+    GeneticSearch,
+    HillClimbing,
+    RandomSearch,
+)
+
+BOUNDS = [(0.0, 10.0), (0.0, 10.0)]
+
+
+def quadratic(x):
+    return -((x[0] - 3.0) ** 2 + (x[1] - 7.0) ** 2)
+
+
+ALL_BASELINES = [RandomSearch, HillClimbing, GeneticSearch, BayesianOptimization]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_respects_budget_exactly_or_under(self, baseline_cls):
+        search = baseline_cls(bounds=BOUNDS, seed=0)
+        result = search.optimize(quadratic, 30)
+        assert result.n_evaluations <= 30
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_improves_over_first_guess(self, baseline_cls):
+        search = baseline_cls(bounds=BOUNDS, seed=1)
+        result = search.optimize(quadratic, 40)
+        assert result.best_value >= result.history[0].value
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_best_matches_history(self, baseline_cls):
+        search = baseline_cls(bounds=BOUNDS, seed=2)
+        result = search.optimize(quadratic, 25)
+        assert result.best_value == pytest.approx(
+            max(e.value for e in result.history)
+        )
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_integer_mode_snaps_to_grid(self, baseline_cls):
+        search = baseline_cls(bounds=BOUNDS, integer=True, seed=3)
+        result = search.optimize(quadratic, 20)
+        for entry in result.history:
+            np.testing.assert_array_equal(entry.x, np.round(entry.x))
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_stays_in_bounds(self, baseline_cls):
+        search = baseline_cls(bounds=BOUNDS, seed=4)
+        result = search.optimize(quadratic, 30)
+        for entry in result.history:
+            assert (entry.x >= 0).all() and (entry.x <= 10).all()
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_deterministic_given_seed(self, baseline_cls):
+        a = baseline_cls(bounds=BOUNDS, seed=5).optimize(quadratic, 20)
+        b = baseline_cls(bounds=BOUNDS, seed=5).optimize(quadratic, 20)
+        assert a.best_value == b.best_value
+
+    def test_best_after_prefix(self):
+        result = RandomSearch(bounds=BOUNDS, seed=6).optimize(quadratic, 30)
+        assert result.best_after(30) >= result.best_after(5)
+
+
+class TestHillClimbing:
+    def test_finds_optimum_on_smooth_integer_problem(self):
+        search = HillClimbing(bounds=BOUNDS, seed=0, start=np.array([0.0, 0.0]))
+        result = search.optimize(quadratic, 60)
+        np.testing.assert_array_equal(result.best_x, [3.0, 7.0])
+
+    def test_restart_after_plateau(self):
+        flat = lambda x: 0.0
+        result = HillClimbing(bounds=BOUNDS, seed=1).optimize(flat, 30)
+        assert result.n_evaluations <= 30
+
+
+class TestGeneticSearch:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GeneticSearch(bounds=BOUNDS, population_size=1)
+        with pytest.raises(ValueError):
+            GeneticSearch(bounds=BOUNDS, mutation_rate=2.0)
+
+    def test_budget_must_cover_population(self):
+        search = GeneticSearch(bounds=BOUNDS, population_size=10)
+        with pytest.raises(ValueError):
+            search.optimize(quadratic, 5)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.sin(x).ravel()
+        gp = GaussianProcess(length_scale=1.0, noise_variance=1e-8).fit(x, y)
+        mean, var = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert (var < 1e-2).all()
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [1.0]])
+        gp = GaussianProcess().fit(x, np.array([0.0, 1.0]))
+        _, var_near = gp.predict(np.array([[0.5]]))
+        _, var_far = gp.predict(np.array([[8.0]]))
+        assert var_far > var_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.array([[0.0]]))
+
+    def test_bo_beats_random_on_average(self):
+        """BO should find a better optimum than random search with the same
+        tiny budget, averaged over seeds (the CherryPick claim)."""
+        bo_scores, rs_scores = [], []
+        for seed in range(5):
+            bo = BayesianOptimization(bounds=BOUNDS, integer=False, seed=seed)
+            rs = RandomSearch(bounds=BOUNDS, integer=False, seed=seed)
+            bo_scores.append(bo.optimize(quadratic, 15).best_value)
+            rs_scores.append(rs.optimize(quadratic, 15).best_value)
+        assert np.mean(bo_scores) >= np.mean(rs_scores)

@@ -1,0 +1,146 @@
+"""Tests for fleet building, topology indexes, and config application."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    FleetSpec,
+    SkuPopulation,
+    YarnConfig,
+    build_cluster,
+    default_fleet_spec,
+    default_yarn_config,
+    small_fleet_spec,
+    sku_by_name,
+)
+from repro.cluster.config import GroupLimits
+from repro.cluster.software import MachineGroupKey
+from repro.utils.errors import ConfigurationError
+
+
+class TestFleetSpec:
+    def test_total_machines(self):
+        spec = small_fleet_spec()
+        assert spec.total_machines == 36
+
+    def test_invalid_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SkuPopulation(sku=sku_by_name("Gen 1.1"), count=0)
+
+    def test_software_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="mix"):
+            SkuPopulation(
+                sku=sku_by_name("Gen 1.1"), count=10,
+                software_mix={"SC1": 0.5, "SC2": 0.2},
+            )
+
+    def test_unknown_sc_rejected(self):
+        with pytest.raises(ConfigurationError, match="SC9"):
+            SkuPopulation(
+                sku=sku_by_name("Gen 1.1"), count=10, software_mix={"SC9": 1.0}
+            )
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(populations=())
+
+
+class TestBuildCluster:
+    def test_machine_count_matches_spec(self):
+        cluster = build_cluster(small_fleet_spec())
+        assert len(cluster.machines) == 36
+
+    def test_racks_are_homogeneous(self):
+        cluster = build_cluster(default_fleet_spec())
+        for rack in cluster.racks():
+            groups = {m.group_key for m in cluster.machines_in_rack(rack)}
+            assert len(groups) == 1
+
+    def test_machine_ids_unique_and_dense(self):
+        cluster = build_cluster(small_fleet_spec())
+        ids = [m.machine_id for m in cluster.machines]
+        assert ids == list(range(len(ids)))
+
+    def test_chassis_nested_in_racks(self):
+        cluster = build_cluster(default_fleet_spec())
+        for rack in cluster.racks():
+            machines = cluster.machines_in_rack(rack)
+            chassis = {m.chassis for m in machines}
+            # Two chassis per rack by default.
+            assert len(chassis) == 2
+
+    def test_config_applied_at_build(self):
+        config = default_yarn_config()
+        cluster = build_cluster(small_fleet_spec(), config)
+        for machine in cluster.machines:
+            expected = config.for_group(machine.group_key).max_running_containers
+            assert machine.max_running_containers == expected
+
+    def test_software_mix_realized_at_rack_level(self):
+        cluster = build_cluster(small_fleet_spec())
+        gen22 = cluster.machines_by_sku()["Gen 2.2"]
+        scs = {m.software.name for m in gen22}
+        assert scs == {"SC1", "SC2"}
+
+
+class TestClusterIndexes:
+    def test_group_sizes_sum_to_fleet(self, small_cluster):
+        assert sum(small_cluster.group_sizes().values()) == len(small_cluster.machines)
+
+    def test_machines_by_group_keys(self, small_cluster):
+        groups = small_cluster.machines_by_group()
+        assert MachineGroupKey("SC1", "Gen 1.1") in groups
+        assert MachineGroupKey("SC2", "Gen 4.1") in groups
+
+    def test_total_cores(self, small_cluster):
+        expected = sum(m.sku.cores for m in small_cluster.machines)
+        assert small_cluster.total_cores == expected
+
+    def test_rows_and_subclusters_present(self, small_cluster):
+        assert len(small_cluster.rows()) >= 1
+        assert small_cluster.machines_in_row(small_cluster.rows()[0])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(name="empty", machines=[], yarn_config=YarnConfig())
+
+
+class TestConfigOperations:
+    def test_apply_yarn_config_updates_all_machines(self, small_cluster):
+        key = MachineGroupKey("SC1", "Gen 1.1")
+        new = small_cluster.yarn_config.copy()
+        new.set_group(key, GroupLimits(max_running_containers=3))
+        small_cluster.apply_yarn_config(new)
+        for machine in small_cluster.machines_by_group()[key]:
+            assert machine.max_running_containers == 3
+
+    def test_power_cap_applies_per_chassis(self, small_cluster):
+        target = small_cluster.machines[0]
+        small_cluster.apply_power_cap(0.15, machines=[target])
+        peers = [m for m in small_cluster.machines if m.chassis == target.chassis]
+        others = [m for m in small_cluster.machines if m.chassis != target.chassis]
+        assert all(m.cap_watts is not None for m in peers)
+        assert all(m.cap_watts is None for m in others)
+
+    def test_clear_power_caps(self, small_cluster):
+        small_cluster.apply_power_cap(0.2)
+        small_cluster.clear_power_caps()
+        assert all(m.cap_watts is None for m in small_cluster.machines)
+
+    def test_feature_only_on_capable_skus(self, small_cluster):
+        small_cluster.set_feature(True)
+        for machine in small_cluster.machines:
+            assert machine.feature_enabled == machine.sku.feature_capable
+
+
+class TestDefaultYarnConfig:
+    def test_old_generations_overcommitted(self):
+        config = default_yarn_config()
+        gen11 = config.for_group(MachineGroupKey("SC1", "Gen 1.1"))
+        gen42 = config.for_group(MachineGroupKey("SC2", "Gen 4.2"))
+        assert gen11.max_running_containers > sku_by_name("Gen 1.1").cores
+        assert gen42.max_running_containers < sku_by_name("Gen 4.2").cores
+
+    def test_every_sku_and_sc_covered(self):
+        config = default_yarn_config()
+        assert len(config.limits) == 14  # 7 SKUs x 2 SCs

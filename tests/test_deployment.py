@@ -1,0 +1,118 @@
+"""Tests for the progressive deployment module."""
+
+import pytest
+
+from repro.cluster import build_cluster, small_fleet_spec
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.software import MachineGroupKey
+from repro.flighting.deployment import DeploymentModule, RolloutPlan, RolloutWave
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture()
+def cluster():
+    return build_cluster(small_fleet_spec())
+
+
+def bump_all(config: YarnConfig, delta: int) -> YarnConfig:
+    new = config.copy()
+    for key, limits in config.limits.items():
+        new.limits[key] = GroupLimits(
+            max_running_containers=limits.max_running_containers + delta,
+            max_queued_containers=limits.max_queued_containers,
+        )
+    return new
+
+
+class TestClamping:
+    def test_clamp_limits_step_to_one(self, cluster):
+        module = DeploymentModule(cluster, max_step=1)
+        target = bump_all(cluster.yarn_config, +5)
+        clamped = module.clamp_to_step(target)
+        for key in cluster.yarn_config.limits:
+            before = cluster.yarn_config.for_group(key).max_running_containers
+            after = clamped.for_group(key).max_running_containers
+            assert after == before + 1
+
+    def test_clamp_respects_direction_down(self, cluster):
+        module = DeploymentModule(cluster, max_step=2)
+        target = bump_all(cluster.yarn_config, -7)
+        clamped = module.clamp_to_step(target)
+        for key in cluster.yarn_config.limits:
+            before = cluster.yarn_config.for_group(key).max_running_containers
+            assert clamped.for_group(key).max_running_containers == before - 2
+
+    def test_small_changes_pass_through(self, cluster):
+        module = DeploymentModule(cluster, max_step=3)
+        target = bump_all(cluster.yarn_config, +1)
+        clamped = module.clamp_to_step(target)
+        for key in cluster.yarn_config.limits:
+            assert (
+                clamped.for_group(key).max_running_containers
+                == target.for_group(key).max_running_containers
+            )
+
+    def test_max_step_validated(self, cluster):
+        with pytest.raises(ConfigurationError):
+            DeploymentModule(cluster, max_step=0)
+
+
+class TestStagedPlan:
+    def test_one_wave_per_subcluster(self, cluster):
+        module = DeploymentModule(cluster)
+        plan = module.staged_plan(bump_all(cluster.yarn_config, 1),
+                                  start_hour=2.0, wave_gap_hours=6.0)
+        subclusters = {m.subcluster for m in cluster.machines}
+        assert len(plan.waves) == len(subclusters)
+        assert plan.waves[0].start_hour == 2.0
+        assert plan.waves[1].start_hour == 8.0
+
+    def test_plan_validation_rejects_duplicate_coverage(self, cluster):
+        target = bump_all(cluster.yarn_config, 1)
+        plan = RolloutPlan(
+            target=target,
+            waves=[
+                RolloutWave(start_hour=0.0, subclusters=(0,)),
+                RolloutWave(start_hour=1.0, subclusters=(0,)),
+            ],
+        )
+        with pytest.raises(ConfigurationError):
+            plan.validate(cluster)
+
+    def test_plan_validation_rejects_unordered_waves(self, cluster):
+        target = bump_all(cluster.yarn_config, 1)
+        subclusters = sorted({m.subcluster for m in cluster.machines})
+        waves = [
+            RolloutWave(start_hour=5.0, subclusters=(subclusters[0],)),
+            RolloutWave(start_hour=5.0, subclusters=tuple(subclusters[1:])),
+        ]
+        plan = RolloutPlan(target=target, waves=waves)
+        with pytest.raises(ConfigurationError):
+            plan.validate(cluster)
+
+    def test_wave_gap_validated(self, cluster):
+        module = DeploymentModule(cluster)
+        with pytest.raises(ConfigurationError):
+            module.staged_plan(cluster.yarn_config, 0.0, wave_gap_hours=0.0)
+
+
+class TestRolloutExecution:
+    def test_waves_apply_config_progressively(self, cluster):
+        from repro.cluster import ClusterSimulator
+        from repro.utils.rng import RngStreams
+        from repro.workload import WorkloadGenerator, default_templates
+
+        module = DeploymentModule(cluster, max_step=1)
+        target = bump_all(cluster.yarn_config, +1)
+        plan = module.staged_plan(target, start_hour=1.0, wave_gap_hours=1.0)
+        workload = WorkloadGenerator(
+            default_templates(), jobs_per_hour=60.0, streams=RngStreams(0)
+        ).generate(5.0)
+        simulator = ClusterSimulator(cluster, workload, streams=RngStreams(1))
+        module.schedule_rollout(simulator, plan)
+        simulator.run(5.0)
+        assert module.deployed_subclusters == {m.subcluster for m in cluster.machines}
+        # Every machine now carries the target limits.
+        for machine in cluster.machines:
+            expected = plan.target.for_group(machine.group_key).max_running_containers
+            assert machine.max_running_containers == expected

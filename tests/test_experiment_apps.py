@@ -1,0 +1,111 @@
+"""Integration tests for the experimental-tuning applications:
+SC selection (Table 4) and power capping (Figure 15)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    build_cluster,
+    default_fleet_spec,
+)
+from repro.core.applications.power_capping import PowerCappingStudy
+from repro.core.applications.sc_selection import ScSelectionExperiment
+from repro.utils.rng import RngStreams
+from repro.workload import (
+    FLAT_PROFILE,
+    WorkloadGenerator,
+    default_templates,
+    estimate_jobs_per_hour,
+)
+
+
+def make_simulator(cluster, seed=0, occupancy=0.7):
+    rate = estimate_jobs_per_hour(
+        cluster.total_container_slots, occupancy, default_templates(),
+        mean_task_duration_s=420.0,
+    )
+    workload = WorkloadGenerator(
+        default_templates(), jobs_per_hour=rate, seasonality=FLAT_PROFILE,
+        streams=RngStreams(seed),
+    ).generate(12.0)
+    return ClusterSimulator(cluster, workload, streams=RngStreams(seed + 1))
+
+
+@pytest.fixture(scope="module")
+def sc_selection_result():
+    cluster = build_cluster(default_fleet_spec(scale=0.6))
+    experiment = ScSelectionExperiment(cluster, sku="Gen 2.2")
+    simulator = make_simulator(cluster, seed=101)
+    return experiment.run(simulator, days=0.5, n_racks=2)
+
+
+class TestScSelection:
+    def test_sc2_wins_table4_shape(self, sc_selection_result):
+        """Table 4: SC2 reads more data and runs tasks faster."""
+        result = sc_selection_result
+        data_read = result.report.comparison("TotalDataRead")
+        task_time = result.report.comparison("AverageTaskSeconds")
+        assert data_read.pct_change > 0
+        assert task_time.pct_change < 0
+        assert result.winner() == "SC2"
+
+    def test_differences_significant(self, sc_selection_result):
+        data_read = sc_selection_result.report.comparison("TotalDataRead")
+        assert data_read.significant()
+
+    def test_summary_is_table4_layout(self, sc_selection_result):
+        text = sc_selection_result.summary()
+        assert "SC1" in text and "SC2" in text and "t-value" in text
+
+    def test_rack_selection_validates(self):
+        cluster = build_cluster(default_fleet_spec(scale=0.6))
+        experiment = ScSelectionExperiment(cluster, sku="Gen 4.2")  # all SC2
+        from repro.utils.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            experiment.select_racks(2)
+
+
+class TestPowerCapping:
+    @pytest.fixture(scope="class")
+    def study_result(self):
+        def cluster_factory():
+            return build_cluster(default_fleet_spec(scale=0.5))
+
+        def simulator_factory(cluster):
+            # Demand-bound regime: machines pinned at max containers, so the
+            # cap's throttle actually engages (Cosmos always has queued work).
+            return make_simulator(cluster, seed=777, occupancy=1.0)
+
+        study = PowerCappingStudy(
+            cluster_factory=cluster_factory,
+            simulator_factory=simulator_factory,
+            sku="Gen 4.1",
+            group_size=8,
+        )
+        return study.run(capping_levels=[0.10, 0.30], hours_per_round=8.0)
+
+    def test_feature_on_beats_feature_off(self, study_result):
+        """At every level, D (feature+cap) outperforms C (cap only)."""
+        for level in study_result.levels:
+            d = study_result.impact("BytesPerCpuTime", level, "D")
+            c = study_result.impact("BytesPerCpuTime", level, "C")
+            assert d > c
+
+    def test_deep_capping_hurts(self, study_result):
+        """Figure 15: 30% capping degrades perf clearly vs 10%."""
+        shallow = study_result.impact("BytesPerCpuTime", 0.10, "C")
+        deep = study_result.impact("BytesPerCpuTime", 0.30, "C")
+        assert deep < shallow
+        assert deep < -0.02
+
+    def test_mild_cap_with_feature_is_net_positive(self, study_result):
+        assert study_result.impact("BytesPerCpuTime", 0.10, "D") > 0
+
+    def test_recommendation_prefers_deepest_safe_level(self, study_result):
+        level = study_result.recommend_level(tolerance=0.0)
+        assert level == 0.10
+
+    def test_summary_renders(self, study_result):
+        text = study_result.summary()
+        assert "Feature + Capping" in text and "10%" in text

@@ -1,0 +1,72 @@
+"""Tests for telemetry CSV export/import."""
+
+import pytest
+
+from repro.telemetry.export import (
+    read_machine_hours_csv,
+    write_jobs_csv,
+    write_machine_hours_csv,
+)
+from repro.telemetry.records import JobRecord, QueueStats
+from tests.conftest import make_record
+
+
+class TestMachineHourRoundTrip:
+    def test_roundtrip_preserves_fields(self, tmp_path):
+        records = [
+            make_record(machine_id=i, hour=h, cpu_utilization=0.1 * (i + 1),
+                        queue=QueueStats(avg_length=1.5, enqueued=3,
+                                         waits=[10.0, 20.0]))
+            for i in range(3)
+            for h in range(2)
+        ]
+        path = tmp_path / "hours.csv"
+        assert write_machine_hours_csv(records, path) == 6
+        loaded = read_machine_hours_csv(path)
+        assert len(loaded) == 6
+        for original, restored in zip(records, loaded):
+            assert restored.machine_id == original.machine_id
+            assert restored.group == original.group
+            assert restored.cpu_utilization == pytest.approx(
+                original.cpu_utilization
+            )
+            assert restored.total_data_read_bytes == pytest.approx(
+                original.total_data_read_bytes
+            )
+            assert restored.queue.avg_length == pytest.approx(
+                original.queue.avg_length
+            )
+
+    def test_power_cap_none_roundtrips(self, tmp_path):
+        records = [make_record(power_cap_watts=None),
+                   make_record(power_cap_watts=350.0)]
+        path = tmp_path / "caps.csv"
+        write_machine_hours_csv(records, path)
+        loaded = read_machine_hours_csv(path)
+        assert loaded[0].power_cap_watts is None
+        assert loaded[1].power_cap_watts == pytest.approx(350.0)
+
+    def test_derived_metrics_survive(self, tmp_path):
+        record = make_record(total_data_read_bytes=8e9, total_task_seconds=4000.0)
+        path = tmp_path / "derived.csv"
+        write_machine_hours_csv([record], path)
+        restored = read_machine_hours_csv(path)[0]
+        assert restored.bytes_per_second == pytest.approx(record.bytes_per_second)
+
+
+class TestJobsCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        jobs = [
+            JobRecord(job_id=1, template="t", submit_time=0.0, finish_time=100.0,
+                      n_tasks=5, total_task_seconds=400.0, is_benchmark=True)
+        ]
+        path = tmp_path / "jobs.csv"
+        assert write_jobs_csv(jobs, path) == 1
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("job_id,template")
+        assert "True" in lines[1]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "jobs.csv"
+        write_jobs_csv([], path)
+        assert path.exists()

@@ -1,0 +1,147 @@
+"""Tests for the regression models: OLS, Huber, quantile, base contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    HuberRegressor,
+    LinearRegression,
+    QuantileRegressor,
+)
+from repro.utils.errors import ModelNotCalibratedError
+
+
+def affine_data(slope=3.0, intercept=2.0, n=400, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, n)
+    y = intercept + slope * x + rng.normal(0, noise, n)
+    return x, y
+
+
+class TestBaseContract:
+    @pytest.mark.parametrize("model_cls", [LinearRegression, HuberRegressor,
+                                           QuantileRegressor])
+    def test_predict_before_fit_raises(self, model_cls):
+        with pytest.raises(ModelNotCalibratedError):
+            model_cls().predict(1.0)
+
+    @pytest.mark.parametrize("model_cls", [LinearRegression, HuberRegressor])
+    def test_scalar_and_array_predict(self, model_cls):
+        x, y = affine_data()
+        model = model_cls().fit(x, y)
+        scalar = model.predict(2.0)
+        array = model.predict(np.array([2.0, 4.0]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.arange(5), np.arange(4))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.array([1.0]), np.array([2.0]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.array([1.0, np.nan]), np.array([1.0, 2.0]))
+
+    def test_inverse_roundtrip(self):
+        x, y = affine_data()
+        model = LinearRegression().fit(x, y)
+        assert model.inverse(model.predict(4.2)) == pytest.approx(4.2)
+
+    def test_inverse_of_flat_relation_raises(self):
+        model = LinearRegression().fit(np.ones(10), np.arange(10.0))
+        # All-equal x yields slope 0.
+        with pytest.raises(ModelNotCalibratedError):
+            model.inverse(5.0)
+
+    def test_summary_quality_fields(self):
+        x, y = affine_data(noise=0.01)
+        model = LinearRegression().fit(x, y)
+        summary = model.summary(x, y)
+        assert summary.r_squared > 0.999
+        assert summary.n_observations == x.size
+        assert summary.rmse < 0.05
+
+
+class TestLinearRegression:
+    def test_matches_polyfit(self):
+        x, y = affine_data()
+        model = LinearRegression().fit(x, y)
+        slope_ref, intercept_ref = np.polyfit(x, y, 1)
+        assert model.slope == pytest.approx(slope_ref)
+        assert model.intercept == pytest.approx(intercept_ref)
+
+    def test_stderr_shrinks_with_n(self):
+        x1, y1 = affine_data(n=50, noise=1.0, seed=1)
+        x2, y2 = affine_data(n=5000, noise=1.0, seed=2)
+        small = LinearRegression().fit(x1, y1)
+        large = LinearRegression().fit(x2, y2)
+        assert large.slope_stderr < small.slope_stderr
+
+    def test_slope_t_value_large_for_clear_trend(self):
+        x, y = affine_data(noise=0.1)
+        model = LinearRegression().fit(x, y)
+        assert model.slope_t_value() > 50
+
+
+class TestHuberRegressor:
+    def test_matches_ols_on_clean_data(self):
+        x, y = affine_data(noise=0.05)
+        huber = HuberRegressor().fit(x, y)
+        ols = LinearRegression().fit(x, y)
+        assert huber.slope == pytest.approx(ols.slope, rel=0.02)
+        assert huber.intercept == pytest.approx(ols.intercept, abs=0.05)
+
+    def test_robust_to_outliers_where_ols_is_not(self):
+        x, y = affine_data(slope=3.0, intercept=2.0, noise=0.1)
+        y_corrupt = y.copy()
+        y_corrupt[:40] += 100.0  # 10% gross outliers
+        huber = HuberRegressor().fit(x, y_corrupt)
+        ols = LinearRegression().fit(x, y_corrupt)
+        assert abs(huber.intercept - 2.0) < 0.5
+        assert abs(ols.intercept - 2.0) > 2.0  # OLS dragged away
+
+    def test_converges_and_reports_iterations(self):
+        x, y = affine_data()
+        model = HuberRegressor().fit(x, y)
+        assert 1 <= model.n_iterations_ <= model.max_iter
+
+    def test_exact_fit_early_exit(self):
+        x = np.arange(10.0)
+        model = HuberRegressor().fit(x, 2 * x + 1)
+        assert model.slope == pytest.approx(2.0)
+        assert model.intercept == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HuberRegressor(delta=0.0)
+        with pytest.raises(ValueError):
+            HuberRegressor(max_iter=0)
+
+
+class TestQuantileRegressor:
+    def test_median_close_to_ols_for_symmetric_noise(self):
+        x, y = affine_data(noise=0.5)
+        median = QuantileRegressor(tau=0.5).fit(x, y)
+        assert median.slope == pytest.approx(3.0, abs=0.1)
+
+    def test_upper_quantile_sits_above_lower(self):
+        x, y = affine_data(noise=1.0, n=2000)
+        q10 = QuantileRegressor(tau=0.1).fit(x, y)
+        q90 = QuantileRegressor(tau=0.9).fit(x, y)
+        grid = np.linspace(1, 9, 5)
+        assert np.all(q90.predict(grid) > q10.predict(grid))
+
+    def test_coverage_approximates_tau(self):
+        x, y = affine_data(noise=1.0, n=4000)
+        q80 = QuantileRegressor(tau=0.8).fit(x, y)
+        coverage = float(np.mean(y <= q80.predict(x)))
+        assert coverage == pytest.approx(0.8, abs=0.03)
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            QuantileRegressor(tau=1.0)

@@ -1,0 +1,96 @@
+"""Tests for the model registry and validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    HuberRegressor,
+    LinearRegression,
+    ModelRegistry,
+    Relation,
+    mae,
+    mse,
+    r2_score,
+    residual_summary,
+    train_test_split,
+)
+from repro.utils.errors import ModelNotCalibratedError
+
+REL = Relation("containers_to_utilization", "AverageRunningContainers",
+               "CpuUtilization")
+
+
+class TestModelRegistry:
+    def _calibrated(self):
+        registry = ModelRegistry()
+        x = np.linspace(5, 40, 50)
+        y = 0.02 * x + 0.05
+        registry.calibrate("SC1_Gen 1.1", REL, x, y, LinearRegression)
+        return registry
+
+    def test_calibrate_and_get(self):
+        registry = self._calibrated()
+        entry = registry.get("SC1_Gen 1.1", REL.name)
+        assert entry.model.slope == pytest.approx(0.02)
+        assert entry.fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_through_registry(self):
+        registry = self._calibrated()
+        assert registry.predict("SC1_Gen 1.1", REL.name, 10.0) == pytest.approx(0.25)
+
+    def test_missing_model_raises(self):
+        registry = self._calibrated()
+        with pytest.raises(ModelNotCalibratedError):
+            registry.get("SC2_Gen 4.1", REL.name)
+
+    def test_groups_and_relations(self):
+        registry = self._calibrated()
+        assert registry.groups() == ["SC1_Gen 1.1"]
+        assert registry.relations_for("SC1_Gen 1.1") == [REL.name]
+
+    def test_recalibration_replaces(self):
+        registry = self._calibrated()
+        x = np.linspace(5, 40, 50)
+        registry.calibrate("SC1_Gen 1.1", REL, x, 0.03 * x, HuberRegressor)
+        assert registry.get("SC1_Gen 1.1", REL.name).model.slope == pytest.approx(
+            0.03, rel=1e-3
+        )
+        assert len(registry) == 1
+
+    def test_contains_and_report(self):
+        registry = self._calibrated()
+        assert ("SC1_Gen 1.1", REL.name) in registry
+        assert len(registry.report()) == 1
+
+
+class TestValidationUtils:
+    def test_split_sizes_and_disjoint(self):
+        x = np.arange(100.0)
+        y = 2 * x
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, test_fraction=0.2)
+        assert x_te.size == 20 and x_tr.size == 80
+        assert set(x_tr) | set(x_te) == set(x)
+        assert not set(x_tr) & set(x_te)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10.0), np.arange(10.0), test_fraction=1.0)
+
+    def test_error_metrics(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([1.0, 2.5, 2.5])
+        assert mse(y_true, y_pred) == pytest.approx((0 + 0.25 + 0.25) / 3)
+        assert mae(y_true, y_pred) == pytest.approx(1.0 / 3)
+
+    def test_r2_perfect_and_baseline(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_residual_summary_centered(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(0, 1, 1000)
+        summary = residual_summary(y, np.zeros(1000))
+        assert abs(summary.mean) < 0.1
+        assert summary.std == pytest.approx(1.0, abs=0.1)
+        assert abs(summary.skewness) < 0.3

@@ -1,0 +1,107 @@
+"""Tests for the power model: draw, throttling, the Feature, cap levels."""
+
+import pytest
+
+from repro.cluster.power import (
+    FEATURE_POWER_SCALE,
+    FEATURE_SPEED_BOOST,
+    MIN_THROTTLE,
+    cap_watts_for_level,
+    dynamic_power_watts,
+    power_draw_watts,
+    throttle_factor,
+)
+from repro.cluster.sku import sku_by_name
+
+GEN41 = sku_by_name("Gen 4.1")
+
+
+class TestPowerDraw:
+    def test_idle_at_zero_utilization(self):
+        draw = power_draw_watts(GEN41, 0.0, feature_enabled=False, cap_watts=None)
+        assert draw == GEN41.power_idle_watts
+
+    def test_peak_at_full_utilization(self):
+        draw = power_draw_watts(GEN41, 1.0, feature_enabled=False, cap_watts=None)
+        assert draw == pytest.approx(GEN41.power_peak_watts)
+
+    def test_draw_is_monotone_in_utilization(self):
+        draws = [
+            power_draw_watts(GEN41, u / 10, feature_enabled=False, cap_watts=None)
+            for u in range(11)
+        ]
+        assert draws == sorted(draws)
+
+    def test_feature_reduces_dynamic_power(self):
+        assert dynamic_power_watts(GEN41, True) == pytest.approx(
+            GEN41.dynamic_power_watts * FEATURE_POWER_SCALE
+        )
+
+    def test_cap_clamps_draw(self):
+        cap = GEN41.power_idle_watts + 10.0
+        draw = power_draw_watts(GEN41, 1.0, feature_enabled=False, cap_watts=cap)
+        assert draw == cap
+
+    def test_utilization_clipped_to_unit_interval(self):
+        over = power_draw_watts(GEN41, 1.7, feature_enabled=False, cap_watts=None)
+        assert over == pytest.approx(GEN41.power_peak_watts)
+
+
+class TestThrottle:
+    def test_no_cap_means_no_throttle(self):
+        assert throttle_factor(GEN41, 0.9, False, None) == 1.0
+
+    def test_loose_cap_does_not_bind(self):
+        cap = cap_watts_for_level(GEN41, 0.0)  # cap at provision level
+        assert throttle_factor(GEN41, 0.6, False, cap) == 1.0
+
+    def test_binding_cap_throttles_below_one(self):
+        cap = GEN41.power_idle_watts + 0.3 * GEN41.dynamic_power_watts
+        factor = throttle_factor(GEN41, 1.0, False, cap)
+        assert MIN_THROTTLE <= factor < 1.0
+
+    def test_throttle_keeps_draw_at_cap(self):
+        """idle + dyn·util^exp·f² should equal the cap when it binds."""
+        from repro.cluster.power import UTILIZATION_EXPONENT
+
+        util = 0.9
+        cap = GEN41.power_idle_watts + 0.4 * GEN41.dynamic_power_watts
+        f = throttle_factor(GEN41, util, False, cap)
+        draw = (
+            GEN41.power_idle_watts
+            + GEN41.dynamic_power_watts * util**UTILIZATION_EXPONENT * f * f
+        )
+        assert draw == pytest.approx(cap)
+
+    def test_cap_below_idle_floors_at_min_throttle(self):
+        factor = throttle_factor(GEN41, 0.8, False, GEN41.power_idle_watts - 10)
+        assert factor == MIN_THROTTLE
+
+    def test_feature_relieves_throttling(self):
+        """Lower dynamic power with the Feature means less throttling."""
+        cap = GEN41.power_idle_watts + 0.5 * GEN41.dynamic_power_watts
+        without = throttle_factor(GEN41, 1.0, False, cap)
+        with_feature = throttle_factor(GEN41, 1.0, True, cap)
+        assert with_feature > without
+
+    def test_zero_utilization_never_throttles(self):
+        assert throttle_factor(GEN41, 0.0, False, 1.0) == 1.0
+
+
+class TestCapLevels:
+    def test_level_zero_is_provision(self):
+        assert cap_watts_for_level(GEN41, 0.0) == GEN41.provisioned_power_watts
+
+    def test_ten_percent_level(self):
+        assert cap_watts_for_level(GEN41, 0.10) == pytest.approx(
+            0.9 * GEN41.provisioned_power_watts
+        )
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            cap_watts_for_level(GEN41, 1.0)
+        with pytest.raises(ValueError):
+            cap_watts_for_level(GEN41, -0.1)
+
+    def test_feature_speed_boost_is_modest(self):
+        assert 1.0 < FEATURE_SPEED_BOOST < 1.2

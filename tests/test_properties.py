@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+from scipy.optimize import linprog
+
+from repro.cluster.config import GroupLimits
+from repro.cluster.machine import Machine
+from repro.cluster.power import throttle_factor
+from repro.cluster.sku import DEFAULT_SKUS
+from repro.cluster.software import SC1, SC2
+from repro.ml import HuberRegressor, LinearRegression
+from repro.optim.simplex import simplex_solve
+from repro.stats.distributions import student_t_cdf
+from repro.telemetry.views import ecdf
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEcdfProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_ecdf_is_monotone_and_normalized(self, values):
+        x, y = ecdf(np.array(values))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) >= 0)
+        assert y[-1] == pytest.approx(1.0)
+        assert y[0] > 0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_ecdf_preserves_multiset(self, values):
+        x, _ = ecdf(np.array(values))
+        assert sorted(values) == pytest.approx(list(x))
+
+
+class TestTDistributionProperties:
+    @given(
+        st.floats(min_value=-30, max_value=30, allow_nan=False),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_cdf_matches_scipy_everywhere(self, t, df):
+        assert student_t_cdf(t, df) == pytest.approx(
+            scipy_stats.t.cdf(t, df), abs=1e-8
+        )
+
+    @given(
+        st.floats(min_value=0.01, max_value=20, allow_nan=False),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_cdf_antisymmetric(self, t, df):
+        assert student_t_cdf(t, df) + student_t_cdf(-t, df) == pytest.approx(1.0)
+
+
+class TestSimplexProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_bounded_lps_match_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 4))
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(0.5, 4.0, m)
+        lower = rng.uniform(-2.0, 0.0, n)
+        upper = lower + rng.uniform(0.5, 6.0, n)
+        mine = simplex_solve(c, a_ub=a_ub, b_ub=b_ub, lower=lower, upper=upper)
+        ref = linprog(-c, A_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper)),
+                      method="highs")
+        if ref.status == 0:
+            assert mine.is_optimal
+            assert mine.objective == pytest.approx(-ref.fun, abs=1e-6)
+            # The solution must actually be feasible.
+            assert np.all(a_ub @ mine.x <= b_ub + 1e-7)
+            assert np.all(mine.x >= lower - 1e-9)
+            assert np.all(mine.x <= upper + 1e-9)
+        else:
+            assert mine.status != "optimal"
+
+
+class TestRegressionProperties:
+    @given(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_ols_recovers_exact_affine_data(self, slope, intercept, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-10, 10, 30)
+        if np.std(x) < 1e-6:
+            return
+        y = intercept + slope * x
+        model = LinearRegression().fit(x, y)
+        assert model.slope == pytest.approx(slope, abs=1e-6)
+        assert model.intercept == pytest.approx(intercept, abs=1e-5)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25)
+    def test_huber_between_clean_bounds(self, seed):
+        """Huber on corrupted data stays closer to truth than OLS."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 10, 200)
+        y = 1.5 + 2.0 * x + rng.normal(0, 0.2, 200)
+        y[:20] += rng.uniform(20, 60)
+        huber = HuberRegressor().fit(x, y)
+        ols = LinearRegression().fit(x, y)
+        huber_error = abs(huber.slope - 2.0) + abs(huber.intercept - 1.5)
+        ols_error = abs(ols.slope - 2.0) + abs(ols.intercept - 1.5)
+        assert huber_error <= ols_error + 1e-9
+
+
+class TestMachineIntegralProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=3000.0),  # gap to next event
+                st.floats(min_value=0.1, max_value=1.0),  # cpu fraction
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_container_seconds_integral_exact(self, task_plan):
+        """Start tasks at staggered times, finish them all, flush — the
+        container-hours integral must equal the analytic sum."""
+        machine = Machine(
+            machine_id=0, sku=DEFAULT_SKUS[5], software=SC2, rack=0, chassis=0,
+            row=0, subcluster=0,
+            limits=GroupLimits(max_running_containers=1000),
+        )
+        now = 0.0
+        running = []
+        expected_container_seconds = 0.0
+        for gap, cpu_fraction in task_plan:
+            machine.start_task(now, cpu_fraction, 1.0, 5.0, 1e8, 100.0)
+            running.append((now, cpu_fraction))
+            now += gap
+        horizon = max(now, 3600.0)
+        for start, cpu_fraction in running:
+            machine.finish_task(horizon, cpu_fraction, 1.0, 5.0, 1e8,
+                                horizon - start)
+            expected_container_seconds += horizon - start
+        record = machine.flush_hour(horizon, hour=0)
+        assert record.avg_running_containers * 3600.0 == pytest.approx(
+            expected_container_seconds, rel=1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from(DEFAULT_SKUS),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60)
+    def test_throttle_factor_in_unit_interval(self, util, sku, level):
+        cap = sku.provisioned_power_watts * (1.0 - level)
+        factor = throttle_factor(sku, util, False, cap)
+        assert 0.0 < factor <= 1.0
+
+
+class TestTaskDurationProperties:
+    @given(
+        st.sampled_from(DEFAULT_SKUS),
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    @settings(max_examples=60)
+    def test_duration_positive_and_monotone_in_load(self, sku, n_busy, work):
+        machine = Machine(
+            machine_id=0, sku=sku, software=SC1, rack=0, chassis=0, row=0,
+            subcluster=0, limits=GroupLimits(max_running_containers=100),
+        )
+        baseline = machine.task_duration(work)
+        assert baseline > 0
+        for _ in range(n_busy):
+            machine.start_task(0.0, 0.9, 1.0, 5.0, 1e8, work)
+        loaded = machine.task_duration(work)
+        assert loaded >= baseline - 1e-9

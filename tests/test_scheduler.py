@@ -1,0 +1,114 @@
+"""Tests for the YARN-like scheduler: placement, slot tracking, queueing."""
+
+import pytest
+
+from repro.cluster import build_cluster, small_fleet_spec
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.scheduler import YarnScheduler
+from repro.utils.errors import SchedulingError
+from repro.workload.task import Task
+
+
+def make_task():
+    return Task(
+        job_id=0, stage_index=0, operator="Process", work_seconds=100.0,
+        data_bytes=1e9, cpu_fraction=0.8, ram_gb=2.0, ssd_gb=10.0,
+    )
+
+
+def tiny_cluster(max_containers=2, queue_limit=1_000_000):
+    config = YarnConfig(
+        default_limits=GroupLimits(
+            max_running_containers=max_containers,
+            max_queued_containers=queue_limit,
+        )
+    )
+    return build_cluster(small_fleet_spec(), config)
+
+
+class TestPlacement:
+    def test_places_on_free_machine(self):
+        cluster = tiny_cluster()
+        scheduler = YarnScheduler(cluster, seed=1)
+        result = scheduler.place(make_task(), now=0.0)
+        assert result.started and not result.queued
+
+    def test_placement_spreads_across_machines(self):
+        """With everything free, placements should hit many machines."""
+        cluster = tiny_cluster(max_containers=50)
+        scheduler = YarnScheduler(cluster, seed=1)
+        hits = set()
+        for _ in range(300):
+            result = scheduler.place(make_task(), now=0.0)
+            hits.add(result.machine.machine_id)
+        assert len(hits) > len(cluster.machines) * 0.9
+
+    def test_full_machine_leaves_available_set(self):
+        cluster = tiny_cluster(max_containers=1)
+        scheduler = YarnScheduler(cluster, seed=1)
+        n = len(cluster.machines)
+        for _ in range(n):
+            result = scheduler.place(make_task(), now=0.0)
+            assert result.started
+            result.machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+            scheduler.note_started(result.machine)
+        assert scheduler.free_slot_machines == 0
+
+    def test_saturated_cluster_queues(self):
+        cluster = tiny_cluster(max_containers=1)
+        scheduler = YarnScheduler(cluster, seed=1)
+        for _ in range(len(cluster.machines)):
+            result = scheduler.place(make_task(), now=0.0)
+            result.machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+            scheduler.note_started(result.machine)
+        overflow = scheduler.place(make_task(), now=0.0)
+        assert overflow.queued and not overflow.started
+        assert scheduler.queued_placements == 1
+
+    def test_full_queues_everywhere_raises(self):
+        cluster = tiny_cluster(max_containers=1, queue_limit=0)
+        scheduler = YarnScheduler(cluster, seed=1)
+        for _ in range(len(cluster.machines)):
+            result = scheduler.place(make_task(), now=0.0)
+            result.machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+            scheduler.note_started(result.machine)
+        with pytest.raises(SchedulingError):
+            scheduler.place(make_task(), now=0.0)
+
+
+class TestSlotSetMaintenance:
+    def test_refresh_after_limit_increase(self):
+        cluster = tiny_cluster(max_containers=1)
+        scheduler = YarnScheduler(cluster, seed=1)
+        machine = cluster.machines[0]
+        machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.note_started(machine)
+        machine.apply_limits(GroupLimits(max_running_containers=4))
+        scheduler.refresh_machine(machine)
+        assert scheduler.free_slot_machines == len(cluster.machines)
+
+    def test_refresh_after_limit_decrease(self):
+        cluster = tiny_cluster(max_containers=5)
+        scheduler = YarnScheduler(cluster, seed=1)
+        machine = cluster.machines[0]
+        machine.apply_limits(GroupLimits(max_running_containers=1))
+        machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.refresh_machine(machine)
+        assert machine.machine_id not in scheduler._pos
+
+    def test_rebuild_reflects_current_state(self):
+        cluster = tiny_cluster(max_containers=1)
+        scheduler = YarnScheduler(cluster, seed=1)
+        for machine in cluster.machines[:5]:
+            machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.rebuild()
+        assert scheduler.free_slot_machines == len(cluster.machines) - 5
+
+    def test_deterministic_given_seed(self):
+        cluster_a = tiny_cluster()
+        cluster_b = tiny_cluster()
+        sched_a = YarnScheduler(cluster_a, seed=9)
+        sched_b = YarnScheduler(cluster_b, seed=9)
+        picks_a = [sched_a.place(make_task(), 0.0).machine.machine_id for _ in range(20)]
+        picks_b = [sched_b.place(make_task(), 0.0).machine.machine_id for _ in range(20)]
+        assert picks_a == picks_b

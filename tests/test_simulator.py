@@ -1,0 +1,169 @@
+"""Integration tests for the event-driven simulator.
+
+These rely on the session-scoped small simulation plus a few dedicated short
+runs for properties that need special setups (actions, determinism).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    SimulationConfig,
+    build_cluster,
+    small_fleet_spec,
+)
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.telemetry import PerformanceMonitor
+from repro.utils.rng import RngStreams
+from repro.workload import WorkloadGenerator, default_templates
+
+
+def quick_sim(seed=5, hours=2.0, jobs_per_hour=150.0, config=None, sim_config=None):
+    cluster = build_cluster(small_fleet_spec(), config)
+    workload = WorkloadGenerator(
+        default_templates(), jobs_per_hour=jobs_per_hour, streams=RngStreams(seed)
+    ).generate(hours)
+    simulator = ClusterSimulator(
+        cluster, workload, streams=RngStreams(seed + 1), config=sim_config
+    )
+    return cluster, simulator, workload
+
+
+class TestTelemetryConservation:
+    def test_one_record_per_machine_hour(self, small_sim_result):
+        cluster, result = small_sim_result
+        assert len(result.records) == len(cluster.machines) * 6
+
+    def test_tasks_finished_consistent_with_job_records(self, small_sim_result):
+        _, result = small_sim_result
+        telemetry_tasks = sum(r.tasks_finished for r in result.records)
+        job_tasks = sum(j.n_tasks for j in result.jobs)
+        # Telemetry counts every finished task; completed jobs are a subset.
+        assert telemetry_tasks >= job_tasks
+        assert telemetry_tasks <= result.tasks_started
+
+    def test_task_seconds_match_between_views(self, small_sim_result):
+        """Job-level and machine-level task-seconds agree for completed work."""
+        _, result = small_sim_result
+        machine_seconds = sum(r.total_task_seconds for r in result.records)
+        job_seconds = sum(j.total_task_seconds for j in result.jobs)
+        assert machine_seconds >= job_seconds * 0.99
+
+    def test_utilization_bounded(self, small_sim_result):
+        _, result = small_sim_result
+        for record in result.records:
+            assert 0.0 <= record.cpu_utilization <= 1.0
+            assert record.avg_running_containers >= 0.0
+
+    def test_submitted_ge_completed(self, small_sim_result):
+        _, result = small_sim_result
+        assert result.jobs_submitted >= result.jobs_completed > 0
+
+    def test_task_log_sampled_fully(self, small_sim_result):
+        _, result = small_sim_result
+        assert len(result.task_log) == result.tasks_started
+
+    def test_job_runtimes_positive(self, small_sim_result):
+        _, result = small_sim_result
+        assert all(j.runtime > 0 for j in result.jobs)
+
+    def test_resource_samples_collected(self, small_sim_result):
+        _, result = small_sim_result
+        assert len(result.resource_samples) > 0
+        for sample in result.resource_samples[:50]:
+            assert sample.cores_in_use >= 0
+            assert sample.ram_gb_in_use > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        _, sim_a, _ = quick_sim(seed=11)
+        _, sim_b, _ = quick_sim(seed=11)
+        result_a = sim_a.run(2.0)
+        result_b = sim_b.run(2.0)
+        assert result_a.tasks_started == result_b.tasks_started
+        assert result_a.jobs_completed == result_b.jobs_completed
+        totals_a = [r.total_data_read_bytes for r in result_a.records]
+        totals_b = [r.total_data_read_bytes for r in result_b.records]
+        np.testing.assert_allclose(totals_a, totals_b)
+
+    def test_different_seed_differs(self):
+        _, sim_a, _ = quick_sim(seed=11)
+        _, sim_b, _ = quick_sim(seed=12)
+        assert sim_a.run(2.0).tasks_started != sim_b.run(2.0).tasks_started
+
+
+class TestScheduledActions:
+    def test_action_changes_config_mid_run(self):
+        config = YarnConfig(default_limits=GroupLimits(max_running_containers=8))
+        cluster, simulator, _ = quick_sim(config=config, hours=3.0)
+        new = config.copy()
+        new.default_limits = GroupLimits(max_running_containers=16)
+
+        def raise_limits(sim):
+            sim.apply_yarn_config(new)
+
+        simulator.schedule_action(3600.0, raise_limits)
+        result = simulator.run(3.0)
+        monitor = PerformanceMonitor(result.records)
+        before = monitor.filter(hour_range=(0, 1)).records
+        after = monitor.filter(hour_range=(2, 3)).records
+        assert all(r.max_running_containers == 8 for r in before)
+        assert all(r.max_running_containers == 16 for r in after)
+
+    def test_action_outside_horizon_ignored(self):
+        _, simulator, _ = quick_sim(hours=1.0)
+        fired = []
+        simulator.schedule_action(10 * 3600.0, lambda sim: fired.append(1))
+        simulator.run(1.0)
+        assert not fired
+
+
+class TestQueueingBehaviour:
+    def test_overload_builds_queues(self):
+        config = YarnConfig(default_limits=GroupLimits(max_running_containers=2))
+        cluster, simulator, _ = quick_sim(config=config, jobs_per_hour=400.0,
+                                          hours=2.0)
+        result = simulator.run(2.0)
+        assert result.tasks_queued > 0
+        waits = [w for r in result.records for w in r.queue.waits]
+        assert waits and min(waits) >= 0.0
+
+    def test_queued_tasks_eventually_run(self):
+        config = YarnConfig(default_limits=GroupLimits(max_running_containers=2))
+        _, simulator, _ = quick_sim(config=config, jobs_per_hour=250.0, hours=4.0)
+        result = simulator.run(4.0)
+        dequeued = sum(r.queue.dequeued for r in result.records)
+        assert dequeued > 0
+
+
+class TestValidation:
+    def test_zero_duration_rejected(self):
+        _, simulator, _ = quick_sim()
+        with pytest.raises(ValueError):
+            simulator.run(0.0)
+
+    def test_sample_rate_validation(self):
+        """Out-of-range sample rates are rejected when the log is built."""
+        _, simulator, _ = quick_sim(
+            sim_config=SimulationConfig(task_log_sample_rate=0.5)
+        )
+        assert simulator.result.task_log.sample_rate == 0.5
+        with pytest.raises(ValueError):
+            quick_sim(sim_config=SimulationConfig(task_log_sample_rate=1.5))
+
+
+class TestCriticalPath:
+    def test_critical_tasks_marked_once_per_stage(self, small_sim_result):
+        _, result = small_sim_result
+        n_critical = sum(result.task_log.critical)
+        total_stages = sum(
+            1 for _ in result.jobs for _ in range(1)
+        )  # at least one stage per completed job
+        assert n_critical >= len(result.jobs)  # every completed stage marks one
+
+    def test_slow_skus_hold_more_critical_share(self, small_sim_result):
+        _, result = small_sim_result
+        shares = result.task_log.critical_share_by_sku()
+        assert shares["Gen 1.1"] > shares["Gen 4.1"]

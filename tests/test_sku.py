@@ -1,0 +1,82 @@
+"""Tests for the SKU roster and its invariants."""
+
+import pytest
+
+from repro.cluster.sku import DEFAULT_SKUS, Sku, sku_by_name
+
+
+class TestDefaultRoster:
+    def test_seven_generations(self):
+        assert len(DEFAULT_SKUS) == 7
+
+    def test_names_match_figure_2(self):
+        names = {sku.name for sku in DEFAULT_SKUS}
+        assert names == {
+            "Gen 1.1", "Gen 2.1", "Gen 2.2", "Gen 2.3",
+            "Gen 3.1", "Gen 4.1", "Gen 4.2",
+        }
+
+    def test_newer_generations_are_faster(self):
+        by_year = sorted(DEFAULT_SKUS, key=lambda s: s.generation_year)
+        speeds = [s.speed_factor for s in by_year]
+        assert speeds == sorted(speeds)
+
+    def test_newer_generations_have_lower_contention(self):
+        by_year = sorted(DEFAULT_SKUS, key=lambda s: s.generation_year)
+        betas = [s.contention_beta for s in by_year]
+        assert betas == sorted(betas, reverse=True)
+
+    def test_cores_ram_monotone_with_generation(self):
+        by_year = sorted(DEFAULT_SKUS, key=lambda s: s.generation_year)
+        assert [s.cores for s in by_year] == sorted(s.cores for s in by_year)
+        assert [s.ram_gb for s in by_year] == sorted(s.ram_gb for s in by_year)
+
+    def test_only_gen4_supports_feature(self):
+        for sku in DEFAULT_SKUS:
+            assert sku.feature_capable == sku.name.startswith("Gen 4")
+
+    def test_provisioned_power_above_peak(self):
+        for sku in DEFAULT_SKUS:
+            assert sku.provisioned_power_watts >= sku.power_peak_watts
+
+    def test_dynamic_power_positive(self):
+        for sku in DEFAULT_SKUS:
+            assert sku.dynamic_power_watts > 0
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert sku_by_name("Gen 4.1").cores == 48
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="Gen 4.1"):
+            sku_by_name("Gen 9.9")
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        params = dict(
+            name="X", cores=8, ram_gb=32.0, ssd_gb=100.0, hdd_gb=1000.0,
+            speed_factor=1.0, contention_beta=0.5, hdd_io_mbps=100.0,
+            ssd_io_mbps=500.0, power_idle_watts=50.0, power_peak_watts=150.0,
+            provisioned_power_watts=200.0, generation_year=2020,
+            feature_capable=False,
+        )
+        params.update(overrides)
+        return Sku(**params)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            self._base(cores=0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed_factor"):
+            self._base(speed_factor=0.0)
+
+    def test_peak_below_idle_rejected(self):
+        with pytest.raises(ValueError, match="peak"):
+            self._base(power_peak_watts=40.0)
+
+    def test_provision_below_peak_rejected(self):
+        with pytest.raises(ValueError, match="provisioned"):
+            self._base(provisioned_power_watts=100.0)

@@ -1,0 +1,103 @@
+"""Tests for the SKU-design study (hypothetical tuning, Eq. 11-12 + MC)."""
+
+import numpy as np
+import pytest
+
+from repro.core.applications.sku_design import SkuCostModel, SkuDesignStudy
+from repro.telemetry.records import ResourceSample
+from repro.utils.errors import TelemetryError
+
+
+def make_samples(n=2000, alpha_s=40.0, beta_s=12.0, alpha_r=6.0, beta_r=2.5,
+                 noise=0.05, seed=0):
+    """Samples following exact linear usage laws with multiplicative noise."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for i in range(n):
+        cores = rng.uniform(1.0, 40.0)
+        ssd = (alpha_s + beta_s * cores) * rng.normal(1.0, noise)
+        ram = (alpha_r + beta_r * cores) * rng.normal(1.0, noise)
+        samples.append(
+            ResourceSample(
+                machine_id=i % 40, sku="Gen 4.1", software="SC2",
+                time=float(i), cores_in_use=cores,
+                ram_gb_in_use=max(ram, 0.1), ssd_gb_in_use=max(ssd, 0.1),
+            )
+        )
+    return samples
+
+
+class TestUsageModel:
+    def test_recovers_linear_parameters(self):
+        study = SkuDesignStudy()
+        usage = study.fit_usage(make_samples())
+        assert usage.alpha_ssd == pytest.approx(40.0, abs=8.0)
+        assert usage.ssd_model.slope == pytest.approx(12.0, rel=0.05)
+        assert usage.alpha_ram == pytest.approx(6.0, abs=2.0)
+        assert usage.ram_model.slope == pytest.approx(2.5, rel=0.05)
+
+    def test_slope_distribution_centered_on_truth(self):
+        study = SkuDesignStudy()
+        usage = study.fit_usage(make_samples())
+        assert np.median(usage.ssd_slopes) == pytest.approx(12.0, rel=0.1)
+        assert np.median(usage.ram_slopes) == pytest.approx(2.5, rel=0.1)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(TelemetryError):
+            SkuDesignStudy().fit_usage(make_samples(n=5))
+
+
+class TestExpectedCost:
+    def _fitted(self):
+        study = SkuDesignStudy()
+        study.fit_usage(make_samples())
+        return study
+
+    def test_underprovisioned_design_pays_stranding_penalty(self):
+        study = self._fitted()
+        # Usage at 128 cores: ssd ~ 40 + 12*128 = 1576 GB; give far less.
+        starved = study.expected_cost(ram_gb=400.0, ssd_gb=300.0, n_draws=200,
+                                      rng=np.random.default_rng(0))
+        ample = study.expected_cost(ram_gb=400.0, ssd_gb=2000.0, n_draws=200,
+                                    rng=np.random.default_rng(0))
+        assert starved.mean > ample.mean
+
+    def test_overprovisioned_design_pays_idle_cost(self):
+        study = self._fitted()
+        right = study.expected_cost(ram_gb=400.0, ssd_gb=2000.0, n_draws=200,
+                                    rng=np.random.default_rng(1))
+        bloated = study.expected_cost(ram_gb=400.0, ssd_gb=50000.0, n_draws=200,
+                                      rng=np.random.default_rng(1))
+        assert bloated.mean > right.mean
+
+    def test_cost_before_fit_raises(self):
+        with pytest.raises(TelemetryError):
+            SkuDesignStudy().expected_cost(100.0, 1000.0)
+
+
+class TestSweep:
+    def test_sweet_spot_is_interior(self):
+        """Figure 14's shape: the best design is neither the smallest nor the
+        largest candidate on either axis."""
+        study = SkuDesignStudy()
+        study.fit_usage(make_samples())
+        ram_axis = [120.0, 240.0, 360.0, 480.0, 720.0]
+        ssd_axis = [400.0, 1200.0, 2000.0, 2800.0, 4400.0]
+        result = study.sweep(ram_axis, ssd_axis, n_cores=128, n_draws=150)
+        assert result.best_ram_gb not in (ram_axis[0],)
+        assert result.best_ssd_gb not in (ssd_axis[0],)
+        # Demand at 128 cores: RAM ~ 326 GB, SSD ~ 1576 GB; the sweet spot
+        # should land just above demand.
+        assert 240.0 <= result.best_ram_gb <= 720.0
+        assert 1200.0 <= result.best_ssd_gb <= 4400.0
+
+    def test_surface_has_all_cells(self):
+        study = SkuDesignStudy()
+        study.fit_usage(make_samples(n=500))
+        result = study.sweep([100.0, 400.0], [500.0, 2000.0], n_draws=50)
+        assert len(result.surface_rows()) == 4
+
+    def test_cost_model_defaults_sane(self):
+        cost = SkuCostModel()
+        assert cost.oos_penalty > cost.core_unit_cost
+        assert cost.oom_penalty > cost.ram_unit_cost_per_gb

@@ -1,0 +1,94 @@
+"""Tests for software configurations, group keys, and YarnConfig."""
+
+import pytest
+
+from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.software import SC1, SC2, SOFTWARE_CONFIGS, MachineGroupKey
+from repro.utils.errors import ConfigurationError
+
+
+class TestSoftwareConfigs:
+    def test_sc1_on_hdd_sc2_on_ssd(self):
+        assert not SC1.temp_store_on_ssd
+        assert SC2.temp_store_on_ssd
+
+    def test_sc1_has_higher_io_contention(self):
+        assert SC1.io_contention_coeff > SC2.io_contention_coeff
+
+    def test_registry_contains_both(self):
+        assert set(SOFTWARE_CONFIGS) == {"SC1", "SC2"}
+
+
+class TestMachineGroupKey:
+    def test_label_format_matches_paper(self):
+        key = MachineGroupKey(software="SC2", sku="Gen 4.1")
+        assert key.label == "SC2_Gen 4.1"
+
+    def test_from_label_roundtrip(self):
+        key = MachineGroupKey(software="SC1", sku="Gen 2.2")
+        assert MachineGroupKey.from_label(key.label) == key
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MachineGroupKey.from_label("nounderscore")
+
+    def test_keys_are_orderable_and_hashable(self):
+        a = MachineGroupKey("SC1", "Gen 1.1")
+        b = MachineGroupKey("SC2", "Gen 1.1")
+        assert a < b
+        assert len({a, b, a}) == 2
+
+
+class TestGroupLimits:
+    def test_rejects_zero_containers(self):
+        with pytest.raises(ConfigurationError):
+            GroupLimits(max_running_containers=0)
+
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ConfigurationError):
+            GroupLimits(max_running_containers=5, max_queued_containers=-1)
+
+
+class TestYarnConfig:
+    def _key(self, sc="SC1", sku="Gen 1.1"):
+        return MachineGroupKey(software=sc, sku=sku)
+
+    def test_default_fallback_for_unknown_group(self):
+        config = YarnConfig(default_limits=GroupLimits(max_running_containers=9))
+        assert config.for_group(self._key()).max_running_containers == 9
+
+    def test_set_and_get_group(self):
+        config = YarnConfig()
+        config.set_group(self._key(), GroupLimits(max_running_containers=18))
+        assert config.for_group(self._key()).max_running_containers == 18
+
+    def test_copy_is_independent(self):
+        config = YarnConfig()
+        config.set_group(self._key(), GroupLimits(max_running_containers=18))
+        clone = config.copy()
+        clone.set_group(self._key(), GroupLimits(max_running_containers=5))
+        assert config.for_group(self._key()).max_running_containers == 18
+
+    def test_with_container_delta_applies_and_preserves_queue(self):
+        config = YarnConfig()
+        config.set_group(
+            self._key(),
+            GroupLimits(max_running_containers=18, max_queued_containers=7),
+        )
+        new = config.with_container_delta({self._key(): -2})
+        limits = new.for_group(self._key())
+        assert limits.max_running_containers == 16
+        assert limits.max_queued_containers == 7
+        # Original untouched.
+        assert config.for_group(self._key()).max_running_containers == 18
+
+    def test_delta_below_minimum_rejected(self):
+        config = YarnConfig()
+        config.set_group(self._key(), GroupLimits(max_running_containers=2))
+        with pytest.raises(ConfigurationError):
+            config.with_container_delta({self._key(): -5})
+
+    def test_limits_by_label_view(self):
+        config = YarnConfig()
+        config.set_group(self._key("SC2", "Gen 4.1"), GroupLimits(max_running_containers=40))
+        assert config.container_limits_by_label() == {"SC2_Gen 4.1": 40}
