@@ -7,6 +7,7 @@ survive pytest's output capturing.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -20,3 +21,11 @@ def emit(name: str, text: str) -> str:
     print(payload)
     (OUT_DIR / f"{name}.txt").write_text(payload)
     return payload
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's machine-readable results under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -17,6 +17,54 @@ Quickstart::
     baseline = kea.observe(days=3)
     proposal = kea.tune_yarn_config(baseline)
     print(proposal.summary())
+
+Continuous tuning over many tenants (:mod:`repro.service`)::
+
+    from repro import ContinuousTuningService, FleetRegistry, TenantSpec
+    from repro.cluster import small_fleet_spec
+
+    registry = FleetRegistry()
+    registry.add(TenantSpec(name="east", fleet_spec=small_fleet_spec(), seed=1))
+    registry.add(TenantSpec(name="west", fleet_spec=small_fleet_spec(), seed=2))
+    with ContinuousTuningService(registry) as service:
+        print(service.run_campaigns(scenario="diurnal-baseline").summary())
 """
 
-__version__ = "1.0.0"
+from repro.core import DeploymentImpact, FlightValidation, Kea, Observation
+from repro.service import (
+    Campaign,
+    CampaignGuardrails,
+    CampaignPhase,
+    CampaignReport,
+    ContinuousTuningService,
+    FleetCampaignReport,
+    FleetRegistry,
+    Scenario,
+    ScenarioCatalog,
+    SimulationCache,
+    SimulationPool,
+    TenantSpec,
+    default_catalog,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "DeploymentImpact",
+    "FlightValidation",
+    "Kea",
+    "Observation",
+    "Campaign",
+    "CampaignGuardrails",
+    "CampaignPhase",
+    "CampaignReport",
+    "ContinuousTuningService",
+    "FleetCampaignReport",
+    "FleetRegistry",
+    "Scenario",
+    "ScenarioCatalog",
+    "SimulationCache",
+    "SimulationPool",
+    "TenantSpec",
+    "default_catalog",
+]

@@ -20,7 +20,7 @@ from repro.core.conceptualization import (
     validate_implicit_slos,
     validate_uniform_task_spread,
 )
-from repro.core.kea import DeploymentImpact, Kea, Observation
+from repro.core.kea import DeploymentImpact, FlightValidation, Kea, Observation
 from repro.core.methodology import KeaProject, Phase, ProjectCharter
 from repro.core.tuning import (
     ExperimentalTuning,
@@ -48,6 +48,7 @@ __all__ = [
     "validate_implicit_slos",
     "validate_uniform_task_spread",
     "DeploymentImpact",
+    "FlightValidation",
     "Kea",
     "Observation",
     "KeaProject",

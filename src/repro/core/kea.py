@@ -33,6 +33,7 @@ from repro.cluster.cluster import (
 )
 from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.cluster.software import MachineGroupKey
 from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import YarnLimitsBuild
@@ -40,15 +41,16 @@ from repro.flighting.flight import Flight
 from repro.flighting.tool import FlightingTool, FlightReport
 from repro.ml.huber import HuberRegressor
 from repro.ml.model import LinearModelBase
+from repro.flighting.safety import GateVerdict, SafetyGate
 from repro.stats.treatment import TreatmentEffect, paired_effect
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import RngStreams
 from repro.workload.generator import WorkloadGenerator, estimate_jobs_per_hour
-from repro.workload.seasonality import SeasonalityProfile
+from repro.workload.seasonality import SeasonalityProfile, SpikeProfile
 from repro.workload.template import JobTemplate, default_templates
 
-__all__ = ["Observation", "DeploymentImpact", "Kea"]
+__all__ = ["Observation", "DeploymentImpact", "FlightValidation", "Kea"]
 
 
 @dataclass
@@ -94,6 +96,15 @@ class DeploymentImpact:
         return "\n".join(lines)
 
 
+@dataclass
+class FlightValidation:
+    """Outcome of one flighting window: per-flight reports plus, when a
+    safety gate was supplied, its verdict on the flighted run."""
+
+    reports: list[FlightReport]
+    gate: GateVerdict | None = None
+
+
 class Kea:
     """KEA wired to a simulated Cosmos-like production environment."""
 
@@ -102,7 +113,7 @@ class Kea:
         fleet_spec: FleetSpec,
         yarn_config: YarnConfig | None = None,
         templates: tuple[JobTemplate, ...] | None = None,
-        seasonality: SeasonalityProfile | None = None,
+        seasonality: SeasonalityProfile | SpikeProfile | None = None,
         jobs_per_hour: float | None = None,
         seed: int = 0,
         mean_task_duration_hint_s: float = 420.0,
@@ -144,8 +155,22 @@ class Kea:
     def _next_streams(self, tag: str, reuse_tag: str | None = None) -> RngStreams:
         if reuse_tag is not None:
             return self.streams.spawn(reuse_tag)
+        return self.streams.spawn(f"{tag}-{self._reserve_run()}")
+
+    def _reserve_run(self) -> int:
+        """Claim the next run number (each simulated window is a new draw)."""
         self._run_counter += 1
-        return self.streams.spawn(f"{tag}-{self._run_counter}")
+        return self._run_counter
+
+    def _fresh_tag(self, prefix: str) -> str:
+        """A workload tag no previous run of this instance has used.
+
+        Paired evaluations (``deployment_impact``, ``benchmark_impact``) pin
+        their before/after runs to one tag; the tag itself must advance the
+        run counter, otherwise two consecutive evaluations would silently
+        replay the identical workload.
+        """
+        return f"{prefix}-{self._reserve_run()}"
 
     def simulate(
         self,
@@ -241,12 +266,38 @@ class Kea:
         raised limit can only show up in *observed* running containers when
         there is queued work ready to fill the new slots.
         """
+        return self.flight_campaign(
+            tuning.config_deltas,
+            hours=hours,
+            machines_per_group=machines_per_group,
+            metrics=metrics,
+            load_multiplier=load_multiplier,
+        ).reports
+
+    def flight_campaign(
+        self,
+        config_deltas: dict[MachineGroupKey, int],
+        hours: float = 24.0,
+        machines_per_group: int = 8,
+        metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization"),
+        load_multiplier: float = 1.6,
+        workload_tag: str | None = None,
+        safety_gate: SafetyGate | None = None,
+    ) -> FlightValidation:
+        """Campaign-grade flighting: pilot flights plus an optional safety gate.
+
+        The continuous tuning service drives this hook directly: it pins the
+        flight window to an explicit ``workload_tag`` (so re-running the same
+        campaign round replays the same arrivals, in any process) and asks a
+        :class:`~repro.flighting.safety.SafetyGate` to judge the flighted run
+        before the rollout may proceed.
+        """
         reports: list[FlightReport] = []
         cluster = self.build_cluster()
         by_group = cluster.machines_by_group()
 
         flights: list[Flight] = []
-        for key, delta in sorted(tuning.config_deltas.items()):
+        for key, delta in sorted(config_deltas.items()):
             group_machines = by_group.get(key, [])
             # Flight at most half the group: the other half is the control.
             n_flighted = min(machines_per_group, len(group_machines) // 2)
@@ -266,7 +317,7 @@ class Kea:
                 )
             )
         if not flights:
-            return reports
+            return FlightValidation(reports=reports, gate=None)
 
         def register(sim: ClusterSimulator) -> None:
             tool = FlightingTool(sim)
@@ -274,7 +325,7 @@ class Kea:
                 tool.add_flight(flight)
 
         # Run the flights against a demand-bound window on this cluster.
-        streams = self._next_streams("flight")
+        streams = self._next_streams("flight", reuse_tag=workload_tag)
         generator = WorkloadGenerator(
             self.templates,
             jobs_per_hour=self.jobs_per_hour * load_multiplier,
@@ -289,7 +340,8 @@ class Kea:
         tool = FlightingTool(simulator)
         for flight in flights:
             reports.append(tool.evaluate(flight, monitor, metrics=metrics))
-        return reports
+        verdict = safety_gate.evaluate(simulator) if safety_gate is not None else None
+        return FlightValidation(reports=reports, gate=verdict)
 
     def deployment_impact(
         self,
@@ -297,6 +349,7 @@ class Kea:
         days: float = 2.0,
         benchmark_period_hours: float = 6.0,
         load_multiplier: float = 1.6,
+        workload_tag: str | None = None,
     ) -> DeploymentImpact:
         """Before/after rollout evaluation with treatment effects (§5.2.2).
 
@@ -304,9 +357,12 @@ class Kea:
         paired per-machine effects isolate the configuration change. The
         default ``load_multiplier`` pushes the cluster into the demand-bound
         regime Cosmos operates in (there is always queued work), where extra
-        well-placed containers convert into throughput.
+        well-placed containers convert into throughput. Pass ``workload_tag``
+        to pin the window explicitly (campaign replay/caching); otherwise a
+        fresh tag is reserved per call, so consecutive evaluations never
+        silently replay the same workload.
         """
-        tag = f"deploy-{self._run_counter}"
+        tag = workload_tag if workload_tag is not None else self._fresh_tag("deploy")
         before = self.simulate(
             days,
             config=self.current_config,
@@ -363,6 +419,7 @@ class Kea:
         days: float = 1.0,
         benchmark_period_hours: float = 3.0,
         load_multiplier: float = 1.0,
+        workload_tag: str | None = None,
     ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
         """Before/after runtimes of the benchmark jobs (Figure 11).
 
@@ -371,7 +428,7 @@ class Kea:
         production load by default: job runtimes at deep saturation are
         dominated by queueing noise, which is not what Figure 11 measures.
         """
-        tag = f"bench-{self._run_counter}"
+        tag = workload_tag if workload_tag is not None else self._fresh_tag("bench")
         before = self.simulate(
             days,
             config=self.current_config,

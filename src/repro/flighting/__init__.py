@@ -9,7 +9,12 @@ from repro.flighting.build import (
 )
 from repro.flighting.deployment import DeploymentModule, RolloutPlan, RolloutWave
 from repro.flighting.flight import Flight
-from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
+from repro.flighting.safety import (
+    DeploymentGuardrail,
+    GateVerdict,
+    LatencyRegressionGate,
+    SafetyGate,
+)
 from repro.flighting.tool import FlightImpact, FlightingTool, FlightReport
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "RolloutPlan",
     "RolloutWave",
     "Flight",
+    "DeploymentGuardrail",
     "GateVerdict",
     "LatencyRegressionGate",
     "SafetyGate",

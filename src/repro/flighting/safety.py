@@ -14,7 +14,12 @@ import numpy as np
 from repro.cluster.simulator import ClusterSimulator
 from repro.telemetry.monitor import PerformanceMonitor
 
-__all__ = ["GateVerdict", "SafetyGate", "LatencyRegressionGate"]
+__all__ = [
+    "GateVerdict",
+    "SafetyGate",
+    "LatencyRegressionGate",
+    "DeploymentGuardrail",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,4 +81,71 @@ class LatencyRegressionGate(SafetyGate):
             )
         return GateVerdict(
             passed=True, reason=f"latency change {regression:+.1%} within allowance"
+        )
+
+
+class DeploymentGuardrail:
+    """Judge a measured rollout by its treatment effects (Section 5.2.2).
+
+    The paper's deployments are evaluated with significance-tested treatment
+    effects; this gate encodes the rollback policy a continuous tuning
+    campaign applies to them. A rollout fails — and must be rolled back —
+    when either
+
+    * task latency regresses beyond ``latency_allowance`` *and* that
+      regression is statistically significant at ``alpha``; or
+    * throughput drops beyond ``throughput_allowance`` *and* that drop is
+      significant at ``alpha``.
+
+    Insignificant wobble within the allowances is deliberately tolerated:
+    the paper deploys on "no significant regression", not "certain win".
+    """
+
+    def __init__(
+        self,
+        latency_allowance: float = 0.02,
+        throughput_allowance: float = 0.02,
+        alpha: float = 0.05,
+    ):
+        if alpha <= 0 or alpha > 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.latency_allowance = latency_allowance
+        self.throughput_allowance = throughput_allowance
+        self.alpha = alpha
+
+    def judge(self, impact) -> GateVerdict:
+        """Verdict for a :class:`~repro.core.kea.DeploymentImpact`."""
+        latency = impact.latency
+        if (
+            latency.relative_effect > self.latency_allowance
+            and latency.significant(self.alpha)
+        ):
+            return GateVerdict(
+                passed=False,
+                reason=(
+                    f"task latency regressed {latency.relative_effect:+.1%} "
+                    f"(allowance {self.latency_allowance:+.1%}, "
+                    f"p={latency.test.p_value:.3f})"
+                ),
+            )
+        throughput = impact.throughput
+        if (
+            throughput.relative_effect < -self.throughput_allowance
+            and throughput.significant(self.alpha)
+        ):
+            return GateVerdict(
+                passed=False,
+                reason=(
+                    f"throughput dropped {throughput.relative_effect:+.1%} "
+                    f"(allowance {-self.throughput_allowance:+.1%}, "
+                    f"p={throughput.test.p_value:.3f})"
+                ),
+            )
+        return GateVerdict(
+            passed=True,
+            reason=(
+                f"latency {latency.relative_effect:+.1%}, "
+                f"throughput {throughput.relative_effect:+.1%}: "
+                "no significant regression"
+            ),
         )

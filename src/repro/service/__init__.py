@@ -1,0 +1,66 @@
+"""The continuous tuning service (multi-cluster campaign orchestration).
+
+KEA's value comes from running observe → calibrate → tune → flight → deploy
+*continuously* across a huge fleet. This subsystem turns the single-instance
+:class:`~repro.core.kea.Kea` loop into a service:
+
+* :class:`FleetRegistry` / :class:`TenantSpec` — named tenants, each a
+  reproducible recipe for one simulated production environment;
+* :class:`ScenarioCatalog` / :class:`Scenario` — named workload scenarios
+  (diurnal baseline, demand spike, sustained overload, machine-group
+  decommission, benchmark-heavy) campaigns are launched against;
+* :class:`Campaign` — the per-tenant state machine with significance-gated
+  transitions and rollback on regressing deployments;
+* :class:`SimulationPool` — process-parallel execution of independent
+  tenant simulations, bit-identical to serial execution;
+* :class:`SimulationCache` — memoizes outcomes by (tenant, config hash,
+  workload tag) so repeated what-if questions never re-simulate;
+* :class:`ContinuousTuningService` — the orchestrator tying them together.
+"""
+
+from repro.service.cache import CacheStats, SimulationCache
+from repro.service.campaign import (
+    Campaign,
+    CampaignEvent,
+    CampaignGuardrails,
+    CampaignPhase,
+    CampaignReport,
+)
+from repro.service.pool import (
+    SimulationOutcome,
+    SimulationPool,
+    SimulationRequest,
+    config_fingerprint,
+    execute_request,
+)
+from repro.service.registry import FleetRegistry, TenantSpec
+from repro.service.scenarios import (
+    DEFAULT_CATALOG,
+    Scenario,
+    ScenarioCatalog,
+    default_catalog,
+)
+from repro.service.service import ContinuousTuningService, FleetCampaignReport
+
+__all__ = [
+    "CacheStats",
+    "SimulationCache",
+    "Campaign",
+    "CampaignEvent",
+    "CampaignGuardrails",
+    "CampaignPhase",
+    "CampaignReport",
+    "SimulationOutcome",
+    "SimulationPool",
+    "SimulationRequest",
+    "config_fingerprint",
+    "execute_request",
+    "FleetRegistry",
+    "TenantSpec",
+    "DEFAULT_CATALOG",
+    "Scenario",
+    "ScenarioCatalog",
+    "default_catalog",
+    "ContinuousTuningService",
+    "FleetCampaignReport",
+]

@@ -1,0 +1,70 @@
+"""Engine/result cache: never simulate the same what-if twice.
+
+Campaign loops routinely re-ask identical questions — a retried round, two
+scenarios sharing a baseline window, a dashboard re-rendering yesterday's
+campaign. Each simulated window costs seconds here and *days* of production
+observation in the paper's setting, so results are memoized under the
+request's ``(tenant, config hash, workload tag)`` key. Keys are complete:
+two requests with equal keys are guaranteed (by construction in
+:meth:`~repro.service.pool.SimulationRequest.cache_key`) to simulate
+identically, so a hit is always safe to reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.pool import SimulationOutcome, SimulationRequest
+
+__all__ = ["CacheStats", "SimulationCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`SimulationCache`."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SimulationCache:
+    """In-memory memo of simulation outcomes, keyed by request identity."""
+
+    def __init__(self):
+        self._store: dict[tuple[str, str, str], SimulationOutcome] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, request: SimulationRequest) -> SimulationOutcome | None:
+        """The cached outcome for ``request``, or None (counts hit/miss)."""
+        outcome = self._store.get(request.cache_key())
+        if outcome is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return outcome
+
+    def store(self, request: SimulationRequest, outcome: SimulationOutcome) -> None:
+        """Memoize ``outcome`` under ``request``'s key."""
+        self._store[request.cache_key()] = outcome
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,383 @@
+"""The campaign state machine: one tenant's continuous tuning loop.
+
+A :class:`Campaign` steps a tenant through the paper's full loop —
+
+    OBSERVE → CALIBRATE → TUNE → FLIGHT → DEPLOY / ROLLBACK
+
+— with significance gates between the risky transitions. Simulation-heavy
+phases (OBSERVE, FLIGHT, DEPLOY evaluation) are exposed as
+:class:`~repro.service.pool.SimulationRequest` values so an orchestrator can
+fan them out, cache them, or run them inline; the cheap analytical phases
+(CALIBRATE, TUNE) execute inside :meth:`advance`. Guardrails reuse the
+library's deployment machinery: pilot-flight significance tests
+(:mod:`repro.flighting.tool`), the in-flight latency gate and
+:class:`~repro.flighting.safety.DeploymentGuardrail`
+(:mod:`repro.flighting.safety`), and the treatment effects of
+:mod:`repro.stats.treatment` carried by
+:class:`~repro.core.kea.DeploymentImpact`. A rollout that regresses is
+rolled back: the proposed config is discarded and the baseline stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cluster.cluster import build_cluster, default_yarn_config
+from repro.cluster.config import YarnConfig
+from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
+from repro.core.kea import DeploymentImpact
+from repro.core.whatif import WhatIfEngine
+from repro.flighting.safety import DeploymentGuardrail
+from repro.service.pool import SimulationOutcome, SimulationRequest
+from repro.service.registry import TenantSpec
+from repro.service.scenarios import Scenario
+from repro.telemetry.monitor import MonitorSnapshot, PerformanceMonitor
+from repro.utils.errors import ServiceError
+
+__all__ = [
+    "CampaignPhase",
+    "CampaignEvent",
+    "CampaignGuardrails",
+    "CampaignReport",
+    "Campaign",
+]
+
+
+class CampaignPhase(Enum):
+    """Where a campaign stands; the last three are terminal."""
+
+    OBSERVE = "observe"
+    CALIBRATE = "calibrate"
+    TUNE = "tune"
+    FLIGHT = "flight"
+    DEPLOY = "deploy"
+    DEPLOYED = "deployed"
+    ROLLED_BACK = "rolled_back"
+    CONVERGED = "converged"
+
+
+TERMINAL_PHASES = frozenset(
+    {CampaignPhase.DEPLOYED, CampaignPhase.ROLLED_BACK, CampaignPhase.CONVERGED}
+)
+
+#: Which request kind each simulation-heavy phase waits on.
+_REQUEST_KIND = {
+    CampaignPhase.OBSERVE: "observe",
+    CampaignPhase.FLIGHT: "flight",
+    CampaignPhase.DEPLOY: "impact",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignEvent:
+    """One line of a campaign's audit trail."""
+
+    round: int
+    phase: CampaignPhase
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"r{self.round} {self.phase.value}: {self.detail}"
+
+
+@dataclass
+class CampaignGuardrails:
+    """Everything that may stop a rollout before or after it ships.
+
+    * pilot flights must move the direct metric significantly (the paper's
+      first validation: changing the container limit must visibly change
+      running containers) — unless ``require_flight_significance`` is off;
+    * the in-flight latency gate (window/allowance) must pass;
+    * the measured rollout must pass ``deployment``
+      (:class:`~repro.flighting.safety.DeploymentGuardrail`), else the
+      config is rolled back.
+    """
+
+    deployment: DeploymentGuardrail = field(default_factory=DeploymentGuardrail)
+    require_flight_significance: bool = True
+    flight_metric: str = "AverageRunningContainers"
+    flight_alpha: float = 0.05
+    flight_gate_window_hours: int = 2
+    flight_gate_allowance: float = 0.10
+
+
+@dataclass
+class CampaignReport:
+    """Final readout of one tenant's campaign."""
+
+    tenant: str
+    scenario: str
+    final_phase: CampaignPhase
+    rounds_run: int
+    deployments: int
+    rollbacks: int
+    capacity_before: int
+    capacity_after: int
+    history: tuple[CampaignEvent, ...]
+    last_impact: DeploymentImpact | None
+
+    @property
+    def capacity_gain(self) -> float:
+        """Relative sellable-capacity change over the whole campaign."""
+        if self.capacity_before <= 0:
+            return 0.0
+        return (self.capacity_after - self.capacity_before) / self.capacity_before
+
+    def summary(self) -> str:
+        """Multi-line operator readout."""
+        lines = [
+            f"campaign {self.tenant!r} on scenario {self.scenario!r}: "
+            f"{self.final_phase.value} after {self.rounds_run} round(s) "
+            f"({self.deployments} deployed, {self.rollbacks} rolled back)",
+            f"sellable capacity: {self.capacity_before} → {self.capacity_after} "
+            f"containers ({self.capacity_gain:+.1%})",
+        ]
+        lines.extend(f"  {event}" for event in self.history)
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Drives one tenant through OBSERVE → … → DEPLOY/ROLLBACK rounds.
+
+    The campaign is a pull-based state machine: :meth:`pending_request`
+    describes the simulation it is waiting on (or None when terminal), and
+    :meth:`advance` consumes that simulation's outcome, runs any cheap
+    analytical phases, and moves on. Workload tags are deterministic
+    functions of (scenario, round, step), so a campaign replays identically
+    wherever its requests are executed.
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        scenario: Scenario,
+        guardrails: CampaignGuardrails | None = None,
+        rounds: int = 1,
+        observe_days: float = 1.0,
+        impact_days: float = 1.0,
+        flight_hours: float = 8.0,
+        machines_per_group: int = 8,
+        initial_config: YarnConfig | None = None,
+    ):
+        if rounds < 1:
+            raise ServiceError("a campaign needs at least one round")
+        self.spec = spec
+        self.scenario = scenario
+        self.guardrails = guardrails if guardrails is not None else CampaignGuardrails()
+        self.rounds = rounds
+        self.observe_days = observe_days
+        self.impact_days = impact_days
+        self.flight_hours = flight_hours
+        self.machines_per_group = machines_per_group
+        self.config = (
+            initial_config.copy() if initial_config is not None else default_yarn_config()
+        )
+        self._initial_config = self.config.copy()
+
+        self.round = 1
+        self.phase = CampaignPhase.OBSERVE
+        self.history: list[CampaignEvent] = []
+        self.deployments = 0
+        self.rollbacks = 0
+        self.snapshots: list[MonitorSnapshot] = []
+        self.engine: WhatIfEngine | None = None
+        self.tuning: YarnTuningResult | None = None
+        self.last_impact: DeploymentImpact | None = None
+
+    # ------------------------------------------------------------------
+    # State machine surface
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the campaign reached a terminal phase."""
+        return self.phase in TERMINAL_PHASES
+
+    def workload_tag(self, step: str) -> str:
+        """The deterministic tag for this round's ``step`` window."""
+        return f"campaign/{self.scenario.name}/r{self.round}/{step}"
+
+    def pending_request(self) -> SimulationRequest | None:
+        """The simulation this campaign waits on, or None when terminal."""
+        if self.done:
+            return None
+        kind = _REQUEST_KIND.get(self.phase)
+        if kind is None:  # pragma: no cover - CALIBRATE/TUNE never persist
+            raise ServiceError(
+                f"campaign {self.spec.name!r} is mid-{self.phase.value}; "
+                "analytical phases resolve inside advance()"
+            )
+        common = dict(
+            tenant=self.spec.name,
+            kind=kind,
+            spec=self.spec,
+            scenario=self.scenario,
+            config=self.config.copy(),
+            workload_tag=self.workload_tag(kind),
+        )
+        if kind == "observe":
+            return SimulationRequest(days=self.observe_days, **common)
+        if kind == "flight":
+            assert self.tuning is not None
+            return SimulationRequest(
+                deltas=tuple(sorted(self.tuning.config_deltas.items())),
+                flight_hours=self.flight_hours,
+                machines_per_group=self.machines_per_group,
+                gate_window_hours=self.guardrails.flight_gate_window_hours,
+                gate_allowance=self.guardrails.flight_gate_allowance,
+                **common,
+            )
+        assert self.tuning is not None
+        return SimulationRequest(
+            days=self.impact_days,
+            proposed=self.tuning.proposed_config.copy(),
+            **common,
+        )
+
+    def advance(self, outcome: SimulationOutcome) -> None:
+        """Consume the outcome of :meth:`pending_request` and move on."""
+        expected = _REQUEST_KIND.get(self.phase)
+        if self.done or expected is None:
+            raise ServiceError(
+                f"campaign {self.spec.name!r} ({self.phase.value}) "
+                "is not waiting on a simulation"
+            )
+        if outcome.tenant != self.spec.name or outcome.kind != expected:
+            raise ServiceError(
+                f"campaign {self.spec.name!r} expected a {expected!r} outcome, "
+                f"got {outcome.kind!r} for tenant {outcome.tenant!r}"
+            )
+        if self.phase is CampaignPhase.OBSERVE:
+            self._after_observe(outcome)
+        elif self.phase is CampaignPhase.FLIGHT:
+            self._after_flight(outcome)
+        else:
+            self._after_impact(outcome)
+
+    # ------------------------------------------------------------------
+    # Phase handlers
+    # ------------------------------------------------------------------
+    def _log(self, phase: CampaignPhase, detail: str) -> None:
+        self.history.append(CampaignEvent(round=self.round, phase=phase, detail=detail))
+
+    def _after_observe(self, outcome: SimulationOutcome) -> None:
+        monitor = PerformanceMonitor(outcome.records)
+        snapshot = outcome.snapshot if outcome.snapshot is not None else monitor.snapshot()
+        self.snapshots.append(snapshot)
+        self._log(CampaignPhase.OBSERVE, snapshot.summary())
+
+        # CALIBRATE and TUNE are analytical (milliseconds next to the
+        # simulated windows), so they resolve inline rather than round-trip
+        # through the pool.
+        self.phase = CampaignPhase.CALIBRATE
+        engine = WhatIfEngine()
+        engine.calibrate(monitor)
+        self.engine = engine
+        self._log(
+            CampaignPhase.CALIBRATE,
+            f"what-if engine calibrated on {len(engine.groups())} machine groups",
+        )
+
+        self.phase = CampaignPhase.TUNE
+        cluster = build_cluster(self.spec.fleet_spec, self.config.copy())
+        self.tuning = YarnConfigTuner(engine).tune(cluster)
+        if not self.tuning.config_deltas:
+            self._log(CampaignPhase.TUNE, "optimizer proposes no material change")
+            self.phase = CampaignPhase.CONVERGED
+            self._log(
+                CampaignPhase.CONVERGED,
+                "baseline already optimal within the conservative step bound",
+            )
+            return
+        self._log(
+            CampaignPhase.TUNE,
+            f"{len(self.tuning.config_deltas)} group delta(s), "
+            f"predicted capacity {self.tuning.capacity_gain:+.1%} at the optimum",
+        )
+        self.phase = CampaignPhase.FLIGHT
+
+    def _after_flight(self, outcome: SimulationOutcome) -> None:
+        rails = self.guardrails
+        if outcome.gate is not None and not outcome.gate.passed:
+            self._end_round(
+                CampaignPhase.ROLLED_BACK,
+                f"flight safety gate failed: {outcome.gate.reason}",
+            )
+            return
+        if rails.require_flight_significance:
+            if not outcome.flight_reports:
+                # No group was large enough to host a flight: the proposal
+                # was never validated, so it must not ship.
+                self._end_round(
+                    CampaignPhase.ROLLED_BACK,
+                    "no pilot flight could be placed; unvalidated proposal withdrawn",
+                )
+                return
+            moved = any(
+                report.impact(rails.flight_metric).test.significant(rails.flight_alpha)
+                for report in outcome.flight_reports
+            )
+            if not moved:
+                self._end_round(
+                    CampaignPhase.ROLLED_BACK,
+                    f"pilot flights show no significant effect on "
+                    f"{rails.flight_metric} (α={rails.flight_alpha})",
+                )
+                return
+        gate_note = (
+            f"; gate: {outcome.gate.reason}" if outcome.gate is not None else ""
+        )
+        self._log(
+            CampaignPhase.FLIGHT,
+            f"{len(outcome.flight_reports)} pilot flight(s) validated{gate_note}",
+        )
+        self.phase = CampaignPhase.DEPLOY
+
+    def _after_impact(self, outcome: SimulationOutcome) -> None:
+        assert outcome.impact is not None and self.tuning is not None
+        self.last_impact = outcome.impact
+        verdict = self.guardrails.deployment.judge(outcome.impact)
+        if verdict.passed:
+            self.config = self.tuning.proposed_config.copy()
+            self._end_round(CampaignPhase.DEPLOYED, f"adopted: {verdict.reason}")
+        else:
+            self._end_round(CampaignPhase.ROLLED_BACK, f"rolled back: {verdict.reason}")
+
+    def _end_round(self, result: CampaignPhase, detail: str) -> None:
+        self._log(result, detail)
+        if result is CampaignPhase.DEPLOYED:
+            self.deployments += 1
+        elif result is CampaignPhase.ROLLED_BACK:
+            self.rollbacks += 1
+        if self.round >= self.rounds:
+            self.phase = result
+            return
+        # Next round observes the (possibly newly adopted) baseline afresh.
+        self.round += 1
+        self.phase = CampaignPhase.OBSERVE
+        self.engine = None
+        self.tuning = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> CampaignReport:
+        """The campaign's final (or current) readout."""
+        before = build_cluster(
+            self.spec.fleet_spec, self._initial_config.copy()
+        ).total_container_slots
+        after = build_cluster(
+            self.spec.fleet_spec, self.config.copy()
+        ).total_container_slots
+        return CampaignReport(
+            tenant=self.spec.name,
+            scenario=self.scenario.name,
+            final_phase=self.phase,
+            rounds_run=self.round,
+            deployments=self.deployments,
+            rollbacks=self.rollbacks,
+            capacity_before=before,
+            capacity_after=after,
+            history=tuple(self.history),
+            last_impact=self.last_impact,
+        )

@@ -1,0 +1,227 @@
+"""Parallel simulation execution for multi-tenant campaigns.
+
+Simulation dominates a campaign's wall-clock (the paper's analogue: waiting
+on production observation windows). Tenants are independent, so their
+windows can run concurrently: :class:`SimulationPool` fans
+:class:`SimulationRequest` batches out over a ``concurrent.futures`` process
+pool. Every request is a self-contained, picklable recipe — tenant spec,
+scenario, config, explicit workload tag — and :func:`execute_request`
+rebuilds the tenant's :class:`~repro.core.kea.Kea` from scratch inside the
+worker. Because nothing depends on live mutable state, a parallel run is
+bit-identical to a serial run of the same requests (same seeds, same tags →
+same outputs), which ``tests/test_service.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+from repro.cluster.config import YarnConfig
+from repro.cluster.software import MachineGroupKey
+from repro.core.kea import DeploymentImpact
+from repro.flighting.safety import GateVerdict, LatencyRegressionGate
+from repro.flighting.tool import FlightReport
+from repro.service.registry import TenantSpec
+from repro.service.scenarios import Scenario
+from repro.telemetry.monitor import MonitorSnapshot
+from repro.telemetry.records import MachineHourRecord
+from repro.utils.errors import ServiceError
+
+__all__ = [
+    "SimulationRequest",
+    "SimulationOutcome",
+    "SimulationPool",
+    "execute_request",
+    "config_fingerprint",
+]
+
+_KINDS = ("observe", "flight", "impact")
+
+
+def config_fingerprint(config: YarnConfig) -> str:
+    """A stable short hash of a YARN config's full contents."""
+    parts = [
+        f"{key.label}={limits.max_running_containers}/{limits.max_queued_containers}"
+        for key, limits in sorted(config.limits.items())
+    ]
+    parts.append(
+        f"default={config.default_limits.max_running_containers}"
+        f"/{config.default_limits.max_queued_containers}"
+    )
+    return sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SimulationRequest:
+    """One simulation-heavy campaign step, as a self-contained recipe.
+
+    ``kind`` selects the step: ``observe`` (one production window),
+    ``flight`` (pilot flights of ``deltas`` plus a latency safety gate), or
+    ``impact`` (before/after rollout evaluation of ``proposed``). The
+    explicit ``workload_tag`` pins the arrival sequence, making the request
+    replayable and cacheable.
+    """
+
+    tenant: str
+    kind: str
+    spec: TenantSpec
+    scenario: Scenario
+    config: YarnConfig
+    workload_tag: str
+    days: float = 1.0
+    proposed: YarnConfig | None = None
+    deltas: tuple[tuple[MachineGroupKey, int], ...] = ()
+    flight_hours: float = 8.0
+    machines_per_group: int = 8
+    gate_window_hours: int = 2
+    gate_allowance: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ServiceError(
+                f"unknown request kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind == "impact" and self.proposed is None:
+            raise ServiceError("an impact request needs a proposed config")
+        if self.kind == "flight" and not self.deltas:
+            raise ServiceError("a flight request needs config deltas")
+        if self.days <= 0 or self.flight_hours <= 0:
+            raise ServiceError("request windows must be positive")
+
+    def cache_key(self) -> tuple[str, str, str]:
+        """(tenant, config hash, workload tag) — the engine-cache key.
+
+        The config hash folds in everything that shapes the simulation
+        besides the workload draw: kind, baseline and proposed configs,
+        deltas, window lengths, scenario, and the tenant's seed. Two
+        requests with equal keys are guaranteed to simulate identically.
+        """
+        material = [
+            self.kind,
+            config_fingerprint(self.config),
+            config_fingerprint(self.proposed) if self.proposed else "-",
+            ";".join(f"{k.label}{d:+d}" for k, d in self.deltas),
+            f"{self.days}:{self.flight_hours}:{self.machines_per_group}",
+            f"{self.gate_window_hours}:{self.gate_allowance}",
+            # Full scenario contents, not just the name: a same-named
+            # scenario with different parameters must never share a key.
+            repr(self.scenario),
+            repr(self.spec),
+        ]
+        digest = sha256("|".join(material).encode("utf-8")).hexdigest()[:16]
+        return (self.tenant, digest, self.workload_tag)
+
+
+@dataclass
+class SimulationOutcome:
+    """What one executed request produced (only the ``kind``'s fields set)."""
+
+    tenant: str
+    kind: str
+    workload_tag: str
+    records: list[MachineHourRecord] = field(default_factory=list)
+    snapshot: MonitorSnapshot | None = None
+    flight_reports: list[FlightReport] = field(default_factory=list)
+    gate: GateVerdict | None = None
+    impact: DeploymentImpact | None = None
+    elapsed_seconds: float = 0.0
+
+
+def execute_request(request: SimulationRequest) -> SimulationOutcome:
+    """Run one request to completion (worker-process entry point).
+
+    Builds the tenant's KEA instance from the declarative spec, so execution
+    is independent of which process — or how many — run the batch.
+    """
+    started = time.perf_counter()
+    scenario = request.scenario
+    kea = request.spec.build(config=request.config, scenario=scenario)
+    outcome = SimulationOutcome(
+        tenant=request.tenant, kind=request.kind, workload_tag=request.workload_tag
+    )
+    if request.kind == "observe":
+        observation = kea.simulate(
+            request.days,
+            benchmark_period_hours=scenario.benchmark_period_hours,
+            workload_tag=request.workload_tag,
+            load_multiplier=scenario.load_multiplier,
+            actions=scenario.actions(),
+        )
+        outcome.records = observation.monitor.records
+        outcome.snapshot = observation.monitor.snapshot()
+    elif request.kind == "flight":
+        validation = kea.flight_campaign(
+            dict(request.deltas),
+            hours=request.flight_hours,
+            machines_per_group=request.machines_per_group,
+            load_multiplier=scenario.stress_load_multiplier,
+            workload_tag=request.workload_tag,
+            safety_gate=LatencyRegressionGate(
+                window_hours=request.gate_window_hours,
+                allowance=request.gate_allowance,
+            ),
+        )
+        outcome.flight_reports = validation.reports
+        outcome.gate = validation.gate
+    else:  # impact
+        outcome.impact = kea.deployment_impact(
+            request.proposed,
+            days=request.days,
+            benchmark_period_hours=scenario.benchmark_period_hours,
+            load_multiplier=scenario.stress_load_multiplier,
+            workload_tag=request.workload_tag,
+        )
+    outcome.elapsed_seconds = time.perf_counter() - started
+    return outcome
+
+
+class SimulationPool:
+    """Fans request batches out over worker processes.
+
+    ``max_workers=1`` executes inline (the serial reference); ``None`` uses
+    every available core. The executor is created lazily on the first
+    parallel batch and must be released with :meth:`shutdown` (or by using
+    the pool as a context manager).
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.executed = 0  # requests actually simulated (cache bypasses this)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """True when batches may span multiple worker processes."""
+        return self.max_workers > 1
+
+    def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
+        """Execute a batch, preserving input order in the outcomes."""
+        if not requests:
+            return []
+        self.executed += len(requests)
+        if not self.parallel or len(requests) == 1:
+            return [execute_request(request) for request in requests]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return list(self._executor.map(execute_request, requests))
+
+    def shutdown(self) -> None:
+        """Release the worker processes (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "SimulationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+

@@ -1,0 +1,106 @@
+"""The fleet registry: named KEA tenants the service tunes continuously.
+
+KEA runs against "hundreds of thousands of machines" split across many
+clusters; the service models that as a multi-tenant *fleet of fleets*. A
+:class:`TenantSpec` is the declarative recipe for one tenant's simulated
+production environment — fleet shape, workload rate, seed — from which a
+fully reproducible :class:`~repro.core.kea.Kea` instance can be built in any
+process (the recipe, not the live object, is what crosses process
+boundaries). :class:`FleetRegistry` holds them by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import FleetSpec
+from repro.cluster.config import YarnConfig
+from repro.core.kea import Kea
+from repro.service.scenarios import Scenario
+from repro.utils.errors import ServiceError
+
+__all__ = ["TenantSpec", "FleetRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative recipe for one tenant's production environment.
+
+    ``jobs_per_hour`` of None lets :class:`~repro.core.kea.Kea` estimate the
+    rate from the fleet's capacity at ``target_occupancy`` — deterministic,
+    so two processes building the same spec get the same workload.
+    """
+
+    name: str
+    fleet_spec: FleetSpec
+    seed: int = 0
+    jobs_per_hour: float | None = None
+    target_occupancy: float = 0.62
+    mean_task_duration_hint_s: float = 420.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("a tenant needs a non-empty name")
+        if self.jobs_per_hour is not None and self.jobs_per_hour <= 0:
+            raise ServiceError(f"{self.name}: jobs_per_hour must be positive")
+        if not 0.0 < self.target_occupancy <= 1.0:
+            raise ServiceError(f"{self.name}: target_occupancy must be in (0, 1]")
+
+    def build(
+        self,
+        config: YarnConfig | None = None,
+        scenario: Scenario | None = None,
+    ) -> Kea:
+        """Materialize a :class:`Kea` instance for this tenant.
+
+        ``config`` becomes the production baseline (default: the stock
+        manually tuned config); ``scenario`` supplies the seasonality profile
+        its observation windows run under.
+        """
+        return Kea(
+            fleet_spec=self.fleet_spec,
+            yarn_config=config,
+            seasonality=scenario.seasonality if scenario is not None else None,
+            jobs_per_hour=self.jobs_per_hour,
+            seed=self.seed,
+            mean_task_duration_hint_s=self.mean_task_duration_hint_s,
+            target_occupancy=self.target_occupancy,
+        )
+
+
+class FleetRegistry:
+    """Named tenants, in registration order."""
+
+    def __init__(self, tenants: tuple[TenantSpec, ...] = ()):
+        self._tenants: dict[str, TenantSpec] = {}
+        for tenant in tenants:
+            self.add(tenant)
+
+    def add(self, spec: TenantSpec) -> None:
+        """Register a tenant; duplicate names are rejected."""
+        if spec.name in self._tenants:
+            raise ServiceError(f"tenant {spec.name!r} is already registered")
+        self._tenants[spec.name] = spec
+
+    def get(self, name: str) -> TenantSpec:
+        """Look up a tenant by name."""
+        try:
+            return self._tenants[name]
+        except KeyError:
+            known = ", ".join(self._tenants) or "(none)"
+            raise ServiceError(
+                f"unknown tenant {name!r}; registry has: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Tenant names, in registration order."""
+        return list(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())

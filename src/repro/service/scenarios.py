@@ -1,0 +1,175 @@
+"""Named workload scenarios a tuning campaign can be launched against.
+
+The paper's production system must keep tuning through "long-term workload
+seasonalities", demand surges, hardware churn, and benchmark reruns. A
+:class:`Scenario` packages one such operating condition — a seasonality
+profile, a load level, an optional mid-window machine-group decommission —
+as a declarative, picklable value, so campaign simulations can be replayed
+identically in any worker process. :class:`ScenarioCatalog` names them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.flighting.build import YarnLimitsBuild
+from repro.flighting.flight import Flight
+from repro.utils.errors import ServiceError
+from repro.workload.seasonality import (
+    FLAT_PROFILE,
+    SeasonalityProfile,
+    SpikeProfile,
+)
+
+__all__ = ["Scenario", "ScenarioCatalog", "default_catalog", "DEFAULT_CATALOG"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named operating condition for a campaign's observation windows.
+
+    ``load_multiplier`` scales arrivals during observation;
+    ``stress_load_multiplier`` is used for flighting and rollout-evaluation
+    windows, which the paper runs in the demand-bound regime (queued work
+    must exist for a raised container limit to show up in telemetry).
+    ``decommission_sku`` drains every machine of that SKU — container limit
+    forced to 1, queue closed — at ``decommission_hour``, modeling a
+    machine-group decommission mid-window.
+    """
+
+    name: str
+    description: str
+    seasonality: SeasonalityProfile | SpikeProfile = SeasonalityProfile()
+    load_multiplier: float = 1.0
+    stress_load_multiplier: float = 1.6
+    benchmark_period_hours: float = 6.0
+    decommission_sku: str | None = None
+    decommission_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("a scenario needs a non-empty name")
+        if self.load_multiplier <= 0 or self.stress_load_multiplier <= 0:
+            raise ServiceError(f"{self.name}: load multipliers must be positive")
+        if self.decommission_hour < 0:
+            raise ServiceError(f"{self.name}: decommission_hour must be >= 0")
+
+    def actions(self) -> Callable[[ClusterSimulator], None] | None:
+        """Scheduled-action hook for :meth:`repro.core.kea.Kea.simulate`.
+
+        Returns None when the scenario changes nothing mid-window. The
+        decommission reuses the flighting machinery: a one-way flight
+        deploying a drain build (limit 1, queue closed) to the group.
+        """
+        if self.decommission_sku is None:
+            return None
+        sku = self.decommission_sku
+        start_hour = self.decommission_hour
+
+        def register(simulator: ClusterSimulator) -> None:
+            machines = [
+                m for m in simulator.cluster.machines if m.sku.name == sku
+            ]
+            if not machines:
+                raise ServiceError(
+                    f"scenario decommissions SKU {sku!r}, "
+                    "but the fleet has no such machines"
+                )
+            drain = Flight(
+                name=f"decommission-{sku}",
+                build=YarnLimitsBuild(
+                    max_running_containers=1, max_queued_containers=0
+                ),
+                machines=machines,
+                start_hour=start_hour,
+            )
+            drain.schedule_on(simulator)
+
+        return register
+
+
+class ScenarioCatalog:
+    """A registry of named scenarios."""
+
+    def __init__(self, scenarios: tuple[Scenario, ...] = ()):
+        self._scenarios: dict[str, Scenario] = {}
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def register(self, scenario: Scenario) -> None:
+        """Add a scenario; duplicate names are rejected."""
+        if scenario.name in self._scenarios:
+            raise ServiceError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look up a scenario by name."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scenarios)) or "(none)"
+            raise ServiceError(
+                f"unknown scenario {name!r}; catalog has: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered scenario names, in registration order."""
+        return list(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+
+def default_catalog() -> ScenarioCatalog:
+    """The stock scenarios every service instance starts with."""
+    return ScenarioCatalog(
+        scenarios=(
+            Scenario(
+                name="diurnal-baseline",
+                description="Figure 1's weekly rhythm at nominal load",
+            ),
+            Scenario(
+                name="demand-spike",
+                description="a transient 2.2x surge six hours into the window",
+                seasonality=SpikeProfile(
+                    spike_start_hour=6.0,
+                    spike_duration_hours=4.0,
+                    spike_magnitude=2.2,
+                ),
+            ),
+            Scenario(
+                name="sustained-overload",
+                description="demand-bound operation: queued work never runs dry",
+                seasonality=SeasonalityProfile(
+                    diurnal_amplitude=0.10, weekend_dip=0.0
+                ),
+                load_multiplier=1.6,
+                stress_load_multiplier=1.8,
+            ),
+            Scenario(
+                name="group-decommission",
+                description="the oldest generation is drained four hours in",
+                decommission_sku="Gen 1.1",
+                decommission_hour=4.0,
+            ),
+            Scenario(
+                name="benchmark-heavy",
+                description="dense benchmark cadence at slightly reduced load",
+                seasonality=FLAT_PROFILE,
+                load_multiplier=0.9,
+                benchmark_period_hours=2.0,
+            ),
+        )
+    )
+
+
+DEFAULT_CATALOG = default_catalog()
+"""Shared default catalog (scenarios are immutable values)."""

@@ -1,0 +1,197 @@
+"""The continuous tuning service: campaigns over a fleet of fleets.
+
+:class:`ContinuousTuningService` is the top of the subsystem: it owns a
+:class:`~repro.service.registry.FleetRegistry` of tenants, a
+:class:`~repro.service.scenarios.ScenarioCatalog`, a
+:class:`~repro.service.pool.SimulationPool`, and a
+:class:`~repro.service.cache.SimulationCache`. One call to
+:meth:`~ContinuousTuningService.run_campaigns` drives every selected tenant
+through its campaign rounds, batching whichever simulations the campaigns
+are simultaneously waiting on into one pool dispatch — so a multi-tenant
+campaign's wall-clock approaches that of its slowest tenant, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.cache import CacheStats, SimulationCache
+from repro.service.campaign import Campaign, CampaignGuardrails, CampaignReport
+from repro.service.pool import SimulationOutcome, SimulationPool, SimulationRequest
+from repro.service.registry import FleetRegistry
+from repro.service.scenarios import Scenario, ScenarioCatalog, default_catalog
+from repro.utils.errors import ServiceError
+from repro.utils.tables import TextTable
+
+__all__ = ["FleetCampaignReport", "ContinuousTuningService"]
+
+
+@dataclass
+class FleetCampaignReport:
+    """Everything one multi-tenant campaign run produced."""
+
+    scenario: str
+    reports: dict[str, CampaignReport]
+    cache_stats: CacheStats
+    simulations_executed: int
+
+    @property
+    def deployments(self) -> int:
+        """Rounds adopted across all tenants."""
+        return sum(r.deployments for r in self.reports.values())
+
+    @property
+    def rollbacks(self) -> int:
+        """Rounds rolled back across all tenants."""
+        return sum(r.rollbacks for r in self.reports.values())
+
+    def summary(self) -> str:
+        """Fleet-wide table plus cache/pool accounting."""
+        table = TextTable(
+            ["tenant", "outcome", "rounds", "deployed", "rolled back", "capacity"],
+            title=f"Campaign over scenario {self.scenario!r}",
+        )
+        for name in sorted(self.reports):
+            report = self.reports[name]
+            table.add_row(
+                [
+                    name,
+                    report.final_phase.value,
+                    str(report.rounds_run),
+                    str(report.deployments),
+                    str(report.rollbacks),
+                    f"{report.capacity_before} → {report.capacity_after} "
+                    f"({report.capacity_gain:+.1%})",
+                ]
+            )
+        footer = (
+            f"\nsimulations executed: {self.simulations_executed}; "
+            f"cache: {self.cache_stats.hits} hit(s), "
+            f"{self.cache_stats.misses} miss(es) "
+            f"({self.cache_stats.hit_rate:.0%} hit rate)"
+        )
+        return table.render() + footer
+
+
+class ContinuousTuningService:
+    """Long-running orchestrator of tuning campaigns across tenants."""
+
+    def __init__(
+        self,
+        registry: FleetRegistry,
+        catalog: ScenarioCatalog | None = None,
+        pool: SimulationPool | None = None,
+        cache: SimulationCache | None = None,
+        guardrails: CampaignGuardrails | None = None,
+    ):
+        self.registry = registry
+        # A fresh catalog per service: ScenarioCatalog is mutable, and two
+        # services must not see each other's registered scenarios.
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.pool = pool if pool is not None else SimulationPool(max_workers=1)
+        self.cache = cache if cache is not None else SimulationCache()
+        self.guardrails = guardrails
+
+    def resolve_scenario(self, scenario: str | Scenario) -> Scenario:
+        """Accept a scenario by name (via the catalog) or by value."""
+        if isinstance(scenario, Scenario):
+            return scenario
+        return self.catalog.get(scenario)
+
+    def launch(
+        self,
+        scenario: str | Scenario = "diurnal-baseline",
+        tenants: list[str] | None = None,
+        rounds: int = 1,
+        **campaign_kwargs,
+    ) -> dict[str, Campaign]:
+        """Create (but do not run) one campaign per selected tenant."""
+        resolved = self.resolve_scenario(scenario)
+        names = tenants if tenants is not None else self.registry.names()
+        if not names:
+            raise ServiceError("no tenants selected; register some first")
+        return {
+            name: Campaign(
+                spec=self.registry.get(name),
+                scenario=resolved,
+                guardrails=self.guardrails,
+                rounds=rounds,
+                **campaign_kwargs,
+            )
+            for name in names
+        }
+
+    def step(self, campaigns: dict[str, Campaign]) -> int:
+        """One scheduling beat: batch, execute, and apply pending requests.
+
+        Collects every active campaign's pending simulation, serves what it
+        can from the cache, fans the rest out over the pool in one batch,
+        and advances each campaign with its outcome. Returns the number of
+        campaigns advanced (0 when all are terminal).
+        """
+        waiting: list[tuple[Campaign, SimulationRequest]] = []
+        for campaign in campaigns.values():
+            if campaign.done:
+                continue
+            request = campaign.pending_request()
+            if request is not None:
+                waiting.append((campaign, request))
+        if not waiting:
+            return 0
+
+        outcomes: dict[int, SimulationOutcome] = {}
+        to_execute: list[tuple[int, SimulationRequest]] = []
+        for index, (_campaign, request) in enumerate(waiting):
+            cached = self.cache.lookup(request)
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                to_execute.append((index, request))
+
+        fresh = self.pool.run([request for _, request in to_execute])
+        for (index, request), outcome in zip(to_execute, fresh):
+            self.cache.store(request, outcome)
+            outcomes[index] = outcome
+
+        for index, (campaign, _request) in enumerate(waiting):
+            campaign.advance(outcomes[index])
+        return len(waiting)
+
+    def run_campaigns(
+        self,
+        scenario: str | Scenario = "diurnal-baseline",
+        tenants: list[str] | None = None,
+        rounds: int = 1,
+        **campaign_kwargs,
+    ) -> FleetCampaignReport:
+        """Run campaigns for the selected tenants to completion."""
+        campaigns = self.launch(
+            scenario=scenario, tenants=tenants, rounds=rounds, **campaign_kwargs
+        )
+        executed_before = self.pool.executed
+        stats_before = self.cache.stats
+        while self.step(campaigns):
+            pass
+        resolved = self.resolve_scenario(scenario)
+        stats_after = self.cache.stats
+        return FleetCampaignReport(
+            scenario=resolved.name,
+            reports={name: c.report() for name, c in campaigns.items()},
+            # This run's cache traffic, not the service's lifetime totals.
+            cache_stats=CacheStats(
+                hits=stats_after.hits - stats_before.hits,
+                misses=stats_after.misses - stats_before.misses,
+                size=stats_after.size,
+            ),
+            simulations_executed=self.pool.executed - executed_before,
+        )
+
+    def close(self) -> None:
+        """Release the pool's worker processes."""
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ContinuousTuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -12,7 +12,11 @@ from repro.telemetry.metrics import (
     MetricRegistry,
     metric_values,
 )
-from repro.telemetry.monitor import MachineDayRecord, PerformanceMonitor
+from repro.telemetry.monitor import (
+    MachineDayRecord,
+    MonitorSnapshot,
+    PerformanceMonitor,
+)
 from repro.telemetry.records import (
     JobRecord,
     MachineHourRecord,
@@ -37,6 +41,7 @@ __all__ = [
     "MetricRegistry",
     "metric_values",
     "MachineDayRecord",
+    "MonitorSnapshot",
     "PerformanceMonitor",
     "JobRecord",
     "MachineHourRecord",

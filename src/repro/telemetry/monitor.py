@@ -17,7 +17,35 @@ from repro.telemetry.metrics import DEFAULT_REGISTRY, MetricRegistry
 from repro.telemetry.records import MachineHourRecord
 from repro.utils.errors import TelemetryError
 
-__all__ = ["MachineDayRecord", "PerformanceMonitor"]
+__all__ = ["MachineDayRecord", "MonitorSnapshot", "PerformanceMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorSnapshot:
+    """Compact cluster-wide readout of one observation window.
+
+    The continuous tuning service ships these between processes instead of
+    raw machine-hour records when only headline numbers are needed (campaign
+    history lines, fleet dashboards).
+    """
+
+    n_records: int
+    n_machines: int
+    hours_observed: int
+    mean_cpu_utilization: float
+    avg_task_seconds: float
+    total_data_read_bytes: float
+    tasks_finished: int
+
+    def summary(self) -> str:
+        """One-line operator readout."""
+        return (
+            f"{self.n_machines} machines × {self.hours_observed}h: "
+            f"cpu {self.mean_cpu_utilization:.0%}, "
+            f"task latency {self.avg_task_seconds:.0f}s, "
+            f"data read {self.total_data_read_bytes / 1e12:.2f} TB, "
+            f"{self.tasks_finished} tasks"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -203,3 +231,22 @@ class PerformanceMonitor:
     def total_data_read_bytes(self) -> float:
         """Cluster-wide Total Data Read over all records."""
         return float(sum(r.total_data_read_bytes for r in self.records))
+
+    def snapshot(self) -> MonitorSnapshot:
+        """Headline numbers of this window as a :class:`MonitorSnapshot`."""
+        machines = {r.machine_id for r in self.records}
+        hours_seen = {r.hour for r in self.records}
+        cpu = (
+            float(np.mean([r.cpu_utilization for r in self.records]))
+            if self.records
+            else 0.0
+        )
+        return MonitorSnapshot(
+            n_records=len(self.records),
+            n_machines=len(machines),
+            hours_observed=len(hours_seen),
+            mean_cpu_utilization=cpu,
+            avg_task_seconds=self.cluster_average_task_latency(),
+            total_data_read_bytes=self.total_data_read_bytes(),
+            tasks_finished=int(sum(r.tasks_finished for r in self.records)),
+        )

@@ -39,3 +39,11 @@ class OptimizationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment design could not be realized on the given cluster."""
+
+
+class ServiceError(ReproError):
+    """The continuous tuning service was driven through an invalid transition.
+
+    Examples: advancing a campaign with an outcome of the wrong kind, or
+    launching a campaign against an unknown tenant or scenario.
+    """

@@ -8,7 +8,7 @@ from repro.workload.generator import (
 )
 from repro.workload.job import JobRuntime
 from repro.workload.operators import OPERATORS, OperatorSpec, operator_by_name
-from repro.workload.seasonality import FLAT_PROFILE, SeasonalityProfile
+from repro.workload.seasonality import FLAT_PROFILE, SeasonalityProfile, SpikeProfile
 from repro.workload.task import Task
 from repro.workload.template import (
     JobTemplate,
@@ -28,6 +28,7 @@ __all__ = [
     "operator_by_name",
     "FLAT_PROFILE",
     "SeasonalityProfile",
+    "SpikeProfile",
     "Task",
     "JobTemplate",
     "StageSpec",

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.utils.rng import RngStreams
 from repro.utils.units import SECONDS_PER_HOUR, hours
-from repro.workload.seasonality import FLAT_PROFILE, SeasonalityProfile
+from repro.workload.seasonality import FLAT_PROFILE, SeasonalityProfile, SpikeProfile
 from repro.workload.template import JobTemplate, benchmark_templates
 
 __all__ = ["JobArrival", "Workload", "WorkloadGenerator", "estimate_jobs_per_hour"]
@@ -56,7 +56,7 @@ class WorkloadGenerator:
         self,
         templates: tuple[JobTemplate, ...],
         jobs_per_hour: float,
-        seasonality: SeasonalityProfile = FLAT_PROFILE,
+        seasonality: SeasonalityProfile | SpikeProfile = FLAT_PROFILE,
         streams: RngStreams | None = None,
         benchmark_period_hours: float = 0.0,
     ):

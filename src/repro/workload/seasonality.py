@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.utils.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
-__all__ = ["SeasonalityProfile", "FLAT_PROFILE"]
+__all__ = ["SeasonalityProfile", "SpikeProfile", "FLAT_PROFILE"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +49,47 @@ class SeasonalityProfile:
     def max_multiplier(self) -> float:
         """Upper bound of :meth:`multiplier`, used for Poisson thinning."""
         return 1.0 + self.diurnal_amplitude
+
+
+@dataclass(frozen=True, slots=True)
+class SpikeProfile:
+    """A base profile overlaid with one transient demand spike.
+
+    Models the scenario-catalog "demand spike": arrivals follow ``base``
+    except during ``[spike_start_hour, spike_start_hour + spike_duration_hours)``
+    of absolute simulation time, where the rate is multiplied by
+    ``spike_magnitude``. Duck-typed to :class:`SeasonalityProfile` (the
+    workload generator only needs ``multiplier`` and ``max_multiplier``).
+    """
+
+    base: SeasonalityProfile = SeasonalityProfile()
+    spike_start_hour: float = 6.0
+    spike_duration_hours: float = 4.0
+    spike_magnitude: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.spike_start_hour < 0:
+            raise ValueError("spike_start_hour must be non-negative")
+        if self.spike_duration_hours <= 0:
+            raise ValueError("spike_duration_hours must be positive")
+        if self.spike_magnitude < 1.0:
+            raise ValueError("spike_magnitude must be >= 1 (use weekend_dip for lulls)")
+
+    def multiplier(self, t_seconds: float) -> float:
+        """Rate multiplier at simulation time ``t_seconds``."""
+        hour = t_seconds / SECONDS_PER_HOUR
+        in_spike = (
+            self.spike_start_hour
+            <= hour
+            < self.spike_start_hour + self.spike_duration_hours
+        )
+        scale = self.spike_magnitude if in_spike else 1.0
+        return self.base.multiplier(t_seconds) * scale
+
+    @property
+    def max_multiplier(self) -> float:
+        """Upper bound of :meth:`multiplier`, used for Poisson thinning."""
+        return self.base.max_multiplier * self.spike_magnitude
 
 
 FLAT_PROFILE = SeasonalityProfile(diurnal_amplitude=0.0, weekend_dip=0.0)

@@ -150,3 +150,46 @@ class TestBenchmarkImpact:
         assert results
         for template, (before, after) in results.items():
             assert before.size > 0 and after.size > 0
+
+
+class TestWorkloadTagFreshness:
+    """Regression: paired evaluations must draw a fresh workload per call.
+
+    ``deployment_impact`` and ``benchmark_impact`` used to build their tag
+    from ``_run_counter`` without advancing it, so two consecutive calls
+    silently replayed the identical workload.
+    """
+
+    def test_consecutive_impact_calls_use_distinct_tags(self, monkeypatch):
+        instance = Kea(fleet_spec=small_fleet_spec(), seed=3)
+        tags = []
+        original = instance.simulate
+
+        def spy(days, **kwargs):
+            tags.append(kwargs.get("workload_tag"))
+            return original(days, **kwargs)
+
+        monkeypatch.setattr(instance, "simulate", spy)
+        config = instance.current_config.copy()
+        instance.benchmark_impact(config, days=0.125, benchmark_period_hours=3.0)
+        instance.benchmark_impact(config, days=0.125, benchmark_period_hours=3.0)
+        instance.deployment_impact(config, days=0.125, benchmark_period_hours=3.0)
+        instance.deployment_impact(config, days=0.125, benchmark_period_hours=3.0)
+        # Within each evaluation, before/after share one tag (paired design) …
+        paired = [tags[i : i + 2] for i in range(0, len(tags), 2)]
+        assert all(before == after for before, after in paired)
+        # … but across evaluations every tag is a fresh draw.
+        distinct = {pair[0] for pair in paired}
+        assert len(distinct) == len(paired)
+
+    def test_explicit_workload_tag_is_honored(self):
+        instance = Kea(fleet_spec=small_fleet_spec(), seed=3)
+        config = instance.current_config.copy()
+        first = instance.benchmark_impact(
+            config, days=0.125, benchmark_period_hours=3.0, workload_tag="pin"
+        )
+        second = instance.benchmark_impact(
+            config, days=0.125, benchmark_period_hours=3.0, workload_tag="pin"
+        )
+        for template in first:
+            np.testing.assert_allclose(first[template][0], second[template][0])
