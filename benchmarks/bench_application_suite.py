@@ -1,0 +1,95 @@
+"""Application-suite bench: wall-clock per application through the unified API.
+
+Runs every registered :class:`~repro.core.application.TuningApplication`
+through ``Kea.run_application`` on one small fleet and records the observe /
+propose split per application, emitting ``BENCH_applications.json`` so later
+PRs can track per-application hot paths as the registry grows.
+"""
+
+import time
+
+from benchmarks.common import emit, emit_json
+from repro.cluster import small_application_fleet_spec
+from repro.core import APPLICATIONS, Kea
+from repro.utils.tables import TextTable
+
+BENCH_SEED = 20210620
+OBSERVE_DAYS = 0.5
+
+#: Constructor kwargs per application, sized for the bench fleet.
+APP_KWARGS = {
+    "yarn-config": {},
+    "queue-tuning": {},
+    "power-capping": dict(
+        capping_levels=(0.10, 0.30), group_size=4, hours_per_round=4.0
+    ),
+    "sku-design": dict(
+        ram_candidates_gb=[64.0, 128.0, 256.0, 512.0],
+        ssd_candidates_gb=[600.0, 1200.0, 2400.0, 4800.0],
+        n_draws=200,
+    ),
+    "sc-selection": dict(sku="Gen 1.1", n_racks=2, days=0.25),
+}
+
+
+def _run_one(name: str) -> dict:
+    kea = Kea(fleet_spec=small_application_fleet_spec(), seed=BENCH_SEED)
+    app = kea.application(name, **APP_KWARGS.get(name, {}))
+
+    started = time.perf_counter()
+    observation = kea.observe(days=OBSERVE_DAYS, **app.observation_overrides())
+    observed = time.perf_counter()
+    engine = kea.calibrate(observation.monitor) if app.requires_engine else None
+    proposal = app.propose(observation, engine)
+    proposed = time.perf_counter()
+
+    return {
+        "application": name,
+        "mode": app.mode,
+        "observe_seconds": round(observed - started, 3),
+        "propose_seconds": round(proposed - observed, 3),
+        "total_seconds": round(proposed - started, 3),
+        "advisory": proposal.is_advisory,
+        "summary": proposal.summary,
+    }
+
+
+def test_bench_application_suite(benchmark):
+    rows = [_run_one(name) for name in APPLICATIONS.names()]
+
+    table = TextTable(
+        ["application", "mode", "observe (s)", "propose (s)", "total (s)"],
+        title=f"Unified-API wall-clock per application "
+        f"({OBSERVE_DAYS:g}-day observation, seed {BENCH_SEED})",
+    )
+    for row in sorted(rows, key=lambda r: r["application"]):
+        table.add_row(
+            [
+                row["application"],
+                row["mode"],
+                f"{row['observe_seconds']:.2f}",
+                f"{row['propose_seconds']:.2f}",
+                f"{row['total_seconds']:.2f}",
+            ]
+        )
+    emit("BENCH_applications", table.render())
+    emit_json(
+        "BENCH_applications",
+        {
+            "seed": BENCH_SEED,
+            "observe_days": OBSERVE_DAYS,
+            "applications": {row["application"]: row for row in rows},
+        },
+    )
+
+    # The timed harness target: registry resolution + parameter-space
+    # enumeration (the API overhead itself; simulations are measured once
+    # above, re-simulating per harness iteration would swamp the numbers).
+    def api_overhead():
+        kea = Kea(fleet_spec=small_application_fleet_spec(), seed=BENCH_SEED)
+        return [
+            kea.application(name, **APP_KWARGS.get(name, {})).parameter_space()
+            for name in APPLICATIONS.names()
+        ]
+
+    benchmark(api_overhead)

@@ -14,7 +14,7 @@ from repro.utils.tables import TextTable
 
 def test_fig11_job_runtime(benchmark, kea_env):
     kea, observation, engine = kea_env
-    tuning = kea.tune_yarn_config(observation, engine)
+    tuning = kea.tune("yarn-config", observation=observation, engine=engine).details
 
     results = kea.benchmark_impact(
         tuning.proposed_config, days=1.0, benchmark_period_hours=3.0

@@ -5,8 +5,6 @@ over-provisioned ones by idle-resource cost; a sweet spot minimizes the
 Monte-Carlo expected cost.
 """
 
-import numpy as np
-
 from benchmarks.common import emit
 from repro.core.applications.sku_design import SkuDesignStudy
 from repro.utils.tables import TextTable

@@ -12,9 +12,13 @@ from repro.core.capacity import CapacityValuation
 
 def test_sec52_deployment_impact(benchmark, kea_env):
     kea, observation, engine = kea_env
-    tuning = kea.tune_yarn_config(
-        observation, engine, max_config_step=2, delta_range=6.0
-    )
+    tuning = kea.tune(
+        "yarn-config",
+        observation=observation,
+        engine=engine,
+        max_config_step=2,
+        delta_range=6.0,
+    ).details
     impact = kea.deployment_impact(tuning.proposed_config, days=1.0)
 
     def analyze():

@@ -37,7 +37,7 @@ def main() -> None:
         )
 
     print("\n=== 3. Optimize max_num_running_containers (Eq. 7-10 LP) ===")
-    tuning = kea.tune_yarn_config(observation, engine)
+    tuning = kea.tune("yarn-config", observation=observation, engine=engine).details
     print(tuning.summary())
 
     print("\n=== 4. Deployment impact (treatment effects, Section 5.2.2) ===")

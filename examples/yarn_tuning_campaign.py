@@ -44,7 +44,7 @@ def main() -> None:
     # ---- Phase II --------------------------------------------------------
     print("\n=== Phase II: modeling & optimization ===")
     engine = kea.calibrate(observation.monitor)
-    tuning = kea.tune_yarn_config(observation, engine)
+    tuning = kea.tune("yarn-config", observation=observation, engine=engine).details
     print(tuning.summary())
     project.complete_modeling(
         calibration=engine.calibrate(observation.monitor),

@@ -15,8 +15,13 @@ Quickstart::
     from repro.core import Kea
     kea = Kea.default(seed=7)
     baseline = kea.observe(days=3)
-    proposal = kea.tune_yarn_config(baseline)
-    print(proposal.summary())
+    proposal = kea.tune("yarn-config", observation=baseline)
+    print(proposal.details.summary())
+
+Any of Table 3's applications runs through the same unified API::
+
+    run = kea.run_application("queue-tuning")
+    print(run.summary())
 
 Continuous tuning over many tenants (:mod:`repro.service`)::
 
@@ -30,7 +35,20 @@ Continuous tuning over many tenants (:mod:`repro.service`)::
         print(service.run_campaigns(scenario="diurnal-baseline").summary())
 """
 
-from repro.core import DeploymentImpact, FlightValidation, Kea, Observation
+from repro.core import (
+    APPLICATIONS,
+    ApplicationRegistry,
+    ApplicationRun,
+    DeploymentImpact,
+    FlightValidation,
+    Kea,
+    Observation,
+    ParameterSpec,
+    TuningApplication,
+    TuningOutcome,
+    TuningProposal,
+    register_application,
+)
 from repro.service import (
     Campaign,
     CampaignGuardrails,
@@ -47,9 +65,17 @@ from repro.service import (
     default_catalog,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "APPLICATIONS",
+    "ApplicationRegistry",
+    "ApplicationRun",
+    "ParameterSpec",
+    "TuningApplication",
+    "TuningOutcome",
+    "TuningProposal",
+    "register_application",
     "DeploymentImpact",
     "FlightValidation",
     "Kea",

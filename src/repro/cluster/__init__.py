@@ -15,6 +15,7 @@ from repro.cluster.cluster import (
     build_cluster,
     default_fleet_spec,
     default_yarn_config,
+    small_application_fleet_spec,
     small_fleet_spec,
 )
 from repro.cluster.config import GroupLimits, YarnConfig
@@ -32,6 +33,7 @@ __all__ = [
     "build_cluster",
     "default_fleet_spec",
     "default_yarn_config",
+    "small_application_fleet_spec",
     "small_fleet_spec",
     "GroupLimits",
     "YarnConfig",

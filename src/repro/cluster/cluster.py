@@ -31,6 +31,7 @@ __all__ = [
     "Cluster",
     "build_cluster",
     "default_fleet_spec",
+    "small_application_fleet_spec",
     "small_fleet_spec",
     "default_yarn_config",
 ]
@@ -270,6 +271,34 @@ def small_fleet_spec() -> FleetSpec:
             ),
             SkuPopulation(
                 sku=sku_by_name("Gen 4.1"), count=12, software_mix={"SC2": 1.0}
+            ),
+        ),
+        machines_per_chassis=6,
+        chassis_per_rack=1,
+        racks_per_row=2,
+        rows_per_subcluster=1,
+    )
+
+
+def small_application_fleet_spec() -> FleetSpec:
+    """A small fleet every Table 3 application can run on.
+
+    Like :func:`small_fleet_spec`, but Gen 4.1 gets four chassis so the
+    power-capping hybrid setting can build its four chassis-aligned groups,
+    while Gen 1.1's two racks stay homogeneous SC1 for the SC-selection
+    ideal setting. Shared by the application-API tests, the application
+    suite bench, and the unified-applications example.
+    """
+    return FleetSpec(
+        populations=(
+            SkuPopulation(sku=sku_by_name("Gen 1.1"), count=12),
+            SkuPopulation(
+                sku=sku_by_name("Gen 2.2"),
+                count=12,
+                software_mix={"SC1": 0.5, "SC2": 0.5},
+            ),
+            SkuPopulation(
+                sku=sku_by_name("Gen 4.1"), count=24, software_mix={"SC2": 1.0}
             ),
         ),
         machines_per_chassis=6,

@@ -14,6 +14,13 @@ Event kinds, in priority order at equal timestamps:
   power-cap changes). Runs before arrivals/finishes of the same instant.
 * ``ARRIVAL`` — a job arrives; its first stage's tasks are placed.
 * ``FINISH`` — a task finishes; stage/job bookkeeping, queue draining.
+* ``RETRY`` — a placement deferred by cluster-wide backpressure is retried.
+
+When every machine's container queue is full (possible once per-group
+``max_queued_containers`` limits are tuned down), placement exercises
+backpressure instead of failing: the task is deferred and retried after
+``SimulationConfig.placement_retry_s`` — the RM-level behaviour of a real
+YARN cluster under overload.
 
 The simulator is deterministic for a given seed (all randomness flows through
 named :class:`~repro.utils.rng.RngStreams`).
@@ -36,6 +43,7 @@ from repro.telemetry.records import (
     ResourceSample,
     TaskLog,
 )
+from repro.utils.errors import SchedulingError
 from repro.utils.rng import RngStreams
 from repro.utils.units import SECONDS_PER_HOUR
 from repro.workload.generator import Workload
@@ -44,7 +52,7 @@ from repro.workload.task import Task
 
 __all__ = ["SimulationConfig", "SimulationResult", "ClusterSimulator"]
 
-_HOUR, _ACTION, _ARRIVAL, _FINISH, _SAMPLE = 0, 1, 2, 3, 4
+_HOUR, _ACTION, _ARRIVAL, _FINISH, _SAMPLE, _RETRY = 0, 1, 2, 3, 4, 5
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,12 +63,15 @@ class SimulationConfig:
     1.0 logs every task (needed for critical-path analyses).
     ``resource_sample_period_s`` > 0 samples (cores, RAM, SSD) usage of up to
     ``resource_sample_machines`` machines at that period (Figure 13 data).
+    ``placement_retry_s`` is the backpressure delay before a placement that
+    found every container queue full is retried.
     """
 
     task_log_sample_rate: float = 0.0
     resource_sample_period_s: float = 0.0
     resource_sample_machines: int = 0
     resource_sample_sku: str | None = None
+    placement_retry_s: float = 60.0
 
 
 @dataclass
@@ -75,6 +86,7 @@ class SimulationResult:
     jobs_completed: int = 0
     tasks_started: int = 0
     tasks_queued: int = 0
+    tasks_deferred: int = 0  # tasks hit by cluster-wide backpressure (≥1 time)
     duration_hours: float = 0.0
 
     @property
@@ -201,6 +213,9 @@ class ClusterSimulator:
                 payload(self)
             elif kind == _SAMPLE:
                 self._handle_sample(payload, horizon)
+            elif kind == _RETRY:
+                job, task = payload
+                self._place(job, task, retried=True)
 
         self.now = horizon
         self.result.duration_hours = duration_hours
@@ -227,8 +242,17 @@ class ClusterSimulator:
         for task in tasks:
             self._place(job, task)
 
-    def _place(self, job: JobRuntime, task: Task) -> None:
-        placement = self.scheduler.place(task, self.now)
+    def _place(self, job: JobRuntime, task: Task, retried: bool = False) -> None:
+        try:
+            placement = self.scheduler.place(task, self.now)
+        except SchedulingError:
+            # Every queue is full: back off and retry instead of failing —
+            # finite tuned queue limits must be simulable under overload.
+            # Each task counts once, however many retries it takes.
+            if not retried:
+                self.result.tasks_deferred += 1
+            self._push(self.now + self.config.placement_retry_s, _RETRY, (job, task))
+            return
         if placement.started:
             self._start_on(placement.machine, job, task, queue_wait=0.0)
             self.scheduler.note_started(placement.machine)

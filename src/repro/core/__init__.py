@@ -3,12 +3,25 @@
 * :class:`~repro.core.kea.Kea` — the facade wiring Performance Monitor,
   Modeling, Experimentation, Flighting, and Deployment (Figure 7);
 * :class:`~repro.core.whatif.WhatIfEngine` — the g/h/f calibrated model family;
+* the unified application API (:mod:`repro.core.application`): one
+  :class:`~repro.core.application.TuningApplication` lifecycle for all of
+  Table 3, with the shared :data:`~repro.core.application.APPLICATIONS`
+  registry;
 * the three tuning approaches (:mod:`repro.core.tuning`);
 * the applications of Table 3 (:mod:`repro.core.applications`);
 * the methodology phases (:mod:`repro.core.methodology`) and abstraction
   validators (:mod:`repro.core.conceptualization`).
 """
 
+from repro.core.application import (
+    APPLICATIONS,
+    ApplicationRegistry,
+    ParameterSpec,
+    TuningApplication,
+    TuningOutcome,
+    TuningProposal,
+    register_application,
+)
 from repro.core.capacity import CapacityValuation, capacity_gain_fraction
 from repro.core.conceptualization import (
     ABSTRACTION_LADDER,
@@ -20,7 +33,13 @@ from repro.core.conceptualization import (
     validate_implicit_slos,
     validate_uniform_task_spread,
 )
-from repro.core.kea import DeploymentImpact, FlightValidation, Kea, Observation
+from repro.core.kea import (
+    ApplicationRun,
+    DeploymentImpact,
+    FlightValidation,
+    Kea,
+    Observation,
+)
 from repro.core.methodology import KeaProject, Phase, ProjectCharter
 from repro.core.tuning import (
     ExperimentalTuning,
@@ -37,6 +56,14 @@ from repro.core.whatif import (
 )
 
 __all__ = [
+    "APPLICATIONS",
+    "ApplicationRegistry",
+    "ApplicationRun",
+    "ParameterSpec",
+    "TuningApplication",
+    "TuningOutcome",
+    "TuningProposal",
+    "register_application",
     "CapacityValuation",
     "capacity_gain_fraction",
     "ABSTRACTION_LADDER",

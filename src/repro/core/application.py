@@ -1,0 +1,343 @@
+"""The unified tuning-application API (Table 3's "one architecture, many apps").
+
+The paper's central claim is that a single pipeline — Performance Monitor →
+What-if Engine → Optimizer → Flighting → Deployment — serves every tuning
+application KEA runs, from YARN container limits to SKU purchase planning.
+This module is that claim as code: a :class:`TuningApplication` defines one
+typed lifecycle every application implements, and every consumer (the
+:class:`~repro.core.kea.Kea` facade, the continuous tuning service's
+:class:`~repro.service.campaign.Campaign`) drives applications only through
+it:
+
+* :meth:`~TuningApplication.parameter_space` — the knobs being tuned, as
+  declarative :class:`ParameterSpec` values;
+* :meth:`~TuningApplication.propose` — observation (+ optional calibrated
+  engine) → a :class:`TuningProposal`, with the application's rich native
+  result preserved in ``TuningProposal.details``;
+* :meth:`~TuningApplication.flight_plan` — the per-group config deltas to
+  pilot-flight before rollout ({} when nothing is flightable);
+* :meth:`~TuningApplication.evaluate` — before/after observations → a
+  :class:`TuningOutcome` on the application's primary metric;
+* :meth:`~TuningApplication.apply` — fold an accepted proposal into the
+  production :class:`~repro.cluster.config.YarnConfig` baseline.
+
+Applications register themselves by name in the shared
+:data:`APPLICATIONS` registry via the :func:`register_application`
+decorator, which is what makes every scenario × application pair reachable
+through one code path: ``Kea.run_application("queue-tuning")`` or a
+``TenantSpec(application="queue-tuning")`` campaign.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar
+
+from repro.cluster.config import YarnConfig
+from repro.cluster.software import MachineGroupKey
+from repro.utils.errors import ApplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a kea import cycle
+    from repro.core.kea import Kea, Observation
+    from repro.core.whatif import WhatIfEngine
+
+__all__ = [
+    "ParameterSpec",
+    "TuningProposal",
+    "TuningOutcome",
+    "TuningApplication",
+    "ApplicationRegistry",
+    "register_application",
+    "APPLICATIONS",
+]
+
+#: The three tuning approaches of Section 4.2.
+APPLICATION_MODES = ("observational", "hypothetical", "experimental")
+
+_PARAMETER_KINDS = ("int", "float", "choice")
+
+
+@dataclass(frozen=True, slots=True)
+class ParameterSpec:
+    """One knob an application tunes, declaratively.
+
+    ``kind`` is ``"int"``/``"float"`` (with optional ``lower``/``upper``
+    bounds) or ``"choice"`` (with explicit ``choices``). ``per_group`` marks
+    knobs set independently per machine group (the paper's per-(SKU, SC)
+    configuration granularity).
+    """
+
+    name: str
+    description: str
+    kind: str = "float"
+    lower: float | None = None
+    upper: float | None = None
+    choices: tuple = ()
+    per_group: bool = False
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ApplicationError("a parameter needs a non-empty name")
+        if self.kind not in _PARAMETER_KINDS:
+            raise ApplicationError(
+                f"parameter {self.name!r}: kind must be one of {_PARAMETER_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "choice" and not self.choices:
+            raise ApplicationError(
+                f"parameter {self.name!r}: a choice parameter needs choices"
+            )
+        if (
+            self.lower is not None
+            and self.upper is not None
+            and self.lower > self.upper
+        ):
+            raise ApplicationError(
+                f"parameter {self.name!r}: lower {self.lower} > upper {self.upper}"
+            )
+
+
+@dataclass
+class TuningProposal:
+    """What one application run proposes, in lifecycle-neutral terms.
+
+    ``proposed_config`` is the deployable YARN config (None for advisory
+    applications whose output is a purchase or rollout *decision*, not a
+    config change); ``config_deltas`` are the per-group container deltas a
+    pilot flight can exercise; ``details`` carries the application's rich
+    native result (:class:`~repro.core.applications.yarn_config.YarnTuningResult`,
+    :class:`~repro.core.applications.queue_tuning.QueueTuningResult`, ...)
+    untouched.
+    """
+
+    application: str
+    summary: str
+    proposed_config: YarnConfig | None = None
+    config_deltas: dict[MachineGroupKey, int] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    details: Any = None
+
+    @property
+    def is_advisory(self) -> bool:
+        """True when there is no config to deploy (decision-only output)."""
+        return self.proposed_config is None
+
+
+@dataclass
+class TuningOutcome:
+    """Before/after judgement on an application's primary metric."""
+
+    application: str
+    metric: str
+    before: float
+    after: float
+    improved: bool
+    detail: str = ""
+
+    @property
+    def relative_change(self) -> float:
+        """(after − before) / |before|, 0 when the baseline is zero."""
+        if self.before == 0:
+            return 0.0
+        return (self.after - self.before) / abs(self.before)
+
+
+class TuningApplication(abc.ABC):
+    """The protocol every KEA tuning application implements.
+
+    Subclasses set three class attributes — ``name`` (the registry key),
+    ``mode`` (one of the Section 4.2 approaches), ``requires_engine``
+    (whether :meth:`propose` needs a calibrated What-if Engine) — and the
+    abstract lifecycle methods. ``primary_metric``/``higher_is_better``
+    drive the default :meth:`evaluate`.
+
+    Experimental and hypothetical applications may need to run simulations
+    of their own (fresh experiment rounds, resource-sampled observations);
+    they reach the production environment through :meth:`bind`/:attr:`host`,
+    which the facade and the campaign service set before calling
+    :meth:`propose`.
+    """
+
+    name: ClassVar[str]
+    mode: ClassVar[str]
+    requires_engine: ClassVar[bool] = False
+    primary_metric: ClassVar[str] = "TotalDataRead"
+    higher_is_better: ClassVar[bool] = True
+
+    _host: "Kea | None" = None
+    _host_factory = None
+
+    def bind(self, host: "Kea") -> "TuningApplication":
+        """Attach the production environment this application tunes."""
+        self._host = host
+        self._host_factory = None
+        return self
+
+    def bind_deferred(self, factory) -> "TuningApplication":
+        """Attach a zero-argument factory building the environment on demand.
+
+        The campaign service uses this so applications that never touch
+        :attr:`host` (the observational ones) never pay for building a
+        full :class:`~repro.core.kea.Kea` per round.
+        """
+        self._host = None
+        self._host_factory = factory
+        return self
+
+    @property
+    def host(self) -> "Kea":
+        """The bound environment; raises when the application is unbound."""
+        if self._host is None and self._host_factory is not None:
+            self._host = self._host_factory()
+            self._host_factory = None
+        if self._host is None:
+            raise ApplicationError(
+                f"application {self.name!r} is not bound to an environment; "
+                "drive it through Kea.tune()/run_application() or call bind()"
+            )
+        return self._host
+
+    def observation_overrides(self) -> dict[str, Any]:
+        """Extra :meth:`~repro.core.kea.Kea.observe` kwargs this application
+        needs its observation window collected with (e.g. resource sampling
+        for SKU design). Default: none."""
+        return {}
+
+    @abc.abstractmethod
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        """The declarative knobs this application tunes."""
+
+    @abc.abstractmethod
+    def propose(
+        self, observation: "Observation", engine: "WhatIfEngine | None" = None
+    ) -> TuningProposal:
+        """Turn one observation window (+ optional engine) into a proposal."""
+
+    def flight_plan(self, proposal: TuningProposal) -> dict[MachineGroupKey, int]:
+        """Per-group container deltas to pilot-flight; {} skips flighting."""
+        return dict(proposal.config_deltas)
+
+    def evaluate(
+        self, before: "Observation", after: "Observation"
+    ) -> TuningOutcome:
+        """Judge a before/after pair on :attr:`primary_metric`.
+
+        ``improved`` is direction-aware; applications with richer evaluation
+        logic (capacity + latency guard, queue-wait percentiles) override.
+        """
+        before_value = float(before.monitor.metric(self.primary_metric).mean())
+        after_value = float(after.monitor.metric(self.primary_metric).mean())
+        if self.higher_is_better:
+            improved = after_value >= before_value
+        else:
+            improved = after_value <= before_value
+        return TuningOutcome(
+            application=self.name,
+            metric=self.primary_metric,
+            before=before_value,
+            after=after_value,
+            improved=improved,
+            detail=(
+                f"{self.primary_metric}: {before_value:.4g} → {after_value:.4g} "
+                f"({'higher' if self.higher_is_better else 'lower'} is better)"
+            ),
+        )
+
+    def apply(self, config: YarnConfig, proposal: TuningProposal) -> YarnConfig:
+        """The new production baseline after adopting ``proposal``.
+
+        Advisory proposals leave the config untouched.
+        """
+        if proposal.proposed_config is None:
+            return config.copy()
+        return proposal.proposed_config.copy()
+
+    def require_engine(self, engine: "WhatIfEngine | None") -> "WhatIfEngine":
+        """Helper for engine-backed applications: fail loudly when missing."""
+        if engine is None:
+            raise ApplicationError(
+                f"application {self.name!r} needs a calibrated What-if Engine; "
+                "pass one to propose() (Kea.tune() calibrates automatically)"
+            )
+        return engine
+
+
+class ApplicationRegistry:
+    """Named :class:`TuningApplication` classes, in registration order."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type[TuningApplication]] = {}
+
+    def register(
+        self, cls: type[TuningApplication]
+    ) -> type[TuningApplication]:
+        """Register an application class under its ``name``."""
+        name = getattr(cls, "name", None)
+        if not isinstance(name, str) or not name:
+            raise ApplicationError(
+                f"{cls.__name__} needs a non-empty string `name` class attribute"
+            )
+        mode = getattr(cls, "mode", None)
+        if mode not in APPLICATION_MODES:
+            raise ApplicationError(
+                f"{cls.__name__}.mode must be one of {APPLICATION_MODES}, "
+                f"got {mode!r}"
+            )
+        if name in self._classes:
+            raise ApplicationError(
+                f"application {name!r} is already registered "
+                f"({self._classes[name].__name__})"
+            )
+        self._classes[name] = cls
+        return cls
+
+    def get(self, name: str) -> type[TuningApplication]:
+        """Look up an application class by name."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            known = ", ".join(self._classes) or "(none)"
+            raise ApplicationError(
+                f"unknown application {name!r}; registry has: {known}"
+            ) from None
+
+    def create(self, name: str, **kwargs) -> TuningApplication:
+        """Instantiate a registered application with constructor kwargs."""
+        return self.get(name)(**kwargs)
+
+    def names(self) -> list[str]:
+        """Registered application names, in registration order."""
+        return list(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self._classes.values())
+
+
+APPLICATIONS = ApplicationRegistry()
+"""The shared default registry; importing :mod:`repro.core.applications`
+populates it with the paper's five applications."""
+
+
+def register_application(cls=None, *, registry: ApplicationRegistry | None = None):
+    """Class decorator registering a :class:`TuningApplication`.
+
+    Usable bare (``@register_application``) against the shared
+    :data:`APPLICATIONS` registry or with an explicit ``registry=`` for
+    scratch registries in tests.
+    """
+
+    def wrap(klass: type[TuningApplication]) -> type[TuningApplication]:
+        (registry if registry is not None else APPLICATIONS).register(klass)
+        return klass
+
+    if cls is not None:
+        return wrap(cls)
+    return wrap

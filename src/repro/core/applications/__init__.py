@@ -1,38 +1,58 @@
-"""KEA applications (Table 3): one module per production tuning scenario."""
+"""KEA applications (Table 3): one module per production tuning scenario.
+
+Importing this package registers all five applications in the shared
+:data:`repro.core.application.APPLICATIONS` registry, so every consumer of
+the unified :class:`~repro.core.application.TuningApplication` lifecycle
+(the :class:`~repro.core.kea.Kea` facade, the continuous tuning service)
+sees the full catalog.
+"""
 
 from repro.core.applications.power_capping import (
+    PowerCappingApplication,
     PowerCappingStudy,
     PowerCappingStudyResult,
 )
 from repro.core.applications.queue_tuning import (
     QueueGroupStats,
     QueueTuner,
+    QueueTuningApplication,
     QueueTuningResult,
 )
 from repro.core.applications.sc_selection import (
+    ScSelectionApplication,
     ScSelectionExperiment,
     ScSelectionResult,
 )
 from repro.core.applications.sku_design import (
     SkuCostModel,
+    SkuDesignApplication,
     SkuDesignResult,
     SkuDesignStudy,
     UsageModel,
 )
-from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
+from repro.core.applications.yarn_config import (
+    YarnConfigApplication,
+    YarnConfigTuner,
+    YarnTuningResult,
+)
 
 __all__ = [
+    "PowerCappingApplication",
     "PowerCappingStudy",
     "PowerCappingStudyResult",
     "QueueGroupStats",
     "QueueTuner",
+    "QueueTuningApplication",
     "QueueTuningResult",
+    "ScSelectionApplication",
     "ScSelectionExperiment",
     "ScSelectionResult",
     "SkuCostModel",
+    "SkuDesignApplication",
     "SkuDesignResult",
     "SkuDesignStudy",
     "UsageModel",
+    "YarnConfigApplication",
     "YarnConfigTuner",
     "YarnTuningResult",
 ]

@@ -13,8 +13,14 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, build_cluster
 from repro.cluster.simulator import ClusterSimulator
+from repro.core.application import (
+    ParameterSpec,
+    TuningApplication,
+    TuningProposal,
+    register_application,
+)
 from repro.experiment.power_capping import (
     PowerCappingOutcome,
     analyze_power_capping,
@@ -24,9 +30,12 @@ from repro.experiment.power_capping import (
 )
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import ExperimentError
+from repro.utils.rng import RngStreams
 from repro.utils.tables import TextTable
+from repro.workload.generator import WorkloadGenerator, estimate_jobs_per_hour
+from repro.workload.seasonality import FLAT_PROFILE
 
-__all__ = ["PowerCappingStudy", "PowerCappingStudyResult"]
+__all__ = ["PowerCappingStudy", "PowerCappingStudyResult", "PowerCappingApplication"]
 
 
 @dataclass
@@ -121,3 +130,121 @@ class PowerCappingStudy:
             )
             revert_power_capping_groups(cluster, builds)
         return result
+
+
+@register_application
+class PowerCappingApplication(TuningApplication):
+    """Power capping through the unified lifecycle (Section 7.2).
+
+    Experimental: ``propose`` runs one four-group experiment round per
+    capping level against fresh clusters built from the bound host
+    environment, then recommends the deepest level whose Feature-enabled
+    impact stays within tolerance. The output is a *decision* (a capping
+    level worth ~MW of rackable power), not a YARN config, so the proposal
+    is advisory: nothing to flight, nothing to deploy.
+    """
+
+    name = "power-capping"
+    mode = "experimental"
+    requires_engine = False
+    primary_metric = "BytesPerCpuTime"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        sku: str = "Gen 4.1",
+        capping_levels: tuple[float, ...] = (0.10, 0.20, 0.30),
+        group_size: int = 8,
+        hours_per_round: float = 8.0,
+        occupancy: float = 1.0,
+        tolerance: float = 0.0,
+        seed: int = 9001,
+    ):
+        if not capping_levels:
+            raise ExperimentError("need at least one capping level")
+        self.sku = sku
+        self.capping_levels = tuple(capping_levels)
+        self.group_size = group_size
+        self.hours_per_round = hours_per_round
+        self.occupancy = occupancy
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec(
+                name="capping_level",
+                description="fraction below provisioned power the chassis "
+                "cap is set to (deepest net-neutral level wins)",
+                kind="choice",
+                choices=self.capping_levels,
+                unit="fraction of provisioned power",
+            ),
+        )
+
+    def _simulator_factory(self):
+        """Deterministic demand-bound simulators, one seed stream per round.
+
+        Rounds run in the ``occupancy``≈1 regime the paper's experiment used
+        (capping only shows when the throttle actually engages).
+        """
+        host = self.host
+        counter = iter(range(10_000))
+
+        def factory(cluster: Cluster) -> ClusterSimulator:
+            round_seed = self.seed + next(counter)
+            rate = estimate_jobs_per_hour(
+                cluster.total_container_slots,
+                self.occupancy,
+                host.templates,
+                mean_task_duration_s=420.0,
+            )
+            workload = WorkloadGenerator(
+                host.templates,
+                jobs_per_hour=rate,
+                seasonality=FLAT_PROFILE,
+                streams=RngStreams(round_seed),
+            ).generate(self.hours_per_round)
+            return ClusterSimulator(
+                cluster, workload, streams=RngStreams(round_seed + 1)
+            )
+
+        return factory
+
+    def propose(self, observation, engine=None) -> TuningProposal:
+        host = self.host
+        study = PowerCappingStudy(
+            cluster_factory=lambda: build_cluster(
+                host.fleet_spec, host.current_config.copy()
+            ),
+            simulator_factory=self._simulator_factory(),
+            sku=self.sku,
+            group_size=self.group_size,
+        )
+        result = study.run(
+            capping_levels=list(self.capping_levels),
+            hours_per_round=self.hours_per_round,
+        )
+        recommended = result.recommend_level(
+            metric=self.primary_metric, tolerance=self.tolerance
+        )
+        feature_impact = (
+            result.impact(self.primary_metric, recommended, "D")
+            if recommended > 0
+            else 0.0
+        )
+        return TuningProposal(
+            application=self.name,
+            summary=(
+                f"recommend capping {self.sku} at {recommended:.0%} below "
+                f"provision (Feature-enabled impact {feature_impact:+.1%} "
+                f"on {self.primary_metric})"
+            ),
+            proposed_config=None,
+            config_deltas={},
+            metrics={
+                "recommended_capping_level": recommended,
+                "feature_enabled_impact": feature_impact,
+            },
+            details=result,
+        )

@@ -16,12 +16,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.config import GroupLimits, YarnConfig
+from repro.core.application import (
+    ParameterSpec,
+    TuningApplication,
+    TuningOutcome,
+    TuningProposal,
+    register_application,
+)
 from repro.cluster.software import MachineGroupKey
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import TelemetryError
 from repro.utils.tables import TextTable
 
-__all__ = ["QueueGroupStats", "QueueTuningResult", "QueueTuner"]
+__all__ = [
+    "QueueGroupStats",
+    "QueueTuningResult",
+    "QueueTuner",
+    "QueueTuningApplication",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,3 +147,95 @@ class QueueTuner:
                 ),
             )
         return new
+
+
+@register_application
+class QueueTuningApplication(TuningApplication):
+    """Per-group queue limits through the unified lifecycle (Section 5.3).
+
+    Purely observational and engine-free: ``propose`` reads queue telemetry
+    off the observation's monitor and emits a deployable config carrying the
+    recommended per-group ``max_queued_containers``. Queue limits are not a
+    container delta, so the flight plan is empty and campaigns go straight
+    from TUNE to the rollout evaluation.
+    """
+
+    name = "queue-tuning"
+    mode = "observational"
+    requires_engine = False
+    primary_metric = "MeanQueueWaitSeconds"  # derived, not a registry metric
+    higher_is_better = False
+
+    def __init__(
+        self,
+        target_wait_seconds: float = 300.0,
+        min_limit: int = 1,
+        max_limit: int = 64,
+    ):
+        self.tuner = QueueTuner(
+            target_wait_seconds=target_wait_seconds,
+            min_limit=min_limit,
+            max_limit=max_limit,
+        )
+
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec(
+                name="max_queued_containers",
+                description="per-group cap on low-priority containers queued "
+                "on a machine, equalizing expected drain time",
+                kind="int",
+                lower=float(self.tuner.min_limit),
+                upper=float(self.tuner.max_limit),
+                per_group=True,
+                unit="containers",
+            ),
+        )
+
+    def propose(self, observation, engine=None) -> TuningProposal:
+        result = self.tuner.tune(observation.monitor)
+        proposed = self.tuner.apply_to_config(
+            observation.cluster.yarn_config, result
+        )
+        mean_p99 = float(
+            np.mean([stat.p99_wait_seconds for stat in result.stats])
+        )
+        return TuningProposal(
+            application=self.name,
+            summary=(
+                f"{len(result.recommended_limits)} per-group queue limit(s) "
+                f"targeting {result.target_wait_seconds:.0f}s expected drain"
+            ),
+            proposed_config=proposed,
+            config_deltas={},
+            metrics={
+                "target_wait_seconds": result.target_wait_seconds,
+                "observed_mean_p99_wait_s": mean_p99,
+            },
+            details=result,
+        )
+
+    @staticmethod
+    def _mean_wait(observation) -> float:
+        waits = [
+            wait
+            for record in observation.monitor.records
+            for wait in record.queue.waits
+        ]
+        return float(np.mean(waits)) if waits else 0.0
+
+    def evaluate(self, before, after) -> TuningOutcome:
+        """Observed queueing delay must not grow under the new limits."""
+        before_wait = self._mean_wait(before)
+        after_wait = self._mean_wait(after)
+        return TuningOutcome(
+            application=self.name,
+            metric=self.primary_metric,
+            before=before_wait,
+            after=after_wait,
+            improved=after_wait <= before_wait,
+            detail=(
+                f"mean observed queue wait {before_wait:.1f}s → "
+                f"{after_wait:.1f}s (lower is better)"
+            ),
+        )

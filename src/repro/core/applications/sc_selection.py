@@ -10,19 +10,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, build_cluster
 from repro.cluster.simulator import ClusterSimulator
+from repro.core.application import (
+    ParameterSpec,
+    TuningApplication,
+    TuningProposal,
+    register_application,
+)
 from repro.experiment.ab import ABReport, compare_groups
 from repro.experiment.design import GroupAssignment, ideal_setting
 from repro.flighting.build import SoftwareBuild
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import ExperimentError
+from repro.utils.rng import RngStreams
 from repro.utils.tables import TextTable
 from repro.utils.units import bytes_to_pb
+from repro.workload.generator import WorkloadGenerator, estimate_jobs_per_hour
 
-__all__ = ["ScSelectionExperiment", "ScSelectionResult"]
+__all__ = ["ScSelectionExperiment", "ScSelectionResult", "ScSelectionApplication"]
 
 
 @dataclass
@@ -143,3 +149,83 @@ class ScSelectionExperiment:
         assignment = self.prepare(n_racks=n_racks)
         result = simulator.run(days * 24.0)
         return self.analyze(result.records, assignment, n_days=days)
+
+
+@register_application
+class ScSelectionApplication(TuningApplication):
+    """SC1-vs-SC2 selection through the unified lifecycle (Section 7.1).
+
+    Experimental and advisory: ``propose`` runs the ideal-setting A/B on a
+    fresh cluster built from the bound host environment and reports the
+    winning software configuration. The rollout itself (reimaging racks) is
+    out of YARN-config scope, so there is no flight plan or deployable
+    config — the decision and the full Table 4 report ride in ``details``.
+    """
+
+    name = "sc-selection"
+    mode = "experimental"
+    requires_engine = False
+    primary_metric = "BytesPerSecond"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        sku: str | None = None,
+        n_racks: int = 2,
+        days: float = 1.0,
+        occupancy: float = 0.7,
+        seed: int = 4242,
+    ):
+        self.sku = sku
+        self.n_racks = n_racks
+        self.days = days
+        self.occupancy = occupancy
+        self.seed = seed
+
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec(
+                name="software_configuration",
+                description="local temp store placement: SC1 keeps it on "
+                "HDD, SC2 moves it to SSD",
+                kind="choice",
+                choices=("SC1", "SC2"),
+                per_group=True,
+            ),
+        )
+
+    def propose(self, observation, engine=None) -> TuningProposal:
+        host = self.host
+        cluster = build_cluster(host.fleet_spec, host.current_config.copy())
+        experiment = ScSelectionExperiment(cluster, sku=self.sku)
+        rate = estimate_jobs_per_hour(
+            cluster.total_container_slots,
+            self.occupancy,
+            host.templates,
+            mean_task_duration_s=420.0,
+        )
+        workload = WorkloadGenerator(
+            host.templates,
+            jobs_per_hour=rate,
+            streams=RngStreams(self.seed),
+        ).generate(self.days * 24.0)
+        simulator = ClusterSimulator(
+            cluster, workload, streams=RngStreams(self.seed + 1)
+        )
+        result = experiment.run(simulator, days=self.days, n_racks=self.n_racks)
+        data_read = result.report.comparison("TotalDataRead")
+        return TuningProposal(
+            application=self.name,
+            summary=(
+                f"ideal-setting A/B over {self.n_racks} rack(s): winner "
+                f"{result.winner()} (Total Data Read "
+                f"{data_read.pct_change:+.1%}, t={data_read.test.t_value:.1f})"
+            ),
+            proposed_config=None,
+            config_deltas={},
+            metrics={
+                "total_data_read_pct_change": data_read.pct_change,
+                "t_value": data_read.test.t_value,
+            },
+            details=result,
+        )

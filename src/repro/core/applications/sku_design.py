@@ -20,13 +20,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.application import (
+    ParameterSpec,
+    TuningApplication,
+    TuningProposal,
+    register_application,
+)
 from repro.ml.linear import LinearRegression
 from repro.optim.grid import GridSearchResult, grid_search
 from repro.optim.montecarlo import MonteCarloResult, estimate_expected_value
 from repro.telemetry.records import ResourceSample
 from repro.utils.errors import TelemetryError
 
-__all__ = ["UsageModel", "SkuCostModel", "SkuDesignStudy", "SkuDesignResult"]
+__all__ = [
+    "UsageModel",
+    "SkuCostModel",
+    "SkuDesignStudy",
+    "SkuDesignResult",
+    "SkuDesignApplication",
+]
 
 
 @dataclass
@@ -213,3 +225,121 @@ class SkuDesignStudy:
         if self.usage is None:
             raise TelemetryError("fit_usage() must run before cost estimation")
         return self.usage
+
+
+@register_application
+class SkuDesignApplication(TuningApplication):
+    """SKU (RAM, SSD) purchase planning through the unified lifecycle (§6.1).
+
+    Hypothetical: the proposal configures machines that do not exist yet, so
+    it is advisory — no flight plan, no deployable config. The observation
+    window must carry fine-grained resource samples; when driven through
+    ``Kea.tune``/``run_application`` the :meth:`observation_overrides` hook
+    requests them, and when handed a sample-free observation (e.g. inside a
+    campaign, whose windows ship only machine-hour records across process
+    boundaries) the application re-observes through its bound host.
+    """
+
+    name = "sku-design"
+    mode = "hypothetical"
+    requires_engine = False
+    primary_metric = "BytesPerCpuTime"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        n_cores: int = 128,
+        ram_candidates_gb: list[float] | None = None,
+        ssd_candidates_gb: list[float] | None = None,
+        sample_sku: str = "Gen 4.1",
+        sample_period_s: float = 120.0,
+        sample_machines: int = 12,
+        sample_days: float = 0.5,
+        cost_model: SkuCostModel | None = None,
+        n_draws: int = 400,
+    ):
+        self.n_cores = n_cores
+        self.ram_candidates_gb = (
+            ram_candidates_gb
+            if ram_candidates_gb is not None
+            else [float(x) for x in range(64, 513, 64)]
+        )
+        self.ssd_candidates_gb = (
+            ssd_candidates_gb
+            if ssd_candidates_gb is not None
+            else [float(x) for x in range(500, 6001, 500)]
+        )
+        self.sample_sku = sample_sku
+        self.sample_period_s = sample_period_s
+        self.sample_machines = sample_machines
+        self.sample_days = sample_days
+        self.cost_model = cost_model
+        self.n_draws = n_draws
+
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec(
+                name="ram_gb",
+                description="RAM to buy per future machine (Eq. 12 projection)",
+                kind="choice",
+                choices=tuple(self.ram_candidates_gb),
+                unit="GB",
+            ),
+            ParameterSpec(
+                name="ssd_gb",
+                description="SSD to buy per future machine (Eq. 11 projection)",
+                kind="choice",
+                choices=tuple(self.ssd_candidates_gb),
+                unit="GB",
+            ),
+        )
+
+    def observation_overrides(self) -> dict:
+        from repro.cluster.simulator import SimulationConfig
+
+        return {
+            "sim_config": SimulationConfig(
+                resource_sample_period_s=self.sample_period_s,
+                resource_sample_machines=self.sample_machines,
+                resource_sample_sku=self.sample_sku,
+            )
+        }
+
+    def _resource_samples(self, observation) -> list[ResourceSample]:
+        result = getattr(observation, "result", None)
+        samples = getattr(result, "resource_samples", None) or []
+        if samples:
+            return samples
+        # Sample-free observation (campaign path): collect a fresh
+        # resource-sampled window from the bound host environment.
+        fresh = self.host.observe(
+            days=self.sample_days, **self.observation_overrides()
+        )
+        return fresh.result.resource_samples
+
+    def propose(self, observation, engine=None) -> TuningProposal:
+        study = SkuDesignStudy(cost_model=self.cost_model)
+        usage = study.fit_usage(self._resource_samples(observation))
+        design = study.sweep(
+            ram_candidates_gb=self.ram_candidates_gb,
+            ssd_candidates_gb=self.ssd_candidates_gb,
+            n_cores=self.n_cores,
+            n_draws=self.n_draws,
+        )
+        return TuningProposal(
+            application=self.name,
+            summary=(
+                f"sweet spot for a {self.n_cores}-core machine: "
+                f"{design.best_ram_gb:.0f} GB RAM, {design.best_ssd_gb:.0f} GB "
+                f"SSD (expected cost {design.best_cost:.0f}, fitted on "
+                f"{usage.n_samples} samples)"
+            ),
+            proposed_config=None,
+            config_deltas={},
+            metrics={
+                "best_ram_gb": design.best_ram_gb,
+                "best_ssd_gb": design.best_ssd_gb,
+                "best_expected_cost": design.best_cost,
+            },
+            details=design,
+        )

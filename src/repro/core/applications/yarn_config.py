@@ -25,12 +25,19 @@ from dataclasses import dataclass
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import YarnConfig
 from repro.cluster.software import MachineGroupKey
+from repro.core.application import (
+    ParameterSpec,
+    TuningApplication,
+    TuningOutcome,
+    TuningProposal,
+    register_application,
+)
 from repro.core.whatif import GroupPrediction, WhatIfEngine
 from repro.optim.lp import LinearProgram, LpSolution
 from repro.utils.errors import OptimizationError
 from repro.utils.tables import TextTable, format_float
 
-__all__ = ["YarnTuningResult", "YarnConfigTuner"]
+__all__ = ["YarnTuningResult", "YarnConfigTuner", "YarnConfigApplication"]
 
 
 @dataclass
@@ -206,4 +213,85 @@ class YarnConfigTuner:
             predicted_cluster_latency=predicted_latency,
             baseline_capacity=baseline_capacity,
             optimal_capacity=optimal_capacity,
+        )
+
+
+@register_application
+class YarnConfigApplication(TuningApplication):
+    """The headline application behind the unified lifecycle (Section 5.2).
+
+    ``propose`` solves the Eq. 7–10 LP over the supplied calibrated engine;
+    the full :class:`YarnTuningResult` rides along as
+    ``TuningProposal.details`` and the conservative per-group deltas become
+    the flight plan.
+    """
+
+    name = "yarn-config"
+    mode = "observational"
+    requires_engine = True
+    primary_metric = "TotalDataRead"
+    higher_is_better = True
+
+    #: Maximum tolerated relative latency increase at evaluation time (the
+    #: Level II implicit-SLO surrogate used across the deployment machinery).
+    latency_allowance = 0.02
+
+    def __init__(self, **tuner_kwargs):
+        self.tuner_kwargs = tuner_kwargs
+
+    def parameter_space(self) -> tuple[ParameterSpec, ...]:
+        return (
+            ParameterSpec(
+                name="max_num_running_containers",
+                description="per-group YARN cap on concurrently running "
+                "containers (Eq. 7-10 decision variable)",
+                kind="int",
+                lower=1,
+                per_group=True,
+                unit="containers",
+            ),
+        )
+
+    def propose(self, observation, engine=None) -> TuningProposal:
+        engine = self.require_engine(engine)
+        result = YarnConfigTuner(engine, **self.tuner_kwargs).tune(
+            observation.cluster
+        )
+        return TuningProposal(
+            application=self.name,
+            summary=(
+                f"{len(result.config_deltas)} group delta(s), predicted "
+                f"capacity {result.capacity_gain:+.1%} at the optimum"
+            ),
+            proposed_config=result.proposed_config,
+            config_deltas=dict(result.config_deltas),
+            metrics={
+                "predicted_capacity_gain": result.capacity_gain,
+                "predicted_cluster_latency_s": result.predicted_cluster_latency,
+                "baseline_cluster_latency_s": result.baseline_cluster_latency,
+            },
+            details=result,
+        )
+
+    def evaluate(self, before, after) -> TuningOutcome:
+        """Throughput must rise without a material latency regression."""
+        base = super().evaluate(before, after)
+        latency_before = float(before.monitor.metric("AverageTaskSeconds").mean())
+        latency_after = float(after.monitor.metric("AverageTaskSeconds").mean())
+        latency_change = (
+            (latency_after - latency_before) / abs(latency_before)
+            if latency_before
+            else 0.0
+        )
+        improved = base.improved and latency_change <= self.latency_allowance
+        return TuningOutcome(
+            application=self.name,
+            metric=self.primary_metric,
+            before=base.before,
+            after=base.after,
+            improved=improved,
+            detail=(
+                f"{base.detail}; task latency {latency_change:+.1%} "
+                f"(allowance {self.latency_allowance:+.1%})"
+            ),
         )

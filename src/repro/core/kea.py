@@ -4,8 +4,10 @@
 YARN config, workload mix) and exposes the architecture's modules as methods:
 
 * Performance Monitor — :meth:`observe` runs production and returns telemetry;
-* Modeling — :meth:`calibrate` fits the What-if Engine, :meth:`tune_yarn_config`
-  runs the Optimizer;
+* Modeling — :meth:`calibrate` fits the What-if Engine; :meth:`tune` /
+  :meth:`run_application` drive any registered
+  :class:`~repro.core.application.TuningApplication` (Table 3) through the
+  unified observe → calibrate → propose lifecycle;
 * Flighting — :meth:`flight_validate` deploys a proposal to a machine subset;
 * Deployment — :meth:`deployment_impact` measures a before/after rollout with
   treatment effects, and :meth:`adopt` makes a config the new production
@@ -19,6 +21,7 @@ configuration change, not workload luck.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -34,7 +37,15 @@ from repro.cluster.cluster import (
 from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
 from repro.cluster.software import MachineGroupKey
-from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
+from repro.core.application import (
+    APPLICATIONS,
+    TuningApplication,
+    TuningProposal,
+)
+
+# Importing any applications submodule runs the package __init__, which
+# registers all five Table 3 applications in APPLICATIONS.
+from repro.core.applications.yarn_config import YarnTuningResult
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import YarnLimitsBuild
 from repro.flighting.flight import Flight
@@ -44,13 +55,19 @@ from repro.ml.model import LinearModelBase
 from repro.flighting.safety import GateVerdict, SafetyGate
 from repro.stats.treatment import TreatmentEffect, paired_effect
 from repro.telemetry.monitor import PerformanceMonitor
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ApplicationError, ConfigurationError
 from repro.utils.rng import RngStreams
 from repro.workload.generator import WorkloadGenerator, estimate_jobs_per_hour
 from repro.workload.seasonality import SeasonalityProfile, SpikeProfile
 from repro.workload.template import JobTemplate, default_templates
 
-__all__ = ["Observation", "DeploymentImpact", "FlightValidation", "Kea"]
+__all__ = [
+    "Observation",
+    "DeploymentImpact",
+    "FlightValidation",
+    "ApplicationRun",
+    "Kea",
+]
 
 
 @dataclass
@@ -103,6 +120,20 @@ class FlightValidation:
 
     reports: list[FlightReport]
     gate: GateVerdict | None = None
+
+
+@dataclass
+class ApplicationRun:
+    """One application driven through the unified lifecycle by the facade."""
+
+    application: str
+    observation: Observation
+    engine: WhatIfEngine | None
+    proposal: TuningProposal
+
+    def summary(self) -> str:
+        """One-line operator readout of what the application proposed."""
+        return f"[{self.application}] {self.proposal.summary}"
 
 
 class Kea:
@@ -233,26 +264,117 @@ class Kea:
         engine.calibrate(monitor)
         return engine
 
+    # ------------------------------------------------------------------
+    # Unified application lifecycle
+    # ------------------------------------------------------------------
+    def application(
+        self, application: str | TuningApplication, **application_kwargs
+    ) -> TuningApplication:
+        """Resolve an application (registry name or instance) bound to this
+        environment. Constructor kwargs only apply to names."""
+        if isinstance(application, TuningApplication):
+            if application_kwargs:
+                raise ApplicationError(
+                    "constructor kwargs only apply when the application is "
+                    "given by name; configure the instance directly"
+                )
+            return application.bind(self)
+        return APPLICATIONS.create(application, **application_kwargs).bind(self)
+
+    def tune(
+        self,
+        application: str | TuningApplication = "yarn-config",
+        observation: Observation | None = None,
+        engine: WhatIfEngine | None = None,
+        observe_days: float = 3.0,
+        **application_kwargs,
+    ) -> TuningProposal:
+        """Run one application's observe → calibrate → propose lifecycle.
+
+        The generic entry point behind all of Table 3: ``application`` names
+        any registered :class:`~repro.core.application.TuningApplication`
+        (or is an instance). A missing ``observation`` is collected with the
+        application's observation overrides (e.g. resource sampling for SKU
+        design); a missing ``engine`` is calibrated only when the
+        application requires one.
+        """
+        app = self.application(application, **application_kwargs)
+        return self._run_lifecycle(app, observation, engine, observe_days).proposal
+
+    def run_application(
+        self,
+        name: str | TuningApplication,
+        observe_days: float = 3.0,
+        **application_kwargs,
+    ) -> ApplicationRun:
+        """Full lifecycle of one named application, with its artifacts.
+
+        Like :meth:`tune`, but returns the observation and engine alongside
+        the proposal so callers can flight/evaluate/deploy from one record::
+
+            run = kea.run_application("queue-tuning")
+            kea.adopt(run.proposal.proposed_config)
+        """
+        app = self.application(name, **application_kwargs)
+        return self._run_lifecycle(app, None, None, observe_days)
+
+    def _run_lifecycle(
+        self,
+        app: TuningApplication,
+        observation: Observation | None,
+        engine: WhatIfEngine | None,
+        observe_days: float,
+    ) -> ApplicationRun:
+        """The shared observe → calibrate → propose body of :meth:`tune` and
+        :meth:`run_application`."""
+        if observation is None:
+            observation = self.observe(
+                days=observe_days, **app.observation_overrides()
+            )
+        if engine is None and app.requires_engine:
+            engine = self.calibrate(observation.monitor)
+        proposal = app.propose(observation, engine)
+        return ApplicationRun(
+            application=app.name,
+            observation=observation,
+            engine=engine,
+            proposal=proposal,
+        )
+
     def tune_yarn_config(
         self,
         observation: Observation | None = None,
         engine: WhatIfEngine | None = None,
         **tuner_kwargs,
     ) -> YarnTuningResult:
-        """Observational tuning of max running containers (Section 5.2)."""
-        if observation is None:
-            observation = self.observe()
-        if engine is None:
-            engine = self.calibrate(observation.monitor)
-        tuner = YarnConfigTuner(engine, **tuner_kwargs)
-        return tuner.tune(observation.cluster)
+        """Observational tuning of max running containers (Section 5.2).
+
+        .. deprecated:: 1.2
+           Use ``Kea.tune(application="yarn-config")`` (or
+           :meth:`run_application`); this shim returns the same
+           :class:`YarnTuningResult` from ``TuningProposal.details``.
+        """
+        warnings.warn(
+            "Kea.tune_yarn_config() is deprecated; use "
+            "Kea.tune(application='yarn-config') / "
+            "Kea.run_application('yarn-config') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        proposal = self.tune(
+            "yarn-config",
+            observation=observation,
+            engine=engine,
+            **tuner_kwargs,
+        )
+        return proposal.details
 
     # ------------------------------------------------------------------
     # Flighting + deployment
     # ------------------------------------------------------------------
     def flight_validate(
         self,
-        tuning: YarnTuningResult,
+        tuning: YarnTuningResult | TuningProposal,
         hours: float = 24.0,
         machines_per_group: int = 8,
         metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization"),
@@ -319,12 +441,9 @@ class Kea:
         if not flights:
             return FlightValidation(reports=reports, gate=None)
 
-        def register(sim: ClusterSimulator) -> None:
-            tool = FlightingTool(sim)
-            for flight in flights:
-                tool.add_flight(flight)
-
-        # Run the flights against a demand-bound window on this cluster.
+        # Run the flights against a demand-bound window on this cluster. One
+        # FlightingTool both schedules the flights (before the run) and
+        # evaluates them (after).
         streams = self._next_streams("flight", reuse_tag=workload_tag)
         generator = WorkloadGenerator(
             self.templates,
@@ -334,10 +453,11 @@ class Kea:
         )
         workload = generator.generate(hours)
         simulator = ClusterSimulator(cluster, workload, streams=streams.spawn("sim"))
-        register(simulator)
+        tool = FlightingTool(simulator)
+        for flight in flights:
+            tool.add_flight(flight)
         result = simulator.run(hours)
         monitor = PerformanceMonitor(result.records)
-        tool = FlightingTool(simulator)
         for flight in flights:
             reports.append(tool.evaluate(flight, monitor, metrics=metrics))
         verdict = safety_gate.evaluate(simulator) if safety_gate is not None else None

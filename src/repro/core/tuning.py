@@ -75,7 +75,10 @@ class ObservationalTuning:
         """
         observation = self.kea.observe(days=observe_days)
         engine = self.kea.calibrate(observation.monitor)
-        tuning = self.kea.tune_yarn_config(observation, engine, **tuner_kwargs)
+        proposal = self.kea.tune(
+            "yarn-config", observation=observation, engine=engine, **tuner_kwargs
+        )
+        tuning = proposal.details
         flights = self.kea.flight_validate(tuning, hours=flight_hours)
         impact = self.kea.deployment_impact(tuning.proposed_config, days=deploy_days)
         adopted = impact.latency.relative_effect <= latency_guard

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import GroupLimits, YarnConfig
 from repro.cluster.simulator import ClusterSimulator
-from repro.cluster.software import MachineGroupKey
 from repro.flighting.safety import SafetyGate
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import hours

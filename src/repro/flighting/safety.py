@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cluster.simulator import ClusterSimulator
 from repro.telemetry.monitor import PerformanceMonitor
 

@@ -10,7 +10,9 @@ KEA's value comes from running observe → calibrate → tune → flight → dep
   (diurnal baseline, demand spike, sustained overload, machine-group
   decommission, benchmark-heavy) campaigns are launched against;
 * :class:`Campaign` — the per-tenant state machine with significance-gated
-  transitions and rollback on regressing deployments;
+  transitions and rollback on regressing deployments, driving any
+  registered :class:`~repro.core.application.TuningApplication` (the
+  tenant's/scenario's choice; YARN config tuning by default);
 * :class:`SimulationPool` — process-parallel execution of independent
   tenant simulations, bit-identical to serial execution;
 * :class:`SimulationCache` — memoizes outcomes by (tenant, config hash,

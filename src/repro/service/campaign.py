@@ -4,14 +4,20 @@ A :class:`Campaign` steps a tenant through the paper's full loop —
 
     OBSERVE → CALIBRATE → TUNE → FLIGHT → DEPLOY / ROLLBACK
 
-— with significance gates between the risky transitions. Simulation-heavy
+— with significance gates between the risky transitions, for *any*
+registered :class:`~repro.core.application.TuningApplication` (the tenant's
+or scenario's choice; YARN config tuning by default). Simulation-heavy
 phases (OBSERVE, FLIGHT, DEPLOY evaluation) are exposed as
 :class:`~repro.service.pool.SimulationRequest` values so an orchestrator can
 fan them out, cache them, or run them inline; the cheap analytical phases
-(CALIBRATE, TUNE) execute inside :meth:`advance`. Guardrails reuse the
-library's deployment machinery: pilot-flight significance tests
-(:mod:`repro.flighting.tool`), the in-flight latency gate and
-:class:`~repro.flighting.safety.DeploymentGuardrail`
+(CALIBRATE, TUNE) execute inside :meth:`advance` by driving the
+application's lifecycle. Applications with nothing to pilot-flight (e.g.
+queue tuning's per-group queue limits) skip FLIGHT and go straight to the
+rollout evaluation; advisory applications (power capping, SKU design, SC
+selection) record their recommendation and converge — there is no config to
+deploy. Guardrails reuse the library's deployment machinery: pilot-flight
+significance tests (:mod:`repro.flighting.tool`), the in-flight latency gate
+and :class:`~repro.flighting.safety.DeploymentGuardrail`
 (:mod:`repro.flighting.safety`), and the treatment effects of
 :mod:`repro.stats.treatment` carried by
 :class:`~repro.core.kea.DeploymentImpact`. A rollout that regresses is
@@ -25,8 +31,8 @@ from enum import Enum
 
 from repro.cluster.cluster import build_cluster, default_yarn_config
 from repro.cluster.config import YarnConfig
-from repro.core.applications.yarn_config import YarnConfigTuner, YarnTuningResult
-from repro.core.kea import DeploymentImpact
+from repro.core.application import APPLICATIONS, TuningApplication, TuningProposal
+from repro.core.kea import DeploymentImpact, Observation
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.safety import DeploymentGuardrail
 from repro.service.pool import SimulationOutcome, SimulationRequest
@@ -108,6 +114,7 @@ class CampaignReport:
 
     tenant: str
     scenario: str
+    application: str
     final_phase: CampaignPhase
     rounds_run: int
     deployments: int
@@ -127,7 +134,8 @@ class CampaignReport:
     def summary(self) -> str:
         """Multi-line operator readout."""
         lines = [
-            f"campaign {self.tenant!r} on scenario {self.scenario!r}: "
+            f"campaign {self.tenant!r} running {self.application!r} on "
+            f"scenario {self.scenario!r}: "
             f"{self.final_phase.value} after {self.rounds_run} round(s) "
             f"({self.deployments} deployed, {self.rollbacks} rolled back)",
             f"sellable capacity: {self.capacity_before} → {self.capacity_after} "
@@ -146,6 +154,11 @@ class Campaign:
     analytical phases, and moves on. Workload tags are deterministic
     functions of (scenario, round, step), so a campaign replays identically
     wherever its requests are executed.
+
+    ``application`` selects which registered
+    :class:`~repro.core.application.TuningApplication` the TUNE phase runs
+    (a name or an instance). When omitted, the tenant spec's choice wins,
+    then the scenario's, then the default ``"yarn-config"``.
     """
 
     def __init__(
@@ -159,6 +172,7 @@ class Campaign:
         flight_hours: float = 8.0,
         machines_per_group: int = 8,
         initial_config: YarnConfig | None = None,
+        application: str | TuningApplication | None = None,
     ):
         if rounds < 1:
             raise ServiceError("a campaign needs at least one round")
@@ -174,6 +188,7 @@ class Campaign:
             initial_config.copy() if initial_config is not None else default_yarn_config()
         )
         self._initial_config = self.config.copy()
+        self.application = self._resolve_application(application)
 
         self.round = 1
         self.phase = CampaignPhase.OBSERVE
@@ -182,8 +197,24 @@ class Campaign:
         self.rollbacks = 0
         self.snapshots: list[MonitorSnapshot] = []
         self.engine: WhatIfEngine | None = None
-        self.tuning: YarnTuningResult | None = None
+        self.tuning: TuningProposal | None = None
         self.last_impact: DeploymentImpact | None = None
+        self._flight_deltas: dict | None = None
+
+    def _resolve_application(
+        self, application: str | TuningApplication | None
+    ) -> TuningApplication:
+        """Campaign arg > tenant spec > scenario > the yarn-config default."""
+        candidate = application
+        if candidate is None:
+            candidate = self.spec.application
+        if candidate is None:
+            candidate = self.scenario.application
+        if candidate is None:
+            candidate = "yarn-config"
+        if isinstance(candidate, str):
+            return APPLICATIONS.create(candidate)
+        return candidate
 
     # ------------------------------------------------------------------
     # State machine surface
@@ -219,8 +250,13 @@ class Campaign:
             return SimulationRequest(days=self.observe_days, **common)
         if kind == "flight":
             assert self.tuning is not None
+            deltas = (
+                self._flight_deltas
+                if self._flight_deltas is not None
+                else dict(self.tuning.config_deltas)
+            )
             return SimulationRequest(
-                deltas=tuple(sorted(self.tuning.config_deltas.items())),
+                deltas=tuple(sorted(deltas.items())),
                 flight_hours=self.flight_hours,
                 machines_per_group=self.machines_per_group,
                 gate_window_hours=self.guardrails.flight_gate_window_hours,
@@ -266,22 +302,56 @@ class Campaign:
         self.snapshots.append(snapshot)
         self._log(CampaignPhase.OBSERVE, snapshot.summary())
 
-        # CALIBRATE and TUNE are analytical (milliseconds next to the
-        # simulated windows), so they resolve inline rather than round-trip
-        # through the pool.
+        # CALIBRATE and TUNE are analytical for the observational
+        # applications (milliseconds next to the simulated windows), so they
+        # resolve inline rather than round-trip through the pool;
+        # experimental applications run their own deterministic experiment
+        # rounds here through the bound host environment.
+        app = self.application
         self.phase = CampaignPhase.CALIBRATE
-        engine = WhatIfEngine()
-        engine.calibrate(monitor)
-        self.engine = engine
-        self._log(
-            CampaignPhase.CALIBRATE,
-            f"what-if engine calibrated on {len(engine.groups())} machine groups",
-        )
+        if app.requires_engine:
+            engine = WhatIfEngine()
+            engine.calibrate(monitor)
+            self.engine = engine
+            self._log(
+                CampaignPhase.CALIBRATE,
+                f"what-if engine calibrated on {len(engine.groups())} machine groups",
+            )
+        else:
+            engine = None
+            self.engine = None
+            self._log(
+                CampaignPhase.CALIBRATE,
+                f"skipped: {app.name!r} does not use the what-if engine",
+            )
 
         self.phase = CampaignPhase.TUNE
         cluster = build_cluster(self.spec.fleet_spec, self.config.copy())
-        self.tuning = YarnConfigTuner(engine).tune(cluster)
-        if not self.tuning.config_deltas:
+        observation = Observation(
+            cluster=cluster, monitor=monitor, result=None, days=self.observe_days
+        )
+        # Deferred binding: only applications that actually reach through
+        # `host` (experiment rounds, resource re-observation) pay for
+        # building the tenant's Kea environment.
+        config = self.config.copy()
+        app.bind_deferred(
+            lambda: self.spec.build(config=config, scenario=self.scenario)
+        )
+        self.tuning = app.propose(observation, engine)
+        self._flight_deltas = dict(app.flight_plan(self.tuning))
+
+        if self.tuning.is_advisory:
+            # Decision-only output (power capping level, SKU to buy, SC
+            # winner): record the recommendation, nothing ships.
+            self._log(CampaignPhase.TUNE, self.tuning.summary)
+            self.phase = CampaignPhase.CONVERGED
+            self._log(
+                CampaignPhase.CONVERGED,
+                f"advisory application {app.name!r}: recommendation recorded, "
+                "nothing to deploy",
+            )
+            return
+        if not self._flight_deltas and self.tuning.proposed_config == self.config:
             self._log(CampaignPhase.TUNE, "optimizer proposes no material change")
             self.phase = CampaignPhase.CONVERGED
             self._log(
@@ -289,12 +359,18 @@ class Campaign:
                 "baseline already optimal within the conservative step bound",
             )
             return
-        self._log(
-            CampaignPhase.TUNE,
-            f"{len(self.tuning.config_deltas)} group delta(s), "
-            f"predicted capacity {self.tuning.capacity_gain:+.1%} at the optimum",
-        )
-        self.phase = CampaignPhase.FLIGHT
+        self._log(CampaignPhase.TUNE, self.tuning.summary)
+        if self._flight_deltas:
+            self.phase = CampaignPhase.FLIGHT
+        else:
+            # Nothing to pilot (e.g. queue limits are not container deltas):
+            # skip straight to the gated rollout evaluation.
+            self._log(
+                CampaignPhase.FLIGHT,
+                f"skipped: {app.name!r} proposes no per-group container "
+                "deltas to pilot",
+            )
+            self.phase = CampaignPhase.DEPLOY
 
     def _after_flight(self, outcome: SimulationOutcome) -> None:
         rails = self.guardrails
@@ -338,7 +414,7 @@ class Campaign:
         self.last_impact = outcome.impact
         verdict = self.guardrails.deployment.judge(outcome.impact)
         if verdict.passed:
-            self.config = self.tuning.proposed_config.copy()
+            self.config = self.application.apply(self.config, self.tuning)
             self._end_round(CampaignPhase.DEPLOYED, f"adopted: {verdict.reason}")
         else:
             self._end_round(CampaignPhase.ROLLED_BACK, f"rolled back: {verdict.reason}")
@@ -357,6 +433,7 @@ class Campaign:
         self.phase = CampaignPhase.OBSERVE
         self.engine = None
         self.tuning = None
+        self._flight_deltas = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -372,6 +449,7 @@ class Campaign:
         return CampaignReport(
             tenant=self.spec.name,
             scenario=self.scenario.name,
+            application=self.application.name,
             final_phase=self.phase,
             rounds_run=self.round,
             deployments=self.deployments,

@@ -29,6 +29,11 @@ class TenantSpec:
     ``jobs_per_hour`` of None lets :class:`~repro.core.kea.Kea` estimate the
     rate from the fleet's capacity at ``target_occupancy`` — deterministic,
     so two processes building the same spec get the same workload.
+
+    ``application`` optionally names the registered
+    :class:`~repro.core.application.TuningApplication` this tenant's
+    campaigns run (None defers to the scenario's choice, then to the
+    default ``"yarn-config"``).
     """
 
     name: str
@@ -37,6 +42,7 @@ class TenantSpec:
     jobs_per_hour: float | None = None
     target_occupancy: float = 0.62
     mean_task_duration_hint_s: float = 420.0
+    application: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -37,6 +37,11 @@ class Scenario:
     ``decommission_sku`` drains every machine of that SKU — container limit
     forced to 1, queue closed — at ``decommission_hour``, modeling a
     machine-group decommission mid-window.
+
+    ``application`` optionally names the registered
+    :class:`~repro.core.application.TuningApplication` campaigns launched
+    against this scenario run (a tenant's own ``application`` takes
+    precedence; None falls through to the default ``"yarn-config"``).
     """
 
     name: str
@@ -47,6 +52,7 @@ class Scenario:
     benchmark_period_hours: float = 6.0
     decommission_sku: str | None = None
     decommission_hour: float = 0.0
+    application: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -9,6 +9,12 @@
 through its campaign rounds, batching whichever simulations the campaigns
 are simultaneously waiting on into one pool dispatch — so a multi-tenant
 campaign's wall-clock approaches that of its slowest tenant, not the sum.
+
+The service is application-agnostic: each campaign runs whatever registered
+:class:`~repro.core.application.TuningApplication` its tenant spec,
+scenario, or an explicit ``application=`` launch kwarg selects, so one
+``run_campaigns`` call can tune YARN limits for one tenant while another
+tunes queue lengths or evaluates a power-capping level.
 """
 
 from __future__ import annotations
@@ -48,7 +54,8 @@ class FleetCampaignReport:
     def summary(self) -> str:
         """Fleet-wide table plus cache/pool accounting."""
         table = TextTable(
-            ["tenant", "outcome", "rounds", "deployed", "rolled back", "capacity"],
+            ["tenant", "application", "outcome", "rounds", "deployed",
+             "rolled back", "capacity"],
             title=f"Campaign over scenario {self.scenario!r}",
         )
         for name in sorted(self.reports):
@@ -56,6 +63,7 @@ class FleetCampaignReport:
             table.add_row(
                 [
                     name,
+                    report.application,
                     report.final_phase.value,
                     str(report.rounds_run),
                     str(report.deployments),
@@ -105,7 +113,13 @@ class ContinuousTuningService:
         rounds: int = 1,
         **campaign_kwargs,
     ) -> dict[str, Campaign]:
-        """Create (but do not run) one campaign per selected tenant."""
+        """Create (but do not run) one campaign per selected tenant.
+
+        ``campaign_kwargs`` pass through to :class:`Campaign` — including
+        ``application=`` to force one registered application for every
+        selected tenant (otherwise each tenant spec's or the scenario's
+        choice applies).
+        """
         resolved = self.resolve_scenario(scenario)
         names = tenants if tenants is not None else self.registry.names()
         if not names:

@@ -41,6 +41,15 @@ class ExperimentError(ReproError):
     """An experiment design could not be realized on the given cluster."""
 
 
+class ApplicationError(ReproError):
+    """A tuning application was misused or could not run its lifecycle.
+
+    Examples: looking up an unregistered application name, calling
+    ``propose`` without the What-if Engine the application requires, or
+    running an experimental application without a bound host environment.
+    """
+
+
 class ServiceError(ReproError):
     """The continuous tuning service was driven through an invalid transition.
 

@@ -13,7 +13,7 @@ template-level size multiplier so "the same job on bigger data" is captured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

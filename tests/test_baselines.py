@@ -74,7 +74,9 @@ class TestHillClimbing:
         np.testing.assert_array_equal(result.best_x, [3.0, 7.0])
 
     def test_restart_after_plateau(self):
-        flat = lambda x: 0.0
+        def flat(x):
+            return 0.0
+
         result = HillClimbing(bounds=BOUNDS, seed=1).optimize(flat, 30)
         assert result.n_evaluations <= 30
 

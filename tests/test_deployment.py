@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import build_cluster, small_fleet_spec
 from repro.cluster.config import GroupLimits, YarnConfig
-from repro.cluster.software import MachineGroupKey
 from repro.flighting.deployment import DeploymentModule, RolloutPlan, RolloutWave
 from repro.utils.errors import ConfigurationError
 

@@ -1,6 +1,5 @@
 """Tests for the What-if Engine on synthetic telemetry with known relations."""
 
-import numpy as np
 import pytest
 
 from repro.core.whatif import WhatIfEngine
