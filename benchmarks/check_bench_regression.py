@@ -1,0 +1,100 @@
+"""Hot-path regression gate for the application-suite benchmark.
+
+Compares the freshly produced ``benchmarks/out/BENCH_applications.json``
+against the committed baseline in ``benchmarks/baselines/`` and fails (exit
+code 1) when any application's wall-clock regresses beyond the tolerance
+band. Wall-clock on shared CI runners is noisy, so the gate is deliberately
+two-sided-generous: a regression only fails when the current time exceeds
+``tolerance`` × baseline *and* the absolute slowdown exceeds
+``min_seconds`` (sub-second jitter on a fast path never trips the gate).
+
+Run after the bench::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_application_suite.py -q
+    python benchmarks/check_bench_regression.py
+
+``BENCH_TOLERANCE`` overrides the band from the environment (CI knob).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_CURRENT = HERE / "out" / "BENCH_applications.json"
+DEFAULT_BASELINE = HERE / "baselines" / "BENCH_applications.json"
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    min_seconds: float,
+) -> list[str]:
+    """All regression findings (empty when the gate passes)."""
+    problems: list[str] = []
+    current_apps = current.get("applications", {})
+    baseline_apps = baseline.get("applications", {})
+    for name, base_row in sorted(baseline_apps.items()):
+        row = current_apps.get(name)
+        if row is None:
+            problems.append(f"{name}: present in baseline but missing from the run")
+            continue
+        base_total = float(base_row["total_seconds"])
+        total = float(row["total_seconds"])
+        if total > base_total * tolerance and total - base_total > min_seconds:
+            problems.append(
+                f"{name}: total {total:.2f}s vs baseline {base_total:.2f}s "
+                f"(> {tolerance:.2f}x tolerance band)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "2.0")),
+        help="fail when current > tolerance x baseline (default 2.0, "
+        "env BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.75,
+        help="ignore regressions smaller than this many absolute seconds",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to gate against")
+        return 0
+    if not args.current.exists():
+        print(f"missing bench output {args.current}; run the bench suite first")
+        return 1
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    problems = check(current, baseline, args.tolerance, args.min_seconds)
+    if problems:
+        print("hot-path regression gate FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    names = ", ".join(sorted(baseline.get("applications", {})))
+    print(
+        f"hot-path regression gate passed "
+        f"(tolerance {args.tolerance:.2f}x, apps: {names})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,12 @@ from repro.cluster.config import GroupLimits, YarnConfig
 from repro.cluster.machine import Machine
 from repro.cluster.power import cap_watts_for_level, power_draw_watts, throttle_factor
 from repro.cluster.scheduler import YarnScheduler
-from repro.cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    ObservationSpec,
+    SimulationConfig,
+    SimulationResult,
+)
 from repro.cluster.sku import DEFAULT_SKUS, Sku, sku_by_name
 from repro.cluster.software import SC1, SC2, MachineGroupKey, SoftwareConfig
 
@@ -43,6 +48,7 @@ __all__ = [
     "throttle_factor",
     "YarnScheduler",
     "ClusterSimulator",
+    "ObservationSpec",
     "SimulationConfig",
     "SimulationResult",
     "DEFAULT_SKUS",

@@ -50,7 +50,12 @@ from repro.workload.generator import Workload
 from repro.workload.job import JobRuntime
 from repro.workload.task import Task
 
-__all__ = ["SimulationConfig", "SimulationResult", "ClusterSimulator"]
+__all__ = [
+    "SimulationConfig",
+    "ObservationSpec",
+    "SimulationResult",
+    "ClusterSimulator",
+]
 
 _HOUR, _ACTION, _ARRIVAL, _FINISH, _SAMPLE, _RETRY = 0, 1, 2, 3, 4, 5
 
@@ -72,6 +77,68 @@ class SimulationConfig:
     resource_sample_machines: int = 0
     resource_sample_sku: str | None = None
     placement_retry_s: float = 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationSpec:
+    """What one observation window must *record* for its consumer.
+
+    Applications have different telemetry needs — SKU design wants
+    fine-grained resource samples (Figure 13), critical-path analyses want a
+    dense task log, rollout evaluations want benchmark jobs on a cadence.
+    An ``ObservationSpec`` is the declarative, picklable statement of those
+    needs: it rides on a :class:`~repro.service.pool.SimulationRequest`
+    through pool workers and into the cache key, so an application's
+    observation plane fans out and memoizes like every other simulation
+    (no side-channel re-observation).
+
+    ``benchmark_period_hours`` of None defers to the caller's default (a
+    campaign scenario's cadence, or no benchmarks for a plain observe).
+    """
+
+    task_log_sample_rate: float = 0.0
+    resource_sample_period_s: float = 0.0
+    resource_sample_machines: int = 0
+    resource_sample_sku: str | None = None
+    benchmark_period_hours: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.task_log_sample_rate <= 1.0:
+            raise ValueError("task_log_sample_rate must be in [0, 1]")
+        if self.resource_sample_period_s < 0 or self.resource_sample_machines < 0:
+            raise ValueError("resource sampling knobs must be non-negative")
+        if self.benchmark_period_hours is not None and self.benchmark_period_hours < 0:
+            raise ValueError("benchmark_period_hours must be non-negative")
+
+    @property
+    def is_default(self) -> bool:
+        """True when the spec asks for nothing beyond baseline telemetry."""
+        return self == ObservationSpec()
+
+    def to_sim_config(self, base: SimulationConfig | None = None) -> SimulationConfig:
+        """The :class:`SimulationConfig` realizing this spec.
+
+        ``base`` supplies non-telemetry knobs (backpressure retry delay) to
+        preserve; telemetry knobs always come from the spec itself.
+        """
+        base = base if base is not None else SimulationConfig()
+        return SimulationConfig(
+            task_log_sample_rate=self.task_log_sample_rate,
+            resource_sample_period_s=self.resource_sample_period_s,
+            resource_sample_machines=self.resource_sample_machines,
+            resource_sample_sku=self.resource_sample_sku,
+            placement_retry_s=base.placement_retry_s,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable cache-key material (two equal specs fingerprint equally)."""
+        return (
+            f"log={self.task_log_sample_rate}"
+            f"|rs={self.resource_sample_period_s}"
+            f"/{self.resource_sample_machines}"
+            f"/{self.resource_sample_sku or '-'}"
+            f"|bench={self.benchmark_period_hours}"
+        )
 
 
 @dataclass
@@ -146,7 +213,10 @@ class ClusterSimulator:
         )
         self._sampled_machines: list[Machine] = []
         self._pending_actions: list[tuple[float, Callable[[ClusterSimulator], None]]] = []
-        # Maps id(task) -> JobRuntime for tasks sitting in machine queues.
+        # Maps task.seq_id -> JobRuntime for tasks sitting in machine queues.
+        # Keyed by the monotonic per-task sequence id, not id(task): CPython
+        # reuses object ids after garbage collection, so an id() key could
+        # silently alias a finished task with a freshly allocated one.
         self._job_of_queued: dict[int, JobRuntime] = {}
 
     # ------------------------------------------------------------------
@@ -258,7 +328,7 @@ class ClusterSimulator:
             self.scheduler.note_started(placement.machine)
         else:
             self.result.tasks_queued += 1
-            self._job_of_queued[id(task)] = job
+            self._job_of_queued[task.seq_id] = job
 
     def _start_on(
         self, machine: Machine, job: JobRuntime, task: Task, queue_wait: float
@@ -328,7 +398,7 @@ class ClusterSimulator:
             if popped is None:  # pragma: no cover - guarded by loop condition
                 break
             task, wait = popped
-            job = self._job_of_queued.pop(id(task))
+            job = self._job_of_queued.pop(task.seq_id)
             self._start_on(machine, job, task, queue_wait=wait)
 
     def _flush_hour(self, hour: int) -> None:

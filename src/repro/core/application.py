@@ -14,8 +14,13 @@ it:
 * :meth:`~TuningApplication.propose` — observation (+ optional calibrated
   engine) → a :class:`TuningProposal`, with the application's rich native
   result preserved in ``TuningProposal.details``;
-* :meth:`~TuningApplication.flight_plan` — the per-group config deltas to
-  pilot-flight before rollout ({} when nothing is flightable);
+* :meth:`~TuningApplication.flight_plan` — the serializable
+  :class:`~repro.flighting.build.FlightPlan` of config builds to
+  pilot-flight before rollout (empty when nothing is flightable);
+* :meth:`~TuningApplication.observation_spec` — the telemetry the
+  application's observation windows must record
+  (:class:`~repro.cluster.simulator.ObservationSpec`), carried through the
+  campaign service's simulation pool and cache;
 * :meth:`~TuningApplication.evaluate` — before/after observations → a
   :class:`TuningOutcome` on the application's primary metric;
 * :meth:`~TuningApplication.apply` — fold an accepted proposal into the
@@ -35,7 +40,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.cluster.config import YarnConfig
+from repro.cluster.simulator import ObservationSpec
 from repro.cluster.software import MachineGroupKey
+from repro.flighting.build import FlightPlan
 from repro.utils.errors import ApplicationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a kea import cycle
@@ -106,8 +113,11 @@ class TuningProposal:
     ``proposed_config`` is the deployable YARN config (None for advisory
     applications whose output is a purchase or rollout *decision*, not a
     config change); ``config_deltas`` are the per-group container deltas a
-    pilot flight can exercise; ``details`` carries the application's rich
-    native result (:class:`~repro.core.applications.yarn_config.YarnTuningResult`,
+    pilot flight can exercise; ``baseline_config`` is the config the
+    proposal was derived against, letting :meth:`TuningApplication.flight_plan`
+    pilot only what actually changed; ``details`` carries the application's
+    rich native result
+    (:class:`~repro.core.applications.yarn_config.YarnTuningResult`,
     :class:`~repro.core.applications.queue_tuning.QueueTuningResult`, ...)
     untouched.
     """
@@ -116,6 +126,7 @@ class TuningProposal:
     summary: str
     proposed_config: YarnConfig | None = None
     config_deltas: dict[MachineGroupKey, int] = field(default_factory=dict)
+    baseline_config: YarnConfig | None = None
     metrics: dict[str, float] = field(default_factory=dict)
     details: Any = None
 
@@ -166,6 +177,17 @@ class TuningApplication(abc.ABC):
     primary_metric: ClassVar[str] = "TotalDataRead"
     higher_is_better: ClassVar[bool] = True
 
+    #: Metrics a pilot flight of this application measures (flighted vs
+    #: control), and the single *direct* metric whose significant movement
+    #: validates the flight — the paper's first check was that changing the
+    #: container limit visibly changes observed running containers.
+    #: ``flight_metric`` must be listed in ``flight_metrics``.
+    flight_metrics: ClassVar[tuple[str, ...]] = (
+        "AverageRunningContainers",
+        "CpuUtilization",
+    )
+    flight_metric: ClassVar[str] = "AverageRunningContainers"
+
     _host: "Kea | None" = None
     _host_factory = None
 
@@ -199,11 +221,28 @@ class TuningApplication(abc.ABC):
             )
         return self._host
 
+    def observation_spec(self) -> ObservationSpec:
+        """The telemetry this application's observation windows must record.
+
+        The declarative counterpart of :meth:`observation_overrides`: the
+        campaign service attaches it to every observe
+        :class:`~repro.service.pool.SimulationRequest`, so the application's
+        telemetry needs (resource samples for SKU design, a dense task log)
+        fan out through pool workers and fold into the cache key instead of
+        triggering side-channel re-observation. Default: baseline telemetry.
+        """
+        return ObservationSpec()
+
     def observation_overrides(self) -> dict[str, Any]:
-        """Extra :meth:`~repro.core.kea.Kea.observe` kwargs this application
-        needs its observation window collected with (e.g. resource sampling
-        for SKU design). Default: none."""
-        return {}
+        """:meth:`observation_spec` as :meth:`~repro.core.kea.Kea.observe`
+        kwargs, for callers driving the facade directly."""
+        spec = self.observation_spec()
+        overrides: dict[str, Any] = {}
+        if not spec.is_default:
+            overrides["sim_config"] = spec.to_sim_config()
+        if spec.benchmark_period_hours is not None:
+            overrides["benchmark_period_hours"] = spec.benchmark_period_hours
+        return overrides
 
     @abc.abstractmethod
     def parameter_space(self) -> tuple[ParameterSpec, ...]:
@@ -215,9 +254,19 @@ class TuningApplication(abc.ABC):
     ) -> TuningProposal:
         """Turn one observation window (+ optional engine) into a proposal."""
 
-    def flight_plan(self, proposal: TuningProposal) -> dict[MachineGroupKey, int]:
-        """Per-group container deltas to pilot-flight; {} skips flighting."""
-        return dict(proposal.config_deltas)
+    def flight_plan(self, proposal: TuningProposal) -> FlightPlan:
+        """The config builds to pilot-flight before this proposal rolls out.
+
+        Returns a serializable :class:`~repro.flighting.build.FlightPlan`
+        (build × machine-selector entries) that
+        :meth:`~repro.core.kea.Kea.flight_campaign` can apply and revert on
+        pilot machines — any knob class, not just container counts. The
+        default plans one conservative
+        :class:`~repro.flighting.build.ContainerDeltaBuild` per group in
+        ``proposal.config_deltas``; an empty plan means nothing is
+        flightable.
+        """
+        return FlightPlan.from_container_deltas(proposal.config_deltas)
 
     def evaluate(
         self, before: "Observation", after: "Observation"
@@ -284,6 +333,11 @@ class ApplicationRegistry:
             raise ApplicationError(
                 f"{cls.__name__}.mode must be one of {APPLICATION_MODES}, "
                 f"got {mode!r}"
+            )
+        if cls.flight_metric not in cls.flight_metrics:
+            raise ApplicationError(
+                f"{cls.__name__}.flight_metric {cls.flight_metric!r} must be "
+                f"one of its flight_metrics {cls.flight_metrics}"
             )
         if name in self._classes:
             raise ApplicationError(

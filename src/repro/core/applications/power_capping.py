@@ -28,6 +28,13 @@ from repro.experiment.power_capping import (
     assign_power_capping_groups,
     revert_power_capping_groups,
 )
+from repro.flighting.build import (
+    CompositeBuild,
+    FeatureBuild,
+    FlightPlan,
+    PlannedFlight,
+    PowerCapBuild,
+)
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import ExperimentError
 from repro.utils.rng import RngStreams
@@ -141,7 +148,10 @@ class PowerCappingApplication(TuningApplication):
     environment, then recommends the deepest level whose Feature-enabled
     impact stays within tolerance. The output is a *decision* (a capping
     level worth ~MW of rackable power), not a YARN config, so the proposal
-    is advisory: nothing to flight, nothing to deploy.
+    is advisory — but a nonzero recommendation is still pilot-flighted:
+    :meth:`flight_plan` deploys the Group-D build (Feature on + chassis cap)
+    to whole chassis of the studied SKU, confirming the cap visibly bounds
+    power draw before the fleet-wide rollout decision ships.
     """
 
     name = "power-capping"
@@ -149,6 +159,8 @@ class PowerCappingApplication(TuningApplication):
     requires_engine = False
     primary_metric = "BytesPerCpuTime"
     higher_is_better = True
+    flight_metrics = ("PowerWatts", "BytesPerCpuTime")
+    flight_metric = "PowerWatts"
 
     def __init__(
         self,
@@ -247,4 +259,29 @@ class PowerCappingApplication(TuningApplication):
                 "feature_enabled_impact": feature_impact,
             },
             details=result,
+        )
+
+    def flight_plan(self, proposal) -> FlightPlan:
+        """Pilot the recommended Group-D build (Feature + cap) when nonzero.
+
+        Chassis-aligned: the cap is chassis-wide, so a pilot cutting through
+        a chassis would cap its own control machines.
+        """
+        recommended = proposal.metrics.get("recommended_capping_level", 0.0)
+        if recommended <= 0:
+            return FlightPlan()
+        return FlightPlan(
+            entries=(
+                PlannedFlight(
+                    build=CompositeBuild(
+                        builds=(
+                            FeatureBuild(enabled=True),
+                            PowerCapBuild(capping_level=recommended),
+                        )
+                    ),
+                    sku=self.sku,
+                    name=f"pilot-powercap-{self.sku}-{recommended:.0%}",
+                    chassis_aligned=True,
+                ),
+            )
         )

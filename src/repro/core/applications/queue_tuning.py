@@ -24,6 +24,7 @@ from repro.core.application import (
     register_application,
 )
 from repro.cluster.software import MachineGroupKey
+from repro.flighting.build import FlightPlan, PlannedFlight, YarnLimitsBuild
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import TelemetryError
 from repro.utils.tables import TextTable
@@ -156,8 +157,10 @@ class QueueTuningApplication(TuningApplication):
     Purely observational and engine-free: ``propose`` reads queue telemetry
     off the observation's monitor and emits a deployable config carrying the
     recommended per-group ``max_queued_containers``. Queue limits are not a
-    container delta, so the flight plan is empty and campaigns go straight
-    from TUNE to the rollout evaluation.
+    container delta, but they *are* flightable: :meth:`flight_plan` pilots
+    a :class:`~repro.flighting.build.YarnLimitsBuild` per changed group (new
+    queue bound, running limit untouched), validated on the direct metric —
+    capping a queue must visibly change observed queue length.
     """
 
     name = "queue-tuning"
@@ -165,6 +168,8 @@ class QueueTuningApplication(TuningApplication):
     requires_engine = False
     primary_metric = "MeanQueueWaitSeconds"  # derived, not a registry metric
     higher_is_better = False
+    flight_metrics = ("QueueLength", "QueueWaitP99", "AverageTaskSeconds")
+    flight_metric = "QueueLength"
 
     def __init__(
         self,
@@ -208,12 +213,42 @@ class QueueTuningApplication(TuningApplication):
             ),
             proposed_config=proposed,
             config_deltas={},
+            baseline_config=observation.cluster.yarn_config.copy(),
             metrics={
                 "target_wait_seconds": result.target_wait_seconds,
                 "observed_mean_p99_wait_s": mean_p99,
             },
             details=result,
         )
+
+    def flight_plan(self, proposal) -> FlightPlan:
+        """Pilot the new queue bound on every group whose limit changes.
+
+        Each entry is a :class:`~repro.flighting.build.YarnLimitsBuild`
+        carrying the group's *unchanged* running-container limit plus the
+        recommended queue bound, so the pilot isolates the queue knob.
+        """
+        result: QueueTuningResult = proposal.details
+        baseline = proposal.baseline_config
+        entries = []
+        for key, limit in sorted(result.recommended_limits.items()):
+            current = proposal.proposed_config.for_group(key)
+            if (
+                baseline is not None
+                and baseline.for_group(key).max_queued_containers == limit
+            ):
+                continue  # nothing changes for this group; nothing to pilot
+            entries.append(
+                PlannedFlight(
+                    build=YarnLimitsBuild(
+                        max_running_containers=current.max_running_containers,
+                        max_queued_containers=limit,
+                    ),
+                    group=key,
+                    name=f"pilot-{key.label}-queue{limit}",
+                )
+            )
+        return FlightPlan(entries=tuple(entries))
 
     @staticmethod
     def _mean_wait(observation) -> float:

@@ -20,7 +20,7 @@ from repro.core.application import (
 )
 from repro.experiment.ab import ABReport, compare_groups
 from repro.experiment.design import GroupAssignment, ideal_setting
-from repro.flighting.build import SoftwareBuild
+from repro.flighting.build import FlightPlan, PlannedFlight, SoftwareBuild
 from repro.telemetry.monitor import PerformanceMonitor
 from repro.utils.errors import ExperimentError
 from repro.utils.rng import RngStreams
@@ -157,9 +157,13 @@ class ScSelectionApplication(TuningApplication):
 
     Experimental and advisory: ``propose`` runs the ideal-setting A/B on a
     fresh cluster built from the bound host environment and reports the
-    winning software configuration. The rollout itself (reimaging racks) is
-    out of YARN-config scope, so there is no flight plan or deployable
-    config — the decision and the full Table 4 report ride in ``details``.
+    winning software configuration. There is no deployable YARN config — the
+    decision and the full Table 4 report ride in ``details`` — but the
+    decision *is* flightable: when the challenger (SC2) wins,
+    :meth:`flight_plan` pilots a
+    :class:`~repro.flighting.build.SoftwareBuild` re-image on a slice of the
+    incumbent population, the production safety check before any rack-scale
+    rollout.
     """
 
     name = "sc-selection"
@@ -167,6 +171,8 @@ class ScSelectionApplication(TuningApplication):
     requires_engine = False
     primary_metric = "BytesPerSecond"
     higher_is_better = True
+    flight_metrics = ("BytesPerSecond", "AverageTaskSeconds")
+    flight_metric = "BytesPerSecond"
 
     def __init__(
         self,
@@ -228,4 +234,26 @@ class ScSelectionApplication(TuningApplication):
                 "t_value": data_read.test.t_value,
             },
             details=result,
+        )
+
+    def flight_plan(self, proposal) -> FlightPlan:
+        """Pilot the winning re-image on the incumbent (SC1) population.
+
+        Only a challenger win plans a flight: an SC1 win or a tie keeps the
+        fleet as it is, so there is nothing to deploy — and nothing to
+        pilot.
+        """
+        result: ScSelectionResult = proposal.details
+        if result.winner() != "SC2":
+            return FlightPlan()
+        label = self.sku if self.sku is not None else "fleet"
+        return FlightPlan(
+            entries=(
+                PlannedFlight(
+                    build=SoftwareBuild(software_name="SC2"),
+                    sku=self.sku,
+                    software="SC1",
+                    name=f"pilot-SC2-{label}",
+                ),
+            )
         )

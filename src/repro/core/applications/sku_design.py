@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.simulator import ObservationSpec
 from repro.core.application import (
     ParameterSpec,
     TuningApplication,
@@ -233,11 +234,13 @@ class SkuDesignApplication(TuningApplication):
 
     Hypothetical: the proposal configures machines that do not exist yet, so
     it is advisory — no flight plan, no deployable config. The observation
-    window must carry fine-grained resource samples; when driven through
-    ``Kea.tune``/``run_application`` the :meth:`observation_overrides` hook
-    requests them, and when handed a sample-free observation (e.g. inside a
-    campaign, whose windows ship only machine-hour records across process
-    boundaries) the application re-observes through its bound host.
+    window must carry fine-grained resource samples, declared through
+    :meth:`observation_spec`: ``Kea.tune``/``run_application`` collect them
+    directly, and campaigns attach the spec to their observe
+    :class:`~repro.service.pool.SimulationRequest` so the samples fan out
+    through the simulation pool and memoize in the cache like every other
+    window. A sample-free observation is a caller error (there is no hidden
+    re-observation fallback).
     """
 
     name = "sku-design"
@@ -254,7 +257,6 @@ class SkuDesignApplication(TuningApplication):
         sample_sku: str = "Gen 4.1",
         sample_period_s: float = 120.0,
         sample_machines: int = 12,
-        sample_days: float = 0.5,
         cost_model: SkuCostModel | None = None,
         n_draws: int = 400,
     ):
@@ -272,7 +274,6 @@ class SkuDesignApplication(TuningApplication):
         self.sample_sku = sample_sku
         self.sample_period_s = sample_period_s
         self.sample_machines = sample_machines
-        self.sample_days = sample_days
         self.cost_model = cost_model
         self.n_draws = n_draws
 
@@ -294,28 +295,24 @@ class SkuDesignApplication(TuningApplication):
             ),
         )
 
-    def observation_overrides(self) -> dict:
-        from repro.cluster.simulator import SimulationConfig
-
-        return {
-            "sim_config": SimulationConfig(
-                resource_sample_period_s=self.sample_period_s,
-                resource_sample_machines=self.sample_machines,
-                resource_sample_sku=self.sample_sku,
-            )
-        }
+    def observation_spec(self) -> ObservationSpec:
+        return ObservationSpec(
+            resource_sample_period_s=self.sample_period_s,
+            resource_sample_machines=self.sample_machines,
+            resource_sample_sku=self.sample_sku,
+        )
 
     def _resource_samples(self, observation) -> list[ResourceSample]:
         result = getattr(observation, "result", None)
         samples = getattr(result, "resource_samples", None) or []
-        if samples:
-            return samples
-        # Sample-free observation (campaign path): collect a fresh
-        # resource-sampled window from the bound host environment.
-        fresh = self.host.observe(
-            days=self.sample_days, **self.observation_overrides()
-        )
-        return fresh.result.resource_samples
+        if not samples:
+            raise TelemetryError(
+                "sku-design needs an observation with resource samples; "
+                "collect it with this application's observation_spec() "
+                "(Kea.tune/run_application do, and campaign observe requests "
+                "carry the spec through the simulation pool)"
+            )
+        return samples
 
     def propose(self, observation, engine=None) -> TuningProposal:
         study = SkuDesignStudy(cost_model=self.cost_model)

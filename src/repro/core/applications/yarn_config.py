@@ -223,7 +223,9 @@ class YarnConfigApplication(TuningApplication):
     ``propose`` solves the Eq. 7–10 LP over the supplied calibrated engine;
     the full :class:`YarnTuningResult` rides along as
     ``TuningProposal.details`` and the conservative per-group deltas become
-    the flight plan.
+    the flight plan (the inherited default: one
+    :class:`~repro.flighting.build.ContainerDeltaBuild` pilot per group,
+    validated on observed running containers).
     """
 
     name = "yarn-config"
@@ -265,6 +267,7 @@ class YarnConfigApplication(TuningApplication):
             ),
             proposed_config=result.proposed_config,
             config_deltas=dict(result.config_deltas),
+            baseline_config=observation.cluster.yarn_config.copy(),
             metrics={
                 "predicted_capacity_gain": result.capacity_gain,
                 "predicted_cluster_latency_s": result.predicted_cluster_latency,

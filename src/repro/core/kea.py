@@ -47,7 +47,7 @@ from repro.core.application import (
 # registers all five Table 3 applications in APPLICATIONS.
 from repro.core.applications.yarn_config import YarnTuningResult
 from repro.core.whatif import WhatIfEngine
-from repro.flighting.build import YarnLimitsBuild
+from repro.flighting.build import FlightPlan, PlannedFlight
 from repro.flighting.flight import Flight
 from repro.flighting.tool import FlightingTool, FlightReport
 from repro.ml.huber import HuberRegressor
@@ -398,7 +398,7 @@ class Kea:
 
     def flight_campaign(
         self,
-        config_deltas: dict[MachineGroupKey, int],
+        plan: FlightPlan | dict[MachineGroupKey, int],
         hours: float = 24.0,
         machines_per_group: int = 8,
         metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization"),
@@ -408,31 +408,35 @@ class Kea:
     ) -> FlightValidation:
         """Campaign-grade flighting: pilot flights plus an optional safety gate.
 
+        ``plan`` is a :class:`~repro.flighting.build.FlightPlan` of arbitrary
+        config builds (YARN limits, container deltas, software re-images,
+        power caps, composites) with declarative machine selectors; a bare
+        per-group container-delta dict is accepted as the classic shorthand.
+        Each entry flights at most half its selected population (capped at
+        ``machines_per_group``) so the unflighted half remains the control.
+
         The continuous tuning service drives this hook directly: it pins the
         flight window to an explicit ``workload_tag`` (so re-running the same
         campaign round replays the same arrivals, in any process) and asks a
         :class:`~repro.flighting.safety.SafetyGate` to judge the flighted run
         before the rollout may proceed.
         """
+        if isinstance(plan, dict):
+            plan = FlightPlan.from_container_deltas(plan)
+        elif not isinstance(plan, FlightPlan):
+            plan = FlightPlan(entries=tuple(plan))
         reports: list[FlightReport] = []
         cluster = self.build_cluster()
-        by_group = cluster.machines_by_group()
 
         flights: list[Flight] = []
-        for key, delta in sorted(config_deltas.items()):
-            group_machines = by_group.get(key, [])
-            # Flight at most half the group: the other half is the control.
-            n_flighted = min(machines_per_group, len(group_machines) // 2)
-            machines = group_machines[:n_flighted]
+        for entry in plan:
+            machines = _pick_pilot_machines(entry, cluster, machines_per_group)
             if len(machines) < 2:
                 continue
-            new_limit = (
-                cluster.yarn_config.for_group(key).max_running_containers + delta
-            )
             flights.append(
                 Flight(
-                    name=f"pilot-{key.label}-{delta:+d}",
-                    build=YarnLimitsBuild(max_running_containers=new_limit),
+                    name=entry.name,
+                    build=entry.build,
                     machines=machines,
                     start_hour=0.0,
                     end_hour=hours,
@@ -576,6 +580,40 @@ class Kea:
     def adopt(self, config: YarnConfig) -> None:
         """Make ``config`` the production baseline for subsequent runs."""
         self.current_config = config.copy()
+
+
+def _pick_pilot_machines(
+    entry: PlannedFlight, cluster: Cluster, machines_per_group: int
+) -> list:
+    """The pilot population for one planned flight.
+
+    At most half the selected machines (capped at ``machines_per_group``) so
+    the other half stays as the control arm. Chassis-aligned flights take
+    whole chassis — a chassis-wide build (power cap) deployed to part of a
+    chassis would silently cap its own controls.
+    """
+    candidates = entry.select_machines(cluster)
+    max_flighted = len(candidates) // 2
+    n_flighted = min(machines_per_group, max_flighted)
+    if n_flighted < 2:
+        return []
+    if not entry.chassis_aligned:
+        return candidates[:n_flighted]
+    # Whole chassis only, and never more than half the candidates: a chassis
+    # that would eat into the control arm is skipped (a smaller later
+    # chassis may still fit). A population living in one big chassis simply
+    # cannot host a controlled pilot and the flight is skipped.
+    chassis_groups: dict[int, list] = {}
+    for machine in candidates:
+        chassis_groups.setdefault(machine.chassis, []).append(machine)
+    machines: list = []
+    for group in chassis_groups.values():
+        if len(machines) >= n_flighted:
+            break
+        if len(machines) + len(group) > max_flighted:
+            continue
+        machines.extend(group)
+    return machines if len(machines) >= 2 else []
 
 
 def _benchmark_runtimes(observation: Observation) -> dict[str, list[float]]:

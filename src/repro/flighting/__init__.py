@@ -1,8 +1,12 @@
 """Flighting & deployment: safe configuration changes in "production"."""
 
 from repro.flighting.build import (
+    CompositeBuild,
     ConfigBuild,
+    ContainerDeltaBuild,
     FeatureBuild,
+    FlightPlan,
+    PlannedFlight,
     PowerCapBuild,
     SoftwareBuild,
     YarnLimitsBuild,
@@ -18,8 +22,12 @@ from repro.flighting.safety import (
 from repro.flighting.tool import FlightImpact, FlightingTool, FlightReport
 
 __all__ = [
+    "CompositeBuild",
     "ConfigBuild",
+    "ContainerDeltaBuild",
     "FeatureBuild",
+    "FlightPlan",
+    "PlannedFlight",
     "PowerCapBuild",
     "SoftwareBuild",
     "YarnLimitsBuild",

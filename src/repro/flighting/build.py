@@ -1,27 +1,42 @@
-"""Configuration "builds" that a flight can deploy to machines.
+"""Configuration "builds" that a flight can deploy to machines, and the
+declarative flight *plans* that describe where to deploy them.
 
 In the paper's flighting tool, operators "create new builds to deploy to the
 selected machines" (Section 4.1). A build here is a reversible configuration
 change scoped to a machine subset: YARN limits, software configuration,
-power caps, or the processor Feature.
+power caps, or the processor Feature. Every build is a plain picklable value
+before it is applied (the saved revert-state is populated only by
+:meth:`ConfigBuild.apply`), so builds can cross process boundaries inside a
+:class:`~repro.service.pool.SimulationRequest`.
+
+A :class:`PlannedFlight` pairs one build with a declarative machine
+*selector* (group / SKU / software), and a :class:`FlightPlan` is the full
+set of planned flights one tuning proposal wants piloted — what
+:meth:`~repro.core.application.TuningApplication.flight_plan` returns and
+what :meth:`~repro.core.kea.Kea.flight_campaign` executes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import GroupLimits
 from repro.cluster.machine import Machine
 from repro.cluster.power import cap_watts_for_level
-from repro.cluster.software import SOFTWARE_CONFIGS
+from repro.cluster.software import SOFTWARE_CONFIGS, MachineGroupKey
+from repro.utils.errors import ConfigurationError
 
 __all__ = [
     "ConfigBuild",
     "YarnLimitsBuild",
+    "ContainerDeltaBuild",
     "SoftwareBuild",
     "PowerCapBuild",
     "FeatureBuild",
+    "CompositeBuild",
+    "PlannedFlight",
+    "FlightPlan",
 ]
 
 
@@ -38,6 +53,20 @@ class ConfigBuild:
         """Undo the build on ``machines``."""
         raise NotImplementedError
 
+    def describe(self) -> str:
+        """A stable, content-complete fingerprint of this build.
+
+        Folds the build type and every declared (dataclass) field — but no
+        apply-time state — into one string, so equal builds describe equally
+        in any process. Cache keys and flight-plan fingerprints rely on this.
+        """
+        if is_dataclass(self):
+            parts = ",".join(
+                f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+            )
+            return f"{type(self).__name__}({parts})"
+        return f"{type(self).__name__}({self.name})"
+
 
 @dataclass
 class YarnLimitsBuild(ConfigBuild):
@@ -51,6 +80,7 @@ class YarnLimitsBuild(ConfigBuild):
         self._saved: dict[int, GroupLimits] = {}
 
     def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        self._saved = {}
         for machine in machines:
             self._saved[machine.machine_id] = GroupLimits(
                 max_running_containers=machine.max_running_containers,
@@ -76,6 +106,44 @@ class YarnLimitsBuild(ConfigBuild):
 
 
 @dataclass
+class ContainerDeltaBuild(ConfigBuild):
+    """Shift each machine's ``max_running_containers`` by a relative delta.
+
+    The paper's conservative ±1-container pilot, expressed per machine: the
+    new limit is the machine's *current* limit plus ``delta``, so one build
+    value serves any group without knowing its absolute configuration.
+    """
+
+    delta: int
+    name: str = "container-delta"
+
+    def __post_init__(self) -> None:
+        if self.delta == 0:
+            raise ConfigurationError("a container-delta build needs a nonzero delta")
+        self._saved: dict[int, GroupLimits] = {}
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        self._saved = {}
+        for machine in machines:
+            self._saved[machine.machine_id] = GroupLimits(
+                max_running_containers=machine.max_running_containers,
+                max_queued_containers=machine.max_queued_containers,
+            )
+            machine.apply_limits(
+                GroupLimits(
+                    max_running_containers=machine.max_running_containers + self.delta,
+                    max_queued_containers=machine.max_queued_containers,
+                )
+            )
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for machine in machines:
+            saved = self._saved.get(machine.machine_id)
+            if saved is not None:
+                machine.apply_limits(saved)
+
+
+@dataclass
 class SoftwareBuild(ConfigBuild):
     """Re-image machines with another software configuration (SC1 ↔ SC2)."""
 
@@ -88,6 +156,7 @@ class SoftwareBuild(ConfigBuild):
         self._saved: dict[int, str] = {}
 
     def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        self._saved = {}
         target = SOFTWARE_CONFIGS[self.software_name]
         for machine in machines:
             self._saved[machine.machine_id] = machine.software.name
@@ -113,6 +182,7 @@ class PowerCapBuild(ConfigBuild):
         self._saved: dict[int, float | None] = {}
 
     def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        self._saved = {}
         chassis = {m.chassis for m in machines}
         for machine in cluster.machines:
             if machine.chassis in chassis:
@@ -136,6 +206,7 @@ class FeatureBuild(ConfigBuild):
         self._saved: dict[int, bool] = {}
 
     def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        self._saved = {}
         for machine in machines:
             if machine.sku.feature_capable:
                 self._saved[machine.machine_id] = machine.feature_enabled
@@ -145,3 +216,132 @@ class FeatureBuild(ConfigBuild):
         for machine in machines:
             if machine.machine_id in self._saved:
                 machine.feature_enabled = self._saved[machine.machine_id]
+
+
+@dataclass
+class CompositeBuild(ConfigBuild):
+    """Deploy several builds as one unit (applied in order, reverted reversed).
+
+    The power-capping experiment's Group D — Feature enabled *and* chassis
+    capped — is one composite build, matching how a real image rollout ships
+    multiple settings atomically.
+    """
+
+    builds: tuple[ConfigBuild, ...]
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.builds:
+            raise ConfigurationError("a composite build needs at least one build")
+
+    def apply(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for build in self.builds:
+            build.apply(cluster, machines)
+
+    def revert(self, cluster: Cluster, machines: list[Machine]) -> None:
+        for build in reversed(self.builds):
+            build.revert(cluster, machines)
+
+    def describe(self) -> str:
+        inner = "+".join(build.describe() for build in self.builds)
+        return f"CompositeBuild[{inner}]"
+
+
+# ----------------------------------------------------------------------
+# Flight plans: builds plus declarative machine selectors
+# ----------------------------------------------------------------------
+@dataclass
+class PlannedFlight:
+    """One build and the declarative selection of machines to pilot it on.
+
+    Selectors combine with AND: ``group`` pins one (SC, SKU) machine group,
+    ``sku``/``software`` match machine attributes directly (e.g. "every SC1
+    machine of Gen 1.1"). At least one selector is required — a flight that
+    selects the whole fleet has no control population left to compare
+    against. ``chassis_aligned`` makes the pilot pick whole chassis, so
+    chassis-wide builds (power caps) do not leak into their own controls.
+    """
+
+    build: ConfigBuild
+    group: MachineGroupKey | None = None
+    sku: str | None = None
+    software: str | None = None
+    name: str = ""
+    chassis_aligned: bool = False
+
+    def __post_init__(self) -> None:
+        if self.group is None and self.sku is None and self.software is None:
+            raise ConfigurationError(
+                "a planned flight needs a machine selector (group, sku, or software)"
+            )
+        if not self.name:
+            self.name = f"pilot-{self.target_label}-{self.build.name}"
+
+    @property
+    def target_label(self) -> str:
+        """Human-readable label of the selected machine population."""
+        if self.group is not None:
+            return self.group.label
+        parts = [p for p in (self.software, self.sku) if p is not None]
+        return "_".join(parts)
+
+    def select_machines(self, cluster: Cluster) -> list[Machine]:
+        """All machines matching this flight's selectors, in fleet order."""
+        return [
+            m
+            for m in cluster.machines
+            if (self.group is None or m.group_key == self.group)
+            and (self.sku is None or m.sku.name == self.sku)
+            and (self.software is None or m.software.name == self.software)
+        ]
+
+    def describe(self) -> str:
+        """Stable fingerprint: selectors plus the build's description."""
+        return (
+            f"{self.name}|group={self.group.label if self.group else '-'}"
+            f"|sku={self.sku or '-'}|software={self.software or '-'}"
+            f"|chassis={int(self.chassis_aligned)}|{self.build.describe()}"
+        )
+
+
+@dataclass(frozen=True)
+class FlightPlan:
+    """Everything one proposal wants pilot-flighted before rollout.
+
+    Falsy when empty (nothing flightable), so campaign code can branch with
+    ``if plan:``. Built either directly from :class:`PlannedFlight` entries
+    or from the legacy per-group container-delta dict via
+    :meth:`from_container_deltas`.
+    """
+
+    entries: tuple[PlannedFlight, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def describe(self) -> str:
+        """Stable fingerprint over all entries (cache-key material)."""
+        return ";".join(entry.describe() for entry in self.entries)
+
+    @classmethod
+    def from_container_deltas(
+        cls, deltas: dict[MachineGroupKey, int]
+    ) -> "FlightPlan":
+        """The classic KEA pilot: one ±delta container build per group."""
+        return cls(
+            entries=tuple(
+                PlannedFlight(
+                    build=ContainerDeltaBuild(delta=int(delta)),
+                    group=key,
+                    name=f"pilot-{key.label}-{int(delta):+d}",
+                )
+                for key, delta in sorted(deltas.items())
+                if int(delta) != 0
+            )
+        )

@@ -28,6 +28,7 @@ class Flight:
     start_hour: float
     end_hour: float | None = None  # None = until the end of the simulation
     applied: bool = field(default=False, init=False)
+    control_groups: frozenset[str] = field(default=frozenset(), init=False)
 
     def __post_init__(self) -> None:
         if not self.machines:
@@ -39,6 +40,11 @@ class Flight:
                 f"flight {self.name!r} ends at {self.end_hour}h, "
                 f"not after its start {self.start_hour}h"
             )
+        # Control matching must use the *pre-build* group labels: a software
+        # build changes the flighted machines' group mid-run, so reading
+        # groups at evaluation time would match controls against the wrong
+        # population. Snapshot them before anything is applied.
+        self.control_groups = frozenset(m.group_key.label for m in self.machines)
 
     @property
     def machine_ids(self) -> set[int]:

@@ -99,7 +99,7 @@ class FlightingTool:
 
         flighted = in_window.filter(machine_ids=flight_ids)
         if control_ids is None:
-            flight_groups = {m.group_key.label for m in flight.machines}
+            flight_groups = flight.control_groups
             control_ids = {
                 r.machine_id
                 for r in in_window.records

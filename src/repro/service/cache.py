@@ -8,24 +8,33 @@ request's ``(tenant, config hash, workload tag)`` key. Keys are complete:
 two requests with equal keys are guaranteed (by construction in
 :meth:`~repro.service.pool.SimulationRequest.cache_key`) to simulate
 identically, so a hit is always safe to reuse.
+
+The cache is **bounded**: a long-running service would otherwise accumulate
+every window it ever simulated (each holding thousands of machine-hour
+records). ``max_entries`` caps the store with least-recently-used eviction —
+a lookup hit refreshes an entry's recency, so hot baselines survive while
+one-off what-ifs age out.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.service.pool import SimulationOutcome, SimulationRequest
+from repro.utils.errors import ServiceError
 
 __all__ = ["CacheStats", "SimulationCache"]
 
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """Hit/miss counters of a :class:`SimulationCache`."""
+    """Hit/miss/eviction counters of a :class:`SimulationCache`."""
 
     hits: int
     misses: int
     size: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -35,36 +44,65 @@ class CacheStats:
 
 
 class SimulationCache:
-    """In-memory memo of simulation outcomes, keyed by request identity."""
+    """In-memory LRU memo of simulation outcomes, keyed by request identity.
 
-    def __init__(self):
-        self._store: dict[tuple[str, str, str], SimulationOutcome] = {}
+    ``max_entries`` of None keeps the cache unbounded (tests, short-lived
+    scripts); services should set a bound sized to their working set.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple[str, str, str], SimulationOutcome] = (
+            OrderedDict()
+        )
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def lookup(self, request: SimulationRequest) -> SimulationOutcome | None:
-        """The cached outcome for ``request``, or None (counts hit/miss)."""
-        outcome = self._store.get(request.cache_key())
+        """The cached outcome for ``request``, or None (counts hit/miss).
+
+        A hit marks the entry most-recently-used, protecting it from
+        eviction ahead of colder entries.
+        """
+        key = request.cache_key()
+        outcome = self._store.get(key)
         if outcome is None:
             self._misses += 1
         else:
             self._hits += 1
+            self._store.move_to_end(key)
         return outcome
 
     def store(self, request: SimulationRequest, outcome: SimulationOutcome) -> None:
-        """Memoize ``outcome`` under ``request``'s key."""
-        self._store[request.cache_key()] = outcome
+        """Memoize ``outcome`` under ``request``'s key, evicting LRU entries
+        beyond ``max_entries``."""
+        key = request.cache_key()
+        self._store[key] = outcome
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self._evictions += 1
 
     @property
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""
-        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._store),
+            evictions=self._evictions,
+        )
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._store.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)

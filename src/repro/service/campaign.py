@@ -11,13 +11,24 @@ phases (OBSERVE, FLIGHT, DEPLOY evaluation) are exposed as
 :class:`~repro.service.pool.SimulationRequest` values so an orchestrator can
 fan them out, cache them, or run them inline; the cheap analytical phases
 (CALIBRATE, TUNE) execute inside :meth:`advance` by driving the
-application's lifecycle. Applications with nothing to pilot-flight (e.g.
-queue tuning's per-group queue limits) skip FLIGHT and go straight to the
-rollout evaluation; advisory applications (power capping, SKU design, SC
-selection) record their recommendation and converge — there is no config to
-deploy. Guardrails reuse the library's deployment machinery: pilot-flight
-significance tests (:mod:`repro.flighting.tool`), the in-flight latency gate
-and :class:`~repro.flighting.safety.DeploymentGuardrail`
+application's lifecycle.
+
+The FLIGHT phase is **build-native**: whatever
+:meth:`~repro.core.application.TuningApplication.flight_plan` returns —
+container-delta builds for YARN tuning, queue-bound
+:class:`~repro.flighting.build.YarnLimitsBuild` pilots for queue tuning, an
+SC2 :class:`~repro.flighting.build.SoftwareBuild` re-image for SC selection,
+a Feature+cap composite for power capping — is deployed to pilot machines
+and measured on the application's own direct metrics. Observation windows
+carry the application's
+:class:`~repro.cluster.simulator.ObservationSpec`, so per-application
+telemetry (sku-design's resource samples) flows through the pool and cache
+with everything else. Advisory applications (power capping, SKU design, SC
+selection) still converge on a recommendation — after their pilot flight
+validates it, when they planned one. Guardrails reuse the library's
+deployment machinery: pilot-flight significance tests
+(:mod:`repro.flighting.tool`), the in-flight latency gate and
+:class:`~repro.flighting.safety.DeploymentGuardrail`
 (:mod:`repro.flighting.safety`), and the treatment effects of
 :mod:`repro.stats.treatment` carried by
 :class:`~repro.core.kea.DeploymentImpact`. A rollout that regresses is
@@ -31,9 +42,11 @@ from enum import Enum
 
 from repro.cluster.cluster import build_cluster, default_yarn_config
 from repro.cluster.config import YarnConfig
+from repro.cluster.simulator import SimulationResult
 from repro.core.application import APPLICATIONS, TuningApplication, TuningProposal
-from repro.core.kea import DeploymentImpact, Observation
+from repro.core.kea import DeploymentImpact, FlightValidation, Observation
 from repro.core.whatif import WhatIfEngine
+from repro.flighting.build import FlightPlan
 from repro.flighting.safety import DeploymentGuardrail
 from repro.service.pool import SimulationOutcome, SimulationRequest
 from repro.service.registry import TenantSpec
@@ -93,7 +106,11 @@ class CampaignGuardrails:
 
     * pilot flights must move the direct metric significantly (the paper's
       first validation: changing the container limit must visibly change
-      running containers) — unless ``require_flight_significance`` is off;
+      running containers) — unless ``require_flight_significance`` is off.
+      ``flight_metric`` of None uses the application's own
+      :attr:`~repro.core.application.TuningApplication.flight_metric`
+      (queue tuning gates on queue length, SC selection on throughput);
+      set it to a metric name to override for every application;
     * the in-flight latency gate (window/allowance) must pass;
     * the measured rollout must pass ``deployment``
       (:class:`~repro.flighting.safety.DeploymentGuardrail`), else the
@@ -102,7 +119,7 @@ class CampaignGuardrails:
 
     deployment: DeploymentGuardrail = field(default_factory=DeploymentGuardrail)
     require_flight_significance: bool = True
-    flight_metric: str = "AverageRunningContainers"
+    flight_metric: str | None = None
     flight_alpha: float = 0.05
     flight_gate_window_hours: int = 2
     flight_gate_allowance: float = 0.10
@@ -123,6 +140,9 @@ class CampaignReport:
     capacity_after: int
     history: tuple[CampaignEvent, ...]
     last_impact: DeploymentImpact | None
+    #: One entry per executed FLIGHT phase: the pilot-flight reports and the
+    #: in-flight safety-gate verdict, in round order.
+    flight_validations: tuple[FlightValidation, ...] = ()
 
     @property
     def capacity_gain(self) -> float:
@@ -199,7 +219,8 @@ class Campaign:
         self.engine: WhatIfEngine | None = None
         self.tuning: TuningProposal | None = None
         self.last_impact: DeploymentImpact | None = None
-        self._flight_deltas: dict | None = None
+        self.flight_validations: list[FlightValidation] = []
+        self._flight_plan: FlightPlan | None = None
 
     def _resolve_application(
         self, application: str | TuningApplication | None
@@ -247,16 +268,23 @@ class Campaign:
             workload_tag=self.workload_tag(kind),
         )
         if kind == "observe":
-            return SimulationRequest(days=self.observe_days, **common)
+            # The application's telemetry needs travel with the window, so
+            # pool workers record them and the cache keys on them.
+            return SimulationRequest(
+                days=self.observe_days,
+                observation=self.application.observation_spec(),
+                **common,
+            )
         if kind == "flight":
             assert self.tuning is not None
-            deltas = (
-                self._flight_deltas
-                if self._flight_deltas is not None
-                else dict(self.tuning.config_deltas)
+            plan = (
+                self._flight_plan
+                if self._flight_plan is not None
+                else self.application.flight_plan(self.tuning)
             )
             return SimulationRequest(
-                deltas=tuple(sorted(deltas.items())),
+                flights=tuple(plan),
+                flight_metrics=self._flight_metrics(),
                 flight_hours=self.flight_hours,
                 machines_per_group=self.machines_per_group,
                 gate_window_hours=self.guardrails.flight_gate_window_hours,
@@ -269,6 +297,21 @@ class Campaign:
             proposed=self.tuning.proposed_config.copy(),
             **common,
         )
+
+    def _gate_metric(self) -> str:
+        """The direct metric pilot flights are gated on: the guardrails'
+        override when set, else the application's own choice."""
+        override = self.guardrails.flight_metric
+        return override if override is not None else self.application.flight_metric
+
+    def _flight_metrics(self) -> tuple[str, ...]:
+        """Metrics the flight request measures; always includes the gate
+        metric."""
+        metrics = tuple(self.application.flight_metrics)
+        gate = self._gate_metric()
+        if gate not in metrics:
+            metrics = (gate, *metrics)
+        return metrics
 
     def advance(self, outcome: SimulationOutcome) -> None:
         """Consume the outcome of :meth:`pending_request` and move on."""
@@ -327,22 +370,31 @@ class Campaign:
 
         self.phase = CampaignPhase.TUNE
         cluster = build_cluster(self.spec.fleet_spec, self.config.copy())
+        # The outcome's telemetry — including any per-application extras the
+        # observation spec requested (resource samples) — is the whole
+        # observation; applications never re-observe through a side channel.
         observation = Observation(
-            cluster=cluster, monitor=monitor, result=None, days=self.observe_days
+            cluster=cluster,
+            monitor=monitor,
+            result=SimulationResult(
+                records=outcome.records,
+                resource_samples=outcome.resource_samples,
+            ),
+            days=self.observe_days,
         )
         # Deferred binding: only applications that actually reach through
-        # `host` (experiment rounds, resource re-observation) pay for
-        # building the tenant's Kea environment.
+        # `host` (experiment rounds) pay for building the tenant's Kea
+        # environment.
         config = self.config.copy()
         app.bind_deferred(
             lambda: self.spec.build(config=config, scenario=self.scenario)
         )
         self.tuning = app.propose(observation, engine)
-        self._flight_deltas = dict(app.flight_plan(self.tuning))
+        self._flight_plan = app.flight_plan(self.tuning)
 
-        if self.tuning.is_advisory:
-            # Decision-only output (power capping level, SKU to buy, SC
-            # winner): record the recommendation, nothing ships.
+        if self.tuning.is_advisory and not self._flight_plan:
+            # Decision-only output with nothing to pilot (a SKU to buy):
+            # record the recommendation, nothing ships.
             self._log(CampaignPhase.TUNE, self.tuning.summary)
             self.phase = CampaignPhase.CONVERGED
             self._log(
@@ -351,7 +403,11 @@ class Campaign:
                 "nothing to deploy",
             )
             return
-        if not self._flight_deltas and self.tuning.proposed_config == self.config:
+        if (
+            not self.tuning.is_advisory
+            and not self._flight_plan
+            and self.tuning.proposed_config == self.config
+        ):
             self._log(CampaignPhase.TUNE, "optimizer proposes no material change")
             self.phase = CampaignPhase.CONVERGED
             self._log(
@@ -360,21 +416,48 @@ class Campaign:
             )
             return
         self._log(CampaignPhase.TUNE, self.tuning.summary)
-        if self._flight_deltas:
+        if self._flight_plan:
+            # Every knob class gets a genuine pilot: the planned builds are
+            # deployed to pilot machines in the next simulation window.
             self.phase = CampaignPhase.FLIGHT
         else:
-            # Nothing to pilot (e.g. queue limits are not container deltas):
-            # skip straight to the gated rollout evaluation.
             self._log(
                 CampaignPhase.FLIGHT,
-                f"skipped: {app.name!r} proposes no per-group container "
-                "deltas to pilot",
+                f"skipped: {app.name!r} plans no pilot builds for this "
+                "proposal",
             )
             self.phase = CampaignPhase.DEPLOY
 
+    def _judge_flight(
+        self, outcome: SimulationOutcome, gate_metric: str
+    ) -> tuple[bool, bool, str]:
+        """Shared flight judgement: (gate_ok, moved significantly, gate note)."""
+        gate_ok = outcome.gate is None or outcome.gate.passed
+        moved = any(
+            report.impact(gate_metric).test.significant(
+                self.guardrails.flight_alpha
+            )
+            for report in outcome.flight_reports
+        )
+        gate_note = (
+            f"; gate: {outcome.gate.reason}" if outcome.gate is not None else ""
+        )
+        return gate_ok, moved, gate_note
+
     def _after_flight(self, outcome: SimulationOutcome) -> None:
         rails = self.guardrails
-        if outcome.gate is not None and not outcome.gate.passed:
+        gate_metric = self._gate_metric()
+        self.flight_validations.append(
+            FlightValidation(reports=outcome.flight_reports, gate=outcome.gate)
+        )
+        gate_ok, moved, gate_note = self._judge_flight(outcome, gate_metric)
+        if self.tuning is not None and self.tuning.is_advisory:
+            # Advisory recommendations converge either way; the pilot
+            # flight's verdict is recorded alongside the recommendation so
+            # the operator knows whether the decision was validated.
+            self._converge_advisory(outcome, gate_metric, gate_ok, moved, gate_note)
+            return
+        if not gate_ok:
             self._end_round(
                 CampaignPhase.ROLLED_BACK,
                 f"flight safety gate failed: {outcome.gate.reason}",
@@ -389,25 +472,45 @@ class Campaign:
                     "no pilot flight could be placed; unvalidated proposal withdrawn",
                 )
                 return
-            moved = any(
-                report.impact(rails.flight_metric).test.significant(rails.flight_alpha)
-                for report in outcome.flight_reports
-            )
             if not moved:
                 self._end_round(
                     CampaignPhase.ROLLED_BACK,
                     f"pilot flights show no significant effect on "
-                    f"{rails.flight_metric} (α={rails.flight_alpha})",
+                    f"{gate_metric} (α={rails.flight_alpha})",
                 )
                 return
-        gate_note = (
-            f"; gate: {outcome.gate.reason}" if outcome.gate is not None else ""
-        )
         self._log(
             CampaignPhase.FLIGHT,
             f"{len(outcome.flight_reports)} pilot flight(s) validated{gate_note}",
         )
         self.phase = CampaignPhase.DEPLOY
+
+    def _converge_advisory(
+        self,
+        outcome: SimulationOutcome,
+        gate_metric: str,
+        gate_ok: bool,
+        moved: bool,
+        gate_note: str,
+    ) -> None:
+        """Terminal bookkeeping for an advisory proposal's pilot flight."""
+        validated = gate_ok and bool(outcome.flight_reports) and moved
+        self._log(
+            CampaignPhase.FLIGHT,
+            f"{len(outcome.flight_reports)} advisory pilot flight(s) "
+            f"measured on {gate_metric}{gate_note}",
+        )
+        verdict = (
+            "validated by pilot flight"
+            if validated
+            else "pilot flight inconclusive"
+        )
+        self.phase = CampaignPhase.CONVERGED
+        self._log(
+            CampaignPhase.CONVERGED,
+            f"advisory application {self.application.name!r}: recommendation "
+            f"recorded ({verdict}), nothing to deploy",
+        )
 
     def _after_impact(self, outcome: SimulationOutcome) -> None:
         assert outcome.impact is not None and self.tuning is not None
@@ -433,7 +536,7 @@ class Campaign:
         self.phase = CampaignPhase.OBSERVE
         self.engine = None
         self.tuning = None
-        self._flight_deltas = None
+        self._flight_plan = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -458,4 +561,5 @@ class Campaign:
             capacity_after=after,
             history=tuple(self.history),
             last_impact=self.last_impact,
+            flight_validations=tuple(self.flight_validations),
         )

@@ -21,14 +21,15 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 
 from repro.cluster.config import YarnConfig
-from repro.cluster.software import MachineGroupKey
+from repro.cluster.simulator import ObservationSpec
 from repro.core.kea import DeploymentImpact
+from repro.flighting.build import PlannedFlight
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate
 from repro.flighting.tool import FlightReport
 from repro.service.registry import TenantSpec
 from repro.service.scenarios import Scenario
 from repro.telemetry.monitor import MonitorSnapshot
-from repro.telemetry.records import MachineHourRecord
+from repro.telemetry.records import MachineHourRecord, ResourceSample
 from repro.utils.errors import ServiceError
 
 __all__ = [
@@ -59,11 +60,14 @@ def config_fingerprint(config: YarnConfig) -> str:
 class SimulationRequest:
     """One simulation-heavy campaign step, as a self-contained recipe.
 
-    ``kind`` selects the step: ``observe`` (one production window),
-    ``flight`` (pilot flights of ``deltas`` plus a latency safety gate), or
-    ``impact`` (before/after rollout evaluation of ``proposed``). The
-    explicit ``workload_tag`` pins the arrival sequence, making the request
-    replayable and cacheable.
+    ``kind`` selects the step: ``observe`` (one production window, recorded
+    per the ``observation`` spec), ``flight`` (pilot flights of the planned
+    ``flights`` builds plus a latency safety gate), or ``impact``
+    (before/after rollout evaluation of ``proposed``). The explicit
+    ``workload_tag`` pins the arrival sequence, making the request
+    replayable and cacheable; ``observation`` and the builds fold into the
+    cache key, so two windows that record different telemetry — or pilot
+    different builds — never alias.
     """
 
     tenant: str
@@ -73,8 +77,10 @@ class SimulationRequest:
     config: YarnConfig
     workload_tag: str
     days: float = 1.0
+    observation: ObservationSpec = ObservationSpec()
     proposed: YarnConfig | None = None
-    deltas: tuple[tuple[MachineGroupKey, int], ...] = ()
+    flights: tuple[PlannedFlight, ...] = ()
+    flight_metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization")
     flight_hours: float = 8.0
     machines_per_group: int = 8
     gate_window_hours: int = 2
@@ -87,8 +93,8 @@ class SimulationRequest:
             )
         if self.kind == "impact" and self.proposed is None:
             raise ServiceError("an impact request needs a proposed config")
-        if self.kind == "flight" and not self.deltas:
-            raise ServiceError("a flight request needs config deltas")
+        if self.kind == "flight" and not self.flights:
+            raise ServiceError("a flight request needs planned flights")
         if self.days <= 0 or self.flight_hours <= 0:
             raise ServiceError("request windows must be positive")
 
@@ -96,15 +102,18 @@ class SimulationRequest:
         """(tenant, config hash, workload tag) — the engine-cache key.
 
         The config hash folds in everything that shapes the simulation
-        besides the workload draw: kind, baseline and proposed configs,
-        deltas, window lengths, scenario, and the tenant's seed. Two
-        requests with equal keys are guaranteed to simulate identically.
+        besides the workload draw: kind, baseline and proposed configs, the
+        observation spec, planned flight builds, window lengths, scenario,
+        and the tenant's seed. Two requests with equal keys are guaranteed
+        to simulate identically.
         """
         material = [
             self.kind,
             config_fingerprint(self.config),
             config_fingerprint(self.proposed) if self.proposed else "-",
-            ";".join(f"{k.label}{d:+d}" for k, d in self.deltas),
+            self.observation.fingerprint(),
+            ";".join(flight.describe() for flight in self.flights),
+            ",".join(self.flight_metrics),
             f"{self.days}:{self.flight_hours}:{self.machines_per_group}",
             f"{self.gate_window_hours}:{self.gate_allowance}",
             # Full scenario contents, not just the name: a same-named
@@ -125,6 +134,7 @@ class SimulationOutcome:
     workload_tag: str
     records: list[MachineHourRecord] = field(default_factory=list)
     snapshot: MonitorSnapshot | None = None
+    resource_samples: list[ResourceSample] = field(default_factory=list)
     flight_reports: list[FlightReport] = field(default_factory=list)
     gate: GateVerdict | None = None
     impact: DeploymentImpact | None = None
@@ -144,20 +154,29 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
         tenant=request.tenant, kind=request.kind, workload_tag=request.workload_tag
     )
     if request.kind == "observe":
+        spec = request.observation
+        benchmark_period = (
+            spec.benchmark_period_hours
+            if spec.benchmark_period_hours is not None
+            else scenario.benchmark_period_hours
+        )
         observation = kea.simulate(
             request.days,
-            benchmark_period_hours=scenario.benchmark_period_hours,
+            sim_config=spec.to_sim_config(),
+            benchmark_period_hours=benchmark_period,
             workload_tag=request.workload_tag,
             load_multiplier=scenario.load_multiplier,
             actions=scenario.actions(),
         )
         outcome.records = observation.monitor.records
         outcome.snapshot = observation.monitor.snapshot()
+        outcome.resource_samples = observation.result.resource_samples
     elif request.kind == "flight":
         validation = kea.flight_campaign(
-            dict(request.deltas),
+            request.flights,
             hours=request.flight_hours,
             machines_per_group=request.machines_per_group,
+            metrics=request.flight_metrics,
             load_multiplier=scenario.stress_load_multiplier,
             workload_tag=request.workload_tag,
             safety_gate=LatencyRegressionGate(

@@ -29,7 +29,18 @@ from repro.service.scenarios import Scenario, ScenarioCatalog, default_catalog
 from repro.utils.errors import ServiceError
 from repro.utils.tables import TextTable
 
-__all__ = ["FleetCampaignReport", "ContinuousTuningService"]
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "FleetCampaignReport",
+    "ContinuousTuningService",
+]
+
+#: Default bound for the service's simulation cache. Each cached outcome
+#: holds a full window's machine-hour records (plus any resource samples),
+#: so an unbounded cache is a memory leak for a long-running service; 256
+#: outcomes comfortably covers repeated campaigns over dozens of tenants
+#: while keeping the resident set bounded.
+DEFAULT_CACHE_ENTRIES = 256
 
 
 @dataclass
@@ -97,7 +108,11 @@ class ContinuousTuningService:
         # services must not see each other's registered scenarios.
         self.catalog = catalog if catalog is not None else default_catalog()
         self.pool = pool if pool is not None else SimulationPool(max_workers=1)
-        self.cache = cache if cache is not None else SimulationCache()
+        self.cache = (
+            cache
+            if cache is not None
+            else SimulationCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        )
         self.guardrails = guardrails
 
     def resolve_scenario(self, scenario: str | Scenario) -> Scenario:
@@ -196,6 +211,7 @@ class ContinuousTuningService:
                 hits=stats_after.hits - stats_before.hits,
                 misses=stats_after.misses - stats_before.misses,
                 size=stats_after.size,
+                evictions=stats_after.evictions - stats_before.evictions,
             ),
             simulations_executed=self.pool.executed - executed_before,
         )

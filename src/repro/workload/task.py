@@ -7,9 +7,15 @@ throttling, I/O penalties) lives in :class:`repro.cluster.machine.Machine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 
 __all__ = ["Task"]
+
+#: Process-wide monotonic task sequence. Unlike ``id(task)``, a sequence id
+#: is never reused after a task is garbage-collected, so simulator-side maps
+#: keyed by it cannot collide (the id-reuse hazard of CPython object ids).
+_TASK_SEQUENCE = itertools.count()
 
 
 @dataclass(slots=True)
@@ -24,6 +30,9 @@ class Task:
     cpu_fraction: float
     ram_gb: float
     ssd_gb: float
+    seq_id: int = field(
+        default_factory=_TASK_SEQUENCE.__next__, init=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.work_seconds <= 0:

@@ -34,6 +34,7 @@ from repro.core.applications import (
     QueueTuningResult,
     YarnTuningResult,
 )
+from repro.flighting import ConfigBuild, FlightPlan, PlannedFlight
 from repro.service import (
     DEFAULT_CATALOG,
     Campaign,
@@ -194,7 +195,10 @@ class TestLifecycleRoundTrip:
         if proposal.proposed_config is not None:
             assert isinstance(proposal.proposed_config, YarnConfig)
         plan = app.flight_plan(proposal)
-        assert isinstance(plan, dict)
+        assert isinstance(plan, FlightPlan)
+        for entry in plan:
+            assert isinstance(entry, PlannedFlight)
+            assert isinstance(entry.build, ConfigBuild)
 
         outcome = app.evaluate(observation, observation)
         assert isinstance(outcome, TuningOutcome)
@@ -272,7 +276,11 @@ class TestKeaFacadeEntryPoints:
 # ----------------------------------------------------------------------
 # Application-agnostic campaigns
 # ----------------------------------------------------------------------
-QUEUE_CAMPAIGN_KW = dict(observe_days=0.5, impact_days=0.5, flight_hours=4.0)
+# Queue pilots only bite when queues actually build, so the campaign runs
+# the sustained-overload scenario with a long enough flight window for the
+# backlog to accumulate on the saturated groups.
+QUEUE_CAMPAIGN_KW = dict(observe_days=0.5, impact_days=0.5, flight_hours=8.0)
+QUEUE_CAMPAIGN_SCENARIO = "sustained-overload"
 
 
 def queue_registry() -> FleetRegistry:
@@ -293,7 +301,7 @@ def run_queue_campaign(max_workers: int):
         queue_registry(), pool=SimulationPool(max_workers=max_workers)
     ) as service:
         return service.run_campaigns(
-            scenario="diurnal-baseline", **QUEUE_CAMPAIGN_KW
+            scenario=QUEUE_CAMPAIGN_SCENARIO, **QUEUE_CAMPAIGN_KW
         )
 
 
@@ -313,7 +321,7 @@ class TestApplicationCampaigns:
         assert report.deployments + report.rollbacks == 1
         phases = [e.phase for e in report.history]
         # The full chain runs, with CALIBRATE logged as skipped and FLIGHT
-        # logged as skipped (queue limits are not container deltas).
+        # now a genuine pilot of the queue-limit builds.
         assert phases[:4] == [
             CampaignPhase.OBSERVE,
             CampaignPhase.CALIBRATE,
@@ -321,7 +329,12 @@ class TestApplicationCampaigns:
             CampaignPhase.FLIGHT,
         ]
         assert "skipped" in report.history[1].detail
-        assert "skipped" in report.history[3].detail
+        assert "skipped" not in report.history[3].detail
+        assert report.flight_validations
+        validation = report.flight_validations[0]
+        assert validation.reports and validation.gate is not None
+        for flight_report in validation.reports:
+            assert "queue" in flight_report.flight_name
 
     def test_queue_campaign_parallel_matches_serial(self, queue_serial_run):
         parallel = run_queue_campaign(max_workers=2)
@@ -351,6 +364,7 @@ class TestApplicationCampaigns:
             DEFAULT_CATALOG.get("diurnal-baseline"),
             application=app,
             observe_days=0.25,
+            flight_hours=4.0,
         )
         while not campaign.done:
             campaign.advance(execute_request(campaign.pending_request()))
@@ -359,6 +373,10 @@ class TestApplicationCampaigns:
         assert report.application == "power-capping"
         assert any("recommend capping" in e.detail for e in report.history)
         assert report.capacity_after == report.capacity_before
+        # A nonzero capping recommendation is pilot-flighted before the
+        # advisory campaign converges, and the verdict is on the report.
+        assert report.flight_validations
+        assert report.flight_validations[0].gate is not None
 
     def test_scenario_can_select_the_application(self):
         scenario = Scenario(

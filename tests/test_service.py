@@ -11,6 +11,7 @@ import pytest
 
 from repro.cluster import small_fleet_spec
 from repro.cluster.cluster import default_yarn_config
+from repro.core.application import TuningProposal
 from repro.core.kea import DeploymentImpact
 from repro.flighting.safety import DeploymentGuardrail
 from repro.service import (
@@ -273,12 +274,12 @@ class TestCampaignGates:
         proposed = campaign.config.with_container_delta(
             {next(iter(campaign.config.limits)): 1}
         )
-
-        class _Tuning:
-            proposed_config = proposed
-            config_deltas = {next(iter(campaign.config.limits)): 1}
-
-        campaign.tuning = _Tuning()
+        campaign.tuning = TuningProposal(
+            application="yarn-config",
+            summary="fabricated",
+            proposed_config=proposed,
+            config_deltas={next(iter(campaign.config.limits)): 1},
+        )
         campaign.phase = CampaignPhase.DEPLOY
         return campaign
 
