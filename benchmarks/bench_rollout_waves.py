@@ -1,0 +1,101 @@
+"""Staged-rollout bench: wall-clock of wave-based DEPLOY per wave schedule.
+
+Runs :meth:`~repro.core.kea.Kea.staged_rollout` for a per-group container
+bump under several :class:`~repro.flighting.deployment.RolloutPolicy` wave
+schedules (two-wave, default pilot → fleet, eight-wave) on one small fleet,
+recording the rollout's wall-clock and wave accounting. Emits
+``BENCH_rollout.json`` so ``check_bench_regression.py`` can gate the
+staged-deployment hot path against the committed baseline alongside the
+application suite.
+"""
+
+import time
+
+from benchmarks.common import emit, emit_json
+from repro.core import Kea
+from repro.cluster import small_fleet_spec
+from repro.flighting.build import FlightPlan
+from repro.flighting.deployment import RolloutPolicy
+from repro.utils.tables import TextTable
+
+BENCH_SEED = 20260729
+ROLLOUT_DAYS = 0.5
+
+#: Wave schedules under test, name → policy. Gates are wide open: the bench
+#: measures the rollout machinery, not the toy workload's latency luck.
+POLICIES = {
+    "waves-2": RolloutPolicy(fractions=(0.1, 1.0), gate_allowance=10.0),
+    "waves-4-default": RolloutPolicy(gate_allowance=10.0),
+    "waves-8": RolloutPolicy(
+        fractions=(0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0),
+        gate_allowance=10.0,
+    ),
+}
+
+
+def _run_one(name: str, policy: RolloutPolicy) -> dict:
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=BENCH_SEED)
+    cluster = kea.build_cluster()
+    groups = sorted(cluster.machines_by_group())
+    flight_plan = FlightPlan.from_container_deltas({g: 1 for g in groups})
+
+    started = time.perf_counter()
+    rollout = kea.staged_rollout(
+        flight_plan,
+        policy=policy,
+        days=ROLLOUT_DAYS,
+        workload_tag=f"bench/rollout/{name}",
+    )
+    elapsed = time.perf_counter() - started
+
+    return {
+        "schedule": name,
+        "waves": len(rollout.waves),
+        "machines_touched": rollout.machines_touched,
+        "completed": rollout.completed,
+        "total_seconds": round(elapsed, 3),
+    }
+
+
+def test_bench_rollout_waves(benchmark):
+    rows = [_run_one(name, policy) for name, policy in POLICIES.items()]
+
+    table = TextTable(
+        ["schedule", "waves", "machines", "completed", "total (s)"],
+        title=f"Staged rollout wall-clock per wave schedule "
+        f"({ROLLOUT_DAYS:g}-day window, seed {BENCH_SEED})",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["schedule"],
+                str(row["waves"]),
+                str(row["machines_touched"]),
+                str(row["completed"]),
+                f"{row['total_seconds']:.2f}",
+            ]
+        )
+    emit("BENCH_rollout", table.render())
+    emit_json(
+        "BENCH_rollout",
+        {
+            "seed": BENCH_SEED,
+            "rollout_days": ROLLOUT_DAYS,
+            "rollouts": {row["schedule"]: row for row in rows},
+        },
+    )
+
+    # The timed harness target: plan construction + validation (the staging
+    # overhead itself; the simulated windows are measured once above).
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=BENCH_SEED)
+    cluster = kea.build_cluster()
+    groups = sorted(cluster.machines_by_group())
+    flight_plan = FlightPlan.from_container_deltas({g: 1 for g in groups})
+
+    def staging_overhead():
+        plans = [policy.plan(flight_plan) for policy in POLICIES.values()]
+        for plan in plans:
+            plan.validate(cluster)
+        return plans
+
+    benchmark(staging_overhead)

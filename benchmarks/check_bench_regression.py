@@ -1,19 +1,26 @@
-"""Hot-path regression gate for the application-suite benchmark.
+"""Hot-path regression gate for the benchmark suites.
 
-Compares the freshly produced ``benchmarks/out/BENCH_applications.json``
-against the committed baseline in ``benchmarks/baselines/`` and fails (exit
-code 1) when any application's wall-clock regresses beyond the tolerance
-band. Wall-clock on shared CI runners is noisy, so the gate is deliberately
-two-sided-generous: a regression only fails when the current time exceeds
-``tolerance`` × baseline *and* the absolute slowdown exceeds
-``min_seconds`` (sub-second jitter on a fast path never trips the gate).
+Compares freshly produced benchmark JSON under ``benchmarks/out/`` against
+the committed baselines in ``benchmarks/baselines/`` and fails (exit code 1)
+when any row's wall-clock regresses beyond the tolerance band. Two gates are
+wired in: the application suite (``BENCH_applications.json``, rows under
+``"applications"``) and the staged-rollout suite (``BENCH_rollout.json``,
+rows under ``"rollouts"``). Wall-clock on shared CI runners is noisy, so the
+gate is deliberately two-sided-generous: a regression only fails when the
+current time exceeds ``tolerance`` × baseline *and* the absolute slowdown
+exceeds ``min_seconds`` (sub-second jitter on a fast path never trips it).
 
-Run after the bench::
+Run after the benches::
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_application_suite.py -q
+    PYTHONPATH=src python -m pytest benchmarks/bench_application_suite.py \
+        benchmarks/bench_rollout_waves.py -q
     python benchmarks/check_bench_regression.py
 
 ``BENCH_TOLERANCE`` overrides the band from the environment (CI knob).
+A baseline that does not exist yet is skipped (bootstrap-friendly); a
+missing *current* file for an existing baseline fails. For ad-hoc checks of
+a single pair, ``--current``/``--baseline`` (with ``--section`` naming the
+rows key) gate just those files instead of the wired-in suites.
 """
 
 from __future__ import annotations
@@ -25,8 +32,22 @@ import sys
 from pathlib import Path
 
 HERE = Path(__file__).parent
-DEFAULT_CURRENT = HERE / "out" / "BENCH_applications.json"
-DEFAULT_BASELINE = HERE / "baselines" / "BENCH_applications.json"
+
+#: (label, current JSON, committed baseline JSON, key holding the rows).
+GATES = (
+    (
+        "applications",
+        HERE / "out" / "BENCH_applications.json",
+        HERE / "baselines" / "BENCH_applications.json",
+        "applications",
+    ),
+    (
+        "rollout",
+        HERE / "out" / "BENCH_rollout.json",
+        HERE / "baselines" / "BENCH_rollout.json",
+        "rollouts",
+    ),
+)
 
 
 def check(
@@ -34,13 +55,14 @@ def check(
     baseline: dict,
     tolerance: float,
     min_seconds: float,
+    section: str,
 ) -> list[str]:
-    """All regression findings (empty when the gate passes)."""
+    """All regression findings for one gate (empty when it passes)."""
     problems: list[str] = []
-    current_apps = current.get("applications", {})
-    baseline_apps = baseline.get("applications", {})
-    for name, base_row in sorted(baseline_apps.items()):
-        row = current_apps.get(name)
+    current_rows = current.get(section, {})
+    baseline_rows = baseline.get(section, {})
+    for name, base_row in sorted(baseline_rows.items()):
+        row = current_rows.get(name)
         if row is None:
             problems.append(f"{name}: present in baseline but missing from the run")
             continue
@@ -56,8 +78,6 @@ def check(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -71,27 +91,65 @@ def main(argv: list[str] | None = None) -> int:
         default=0.75,
         help="ignore regressions smaller than this many absolute seconds",
     )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="gate one ad-hoc JSON instead of the wired-in suites "
+        "(requires --baseline)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON for --current",
+    )
+    parser.add_argument(
+        "--section",
+        default=None,
+        help="top-level key holding the rows in the ad-hoc pair "
+        "(only with --current/--baseline; default: applications)",
+    )
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; nothing to gate against")
-        return 0
-    if not args.current.exists():
-        print(f"missing bench output {args.current}; run the bench suite first")
-        return 1
+    if (args.current is None) != (args.baseline is None):
+        parser.error("--current and --baseline must be given together")
+    if args.section is not None and args.current is None:
+        parser.error("--section only applies to an ad-hoc --current/--baseline pair")
+    gates = (
+        (("ad-hoc", args.current, args.baseline, args.section or "applications"),)
+        if args.current is not None
+        else GATES
+    )
 
-    current = json.loads(args.current.read_text())
-    baseline = json.loads(args.baseline.read_text())
-    problems = check(current, baseline, args.tolerance, args.min_seconds)
-    if problems:
+    failures: list[str] = []
+    gated: list[str] = []
+    for label, current_path, baseline_path, section in gates:
+        if not baseline_path.exists():
+            print(f"[{label}] no baseline at {baseline_path}; nothing to gate against")
+            continue
+        if not current_path.exists():
+            failures.append(
+                f"[{label}] missing bench output {current_path}; "
+                "run the bench suite first"
+            )
+            continue
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        problems = check(current, baseline, args.tolerance, args.min_seconds, section)
+        failures.extend(f"[{label}] {p}" for p in problems)
+        if not problems:
+            names = ", ".join(sorted(baseline.get(section, {})))
+            gated.append(f"{label} ({names})")
+
+    if failures:
         print("hot-path regression gate FAILED:")
-        for problem in problems:
-            print(f"  - {problem}")
+        for failure in failures:
+            print(f"  - {failure}")
         return 1
-    names = ", ".join(sorted(baseline.get("applications", {})))
     print(
         f"hot-path regression gate passed "
-        f"(tolerance {args.tolerance:.2f}x, apps: {names})"
+        f"(tolerance {args.tolerance:.2f}x): {'; '.join(gated) or '(nothing gated)'}"
     )
     return 0
 

@@ -44,11 +44,13 @@ from repro.core import (
     Kea,
     Observation,
     ParameterSpec,
+    StagedRollout,
     TuningApplication,
     TuningOutcome,
     TuningProposal,
     register_application,
 )
+from repro.flighting import RolloutPlan, RolloutPolicy, RolloutWave, RolloutWaveRecord
 from repro.service import (
     Campaign,
     CampaignGuardrails,
@@ -80,6 +82,11 @@ __all__ = [
     "FlightValidation",
     "Kea",
     "Observation",
+    "StagedRollout",
+    "RolloutPlan",
+    "RolloutPolicy",
+    "RolloutWave",
+    "RolloutWaveRecord",
     "Campaign",
     "CampaignGuardrails",
     "CampaignPhase",

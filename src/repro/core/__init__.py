@@ -39,6 +39,7 @@ from repro.core.kea import (
     FlightValidation,
     Kea,
     Observation,
+    StagedRollout,
 )
 from repro.core.methodology import KeaProject, Phase, ProjectCharter
 from repro.core.tuning import (
@@ -78,6 +79,7 @@ __all__ = [
     "FlightValidation",
     "Kea",
     "Observation",
+    "StagedRollout",
     "KeaProject",
     "Phase",
     "ProjectCharter",

@@ -17,6 +17,10 @@ it:
 * :meth:`~TuningApplication.flight_plan` — the serializable
   :class:`~repro.flighting.build.FlightPlan` of config builds to
   pilot-flight before rollout (empty when nothing is flightable);
+* :meth:`~TuningApplication.rollout_plan` — the staged
+  :class:`~repro.flighting.deployment.RolloutPlan` shipping a validated
+  proposal across the fleet in widening waves (derived from the flight
+  plan by default);
 * :meth:`~TuningApplication.observation_spec` — the telemetry the
   application's observation windows must record
   (:class:`~repro.cluster.simulator.ObservationSpec`), carried through the
@@ -43,6 +47,7 @@ from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ObservationSpec
 from repro.cluster.software import MachineGroupKey
 from repro.flighting.build import FlightPlan
+from repro.flighting.deployment import RolloutPlan, RolloutPolicy
 from repro.utils.errors import ApplicationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a kea import cycle
@@ -267,6 +272,23 @@ class TuningApplication(abc.ABC):
         flightable.
         """
         return FlightPlan.from_container_deltas(proposal.config_deltas)
+
+    def rollout_plan(
+        self,
+        proposal: TuningProposal,
+        policy: RolloutPolicy | None = None,
+    ) -> RolloutPlan:
+        """The staged fleet rollout for an accepted, flight-validated proposal.
+
+        Stages whatever :meth:`flight_plan` pilots across the fleet in
+        widening waves (pilot → 10% → 50% → fleet under the default
+        :class:`~repro.flighting.deployment.RolloutPolicy`), so the campaign
+        DEPLOY phase ships queue bounds, software re-images, and power caps
+        as progressively as container limits. Applications with richer
+        rollout semantics (e.g. region-aware ordering) override; an empty
+        plan means nothing is deployable in waves.
+        """
+        return RolloutPlan.from_flight_plan(self.flight_plan(proposal), policy)
 
     def evaluate(
         self, before: "Observation", after: "Observation"

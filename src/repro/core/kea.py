@@ -48,6 +48,12 @@ from repro.core.application import (
 from repro.core.applications.yarn_config import YarnTuningResult
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import FlightPlan, PlannedFlight
+from repro.flighting.deployment import (
+    DeploymentModule,
+    RolloutPlan,
+    RolloutPolicy,
+    RolloutWaveRecord,
+)
 from repro.flighting.flight import Flight
 from repro.flighting.tool import FlightingTool, FlightReport
 from repro.ml.huber import HuberRegressor
@@ -66,6 +72,7 @@ __all__ = [
     "DeploymentImpact",
     "FlightValidation",
     "ApplicationRun",
+    "StagedRollout",
     "Kea",
 ]
 
@@ -120,6 +127,40 @@ class FlightValidation:
 
     reports: list[FlightReport]
     gate: GateVerdict | None = None
+
+
+@dataclass
+class StagedRollout:
+    """Outcome of one wave-based fleet rollout (:meth:`Kea.staged_rollout`).
+
+    ``waves`` are the per-wave impact records in execution order — fraction
+    reached, machines newly covered, and the safety-gate verdict that let
+    the wave proceed (or halted it). ``impact`` is the §5.2.2 before/after
+    treatment-effect evaluation of the whole rollout window against an
+    identical-workload baseline window.
+    """
+
+    waves: tuple[RolloutWaveRecord, ...]
+    impact: DeploymentImpact
+    machines_touched: int = 0
+    #: Mirrors :attr:`~repro.flighting.deployment.RolloutExecution.completed`
+    #: / ``reverted`` — the execution is the single source of these verdicts.
+    completed: bool = False
+    reverted: bool = False
+
+    @property
+    def failed_wave(self) -> RolloutWaveRecord | None:
+        """The wave whose gate halted the rollout, when one did."""
+        for wave in self.waves:
+            if wave.gate is not None and not wave.gate.passed:
+                return wave
+        return None
+
+    def summary(self) -> str:
+        """Per-wave audit trail plus the rollout's measured impact."""
+        lines = [wave.summary() for wave in self.waves]
+        lines.append(self.impact.summary())
+        return "\n".join(lines)
 
 
 @dataclass
@@ -501,40 +542,78 @@ class Kea:
             workload_tag=tag,
             load_multiplier=load_multiplier,
         )
+        return _paired_impact(before, after)
 
-        def paired_machine_day(field: str) -> tuple[np.ndarray, np.ndarray]:
-            before_vals = {
-                (a.machine_id, a.day): getattr(a, field)
-                for a in before.monitor.daily_aggregates()
-            }
-            after_vals = {
-                (a.machine_id, a.day): getattr(a, field)
-                for a in after.monitor.daily_aggregates()
-            }
-            keys = sorted(set(before_vals) & set(after_vals))
-            return (
-                np.array([before_vals[k] for k in keys]),
-                np.array([after_vals[k] for k in keys]),
+    def staged_rollout(
+        self,
+        plan: RolloutPlan | FlightPlan | dict[MachineGroupKey, int],
+        policy: RolloutPolicy | None = None,
+        days: float = 1.0,
+        benchmark_period_hours: float = 0.0,
+        load_multiplier: float = 1.6,
+        workload_tag: str | None = None,
+        gate: SafetyGate | None = None,
+    ) -> StagedRollout:
+        """Ship a validated plan across the fleet in gated waves (§5.2.2).
+
+        ``plan`` is a staged :class:`~repro.flighting.deployment.RolloutPlan`,
+        a :class:`~repro.flighting.build.FlightPlan` to stage under ``policy``
+        (default: pilot → 10% → 50% → fleet), or the classic per-group
+        container-delta dict. The rollout executes inside one
+        ``days``-long production window: each wave widens every build's
+        coverage to its fleet fraction, the policy's latency gate (or the
+        ``gate`` override) is evaluated between waves, and a failing gate
+        reverts every already-deployed wave — the fleet ends bit-identical
+        to its pre-rollout configuration.
+
+        The returned :class:`StagedRollout` carries the per-wave records
+        plus a :class:`DeploymentImpact` pairing the rollout window against
+        a baseline window replaying the identical workload arrivals.
+        """
+        if isinstance(plan, dict):
+            plan = FlightPlan.from_container_deltas(plan)
+        if isinstance(plan, FlightPlan):
+            plan = RolloutPlan.from_flight_plan(plan, policy)
+        elif policy is not None:
+            raise ConfigurationError(
+                "policy only applies when staging a FlightPlan; the RolloutPlan "
+                "already carries one"
             )
+        if not plan:
+            raise ConfigurationError("staged rollout needs a non-empty plan")
+        # Fail invalid plans (bad schedule, overlapping selectors, empty
+        # selections) before paying for the baseline window.
+        plan.validate(self.build_cluster())
+        plan.policy.schedule(days * 24.0)
+        tag = workload_tag if workload_tag is not None else self._fresh_tag("rollout")
+        before = self.simulate(
+            days,
+            config=self.current_config,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+        )
+        executions: list = []
 
-        throughput = paired_effect(*paired_machine_day("total_data_read_bytes"))
-        latency = paired_effect(*paired_machine_day("avg_task_seconds"))
+        def stage_waves(sim: ClusterSimulator) -> None:
+            module = DeploymentModule(sim.cluster)
+            executions.append(module.schedule(sim, plan, days * 24.0, gate=gate))
 
-        benchmark_change: dict[str, float] = {}
-        before_bench = _benchmark_runtimes(before)
-        after_bench = _benchmark_runtimes(after)
-        for template in sorted(set(before_bench) & set(after_bench)):
-            b = float(np.mean(before_bench[template]))
-            a = float(np.mean(after_bench[template]))
-            if b > 0:
-                benchmark_change[template] = (a - b) / b
-
-        return DeploymentImpact(
-            throughput=throughput,
-            latency=latency,
-            capacity_before=before.cluster.total_container_slots,
-            capacity_after=after.cluster.total_container_slots,
-            benchmark_runtime_change=benchmark_change,
+        after = self.simulate(
+            days,
+            config=self.current_config,
+            benchmark_period_hours=benchmark_period_hours,
+            workload_tag=tag,
+            load_multiplier=load_multiplier,
+            actions=stage_waves,
+        )
+        execution = executions[0]
+        return StagedRollout(
+            waves=tuple(execution.records),
+            impact=_paired_impact(before, after),
+            machines_touched=execution.machines_touched,
+            completed=execution.completed,
+            reverted=execution.reverted,
         )
 
     def benchmark_impact(
@@ -614,6 +693,45 @@ def _pick_pilot_machines(
             continue
         machines.extend(group)
     return machines if len(machines) >= 2 else []
+
+
+def _paired_impact(before: Observation, after: Observation) -> DeploymentImpact:
+    """§5.2.2 treatment-effect evaluation of two identical-workload windows."""
+
+    def paired_machine_day(field: str) -> tuple[np.ndarray, np.ndarray]:
+        before_vals = {
+            (a.machine_id, a.day): getattr(a, field)
+            for a in before.monitor.daily_aggregates()
+        }
+        after_vals = {
+            (a.machine_id, a.day): getattr(a, field)
+            for a in after.monitor.daily_aggregates()
+        }
+        keys = sorted(set(before_vals) & set(after_vals))
+        return (
+            np.array([before_vals[k] for k in keys]),
+            np.array([after_vals[k] for k in keys]),
+        )
+
+    throughput = paired_effect(*paired_machine_day("total_data_read_bytes"))
+    latency = paired_effect(*paired_machine_day("avg_task_seconds"))
+
+    benchmark_change: dict[str, float] = {}
+    before_bench = _benchmark_runtimes(before)
+    after_bench = _benchmark_runtimes(after)
+    for template in sorted(set(before_bench) & set(after_bench)):
+        b = float(np.mean(before_bench[template]))
+        a = float(np.mean(after_bench[template]))
+        if b > 0:
+            benchmark_change[template] = (a - b) / b
+
+    return DeploymentImpact(
+        throughput=throughput,
+        latency=latency,
+        capacity_before=before.cluster.total_container_slots,
+        capacity_after=after.cluster.total_container_slots,
+        benchmark_runtime_change=benchmark_change,
+    )
 
 
 def _benchmark_runtimes(observation: Observation) -> dict[str, list[float]]:

@@ -11,7 +11,15 @@ from repro.flighting.build import (
     SoftwareBuild,
     YarnLimitsBuild,
 )
-from repro.flighting.deployment import DeploymentModule, RolloutPlan, RolloutWave
+from repro.flighting.deployment import (
+    DEFAULT_WAVE_FRACTIONS,
+    DeploymentModule,
+    RolloutExecution,
+    RolloutPlan,
+    RolloutPolicy,
+    RolloutWave,
+    RolloutWaveRecord,
+)
 from repro.flighting.flight import Flight
 from repro.flighting.safety import (
     DeploymentGuardrail,
@@ -31,9 +39,13 @@ __all__ = [
     "PowerCapBuild",
     "SoftwareBuild",
     "YarnLimitsBuild",
+    "DEFAULT_WAVE_FRACTIONS",
     "DeploymentModule",
+    "RolloutExecution",
     "RolloutPlan",
+    "RolloutPolicy",
     "RolloutWave",
+    "RolloutWaveRecord",
     "Flight",
     "DeploymentGuardrail",
     "GateVerdict",

@@ -1,72 +1,408 @@
-"""The Deployment Module: conservative, progressive production roll-outs.
+"""The Deployment Module: conservative, staged production roll-outs.
 
 Section 2: "changes must be rolled-out progressively across the fleet,
 mistakes are costly as performance may crater." Section 5.2.2: "The
 production roll-out process is very conservative where we only modify the
-configuration by a small margin, i.e. decrease or increase the maximum
-running containers for each group of machines by one."
+configuration by a small margin."
 
-:class:`DeploymentModule` rolls a target YARN config out sub-cluster by
-sub-cluster, clamping per-group deltas to ``max_step`` containers per wave,
-and evaluates a safety gate between waves (rolling back on failure).
+The rollout API is **build-native**: a validated
+:class:`~repro.flighting.build.FlightPlan` — reversible
+:class:`~repro.flighting.build.ConfigBuild` × machine-selector entries —
+drives a wave-based fleet rollout. A :class:`RolloutWave` carries a fleet
+*fraction* plus the builds/selectors to extend to that fraction; a
+:class:`RolloutPolicy` captures the wave schedule (pilot → 10% → 50% → fleet
+by default), the per-wave :class:`~repro.flighting.safety.SafetyGate`
+thresholds, and the conservative ``max_step`` clamp;
+:meth:`DeploymentModule.execute` applies each wave on the simulator,
+evaluates the gate between waves, and reverts every already-deployed wave
+via ``build.revert`` on a gate failure — so queue-bound, software re-image,
+and power-cap builds all roll out progressively, not just container limits.
+
+The legacy all-at-once :class:`~repro.cluster.config.YarnConfig` target path
+survives as a thin shim: :meth:`DeploymentModule.staged_plan` converts a
+target config into per-group :class:`~repro.flighting.build.YarnLimitsBuild`
+waves honouring the ±``max_step`` rule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import math
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import GroupLimits, YarnConfig
+from repro.cluster.machine import Machine
 from repro.cluster.simulator import ClusterSimulator
-from repro.flighting.safety import SafetyGate
+from repro.flighting.build import (
+    ContainerDeltaBuild,
+    FlightPlan,
+    PlannedFlight,
+    YarnLimitsBuild,
+)
+from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import hours
 
-__all__ = ["RolloutPlan", "RolloutWave", "DeploymentModule"]
+__all__ = [
+    "DEFAULT_WAVE_FRACTIONS",
+    "RolloutPolicy",
+    "RolloutWave",
+    "RolloutPlan",
+    "RolloutWaveRecord",
+    "RolloutExecution",
+    "DeploymentModule",
+]
+
+#: The default wave schedule: a pilot slice, then 10%, 50%, and the fleet.
+DEFAULT_WAVE_FRACTIONS = (0.02, 0.10, 0.50, 1.0)
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """How a staged rollout widens its blast radius, and what gates it.
+
+    ``fractions`` are *cumulative* fleet-coverage targets per wave (each
+    entry's selected population is covered up to the wave's fraction, in
+    fleet order); they must be strictly increasing and end at 1.0 — a rollout
+    that never reaches the fleet is a pilot, not a deployment.
+
+    ``wave_gap_hours`` of None spreads the waves evenly over whatever
+    execution window :meth:`schedule` is given (one extra gap soaks after the
+    fleet wave); an explicit gap must fit the window.
+
+    ``gate_allowance`` is the latency-regression allowance of the
+    :class:`~repro.flighting.safety.LatencyRegressionGate` evaluated before
+    each wave after the first — a float for every wave, or one value per wave
+    (index 0 is never used: the pilot wave is ungated). The default is
+    deliberately coarse: a within-window gate also sees workload seasonality
+    as "regression", so it is a crater tripwire — the precise judgement is
+    the post-rollout paired treatment effect
+    (:class:`~repro.flighting.safety.DeploymentGuardrail`), which replays
+    the identical workload and cancels seasonality out.
+
+    ``max_step`` clamps relative container-delta builds to the paper's
+    conservative ±step rule at plan time (None disables clamping).
+    """
+
+    fractions: tuple[float, ...] = DEFAULT_WAVE_FRACTIONS
+    names: tuple[str, ...] = ()
+    start_hour: float = 0.0
+    wave_gap_hours: float | None = None
+    gate_window_hours: int = 2
+    gate_allowance: float | tuple[float, ...] = 0.25
+    max_step: int | None = 1
+
+    def __post_init__(self) -> None:
+        # Accept any sequence literal for the tuple-typed fields; a list
+        # here must not surface later as an opaque TypeError.
+        for name in ("fractions", "names", "gate_allowance"):
+            value = getattr(self, name)
+            if isinstance(value, list):
+                object.__setattr__(self, name, tuple(value))
+        if not self.fractions:
+            raise ConfigurationError("a rollout policy needs at least one wave")
+        last = 0.0
+        for fraction in self.fractions:
+            if not last < fraction <= 1.0:
+                raise ConfigurationError(
+                    "wave fractions must be strictly increasing in (0, 1]; "
+                    f"got {self.fractions}"
+                )
+            last = fraction
+        if self.fractions[-1] != 1.0:
+            raise ConfigurationError(
+                f"the final wave must cover the fleet (fraction 1.0); "
+                f"got {self.fractions[-1]}"
+            )
+        if self.names and len(self.names) != len(self.fractions):
+            raise ConfigurationError(
+                f"{len(self.names)} wave name(s) for {len(self.fractions)} wave(s)"
+            )
+        if self.start_hour < 0:
+            raise ConfigurationError("start_hour must be non-negative")
+        if self.wave_gap_hours is not None and self.wave_gap_hours <= 0:
+            raise ConfigurationError("wave_gap_hours must be positive (or None)")
+        if self.gate_window_hours < 1:
+            raise ConfigurationError("gate_window_hours must be >= 1")
+        allowances = (
+            self.gate_allowance
+            if isinstance(self.gate_allowance, tuple)
+            else (self.gate_allowance,)
+        )
+        if isinstance(self.gate_allowance, tuple) and len(
+            self.gate_allowance
+        ) != len(self.fractions):
+            raise ConfigurationError(
+                "per-wave gate_allowance needs one value per wave; got "
+                f"{len(self.gate_allowance)} for {len(self.fractions)} wave(s)"
+            )
+        if any(a < 0 for a in allowances):
+            raise ConfigurationError("gate allowances must be non-negative")
+        if self.max_step is not None and self.max_step < 1:
+            raise ConfigurationError("max_step must be >= 1 (or None)")
+
+    def wave_name(self, index: int) -> str:
+        """The wave's display name (``pilot`` → percentages → ``fleet``)."""
+        if self.names:
+            return self.names[index]
+        fraction = self.fractions[index]
+        if index == 0:
+            return "pilot"
+        if fraction >= 1.0:
+            return "fleet"
+        return f"{fraction:.0%}"
+
+    def allowance_for(self, index: int) -> float:
+        """The latency allowance gating entry *into* wave ``index``."""
+        if isinstance(self.gate_allowance, tuple):
+            return self.gate_allowance[index]
+        return self.gate_allowance
+
+    def gate_for(self, index: int) -> SafetyGate:
+        """The safety gate evaluated just before wave ``index`` applies."""
+        return LatencyRegressionGate(
+            window_hours=self.gate_window_hours,
+            allowance=self.allowance_for(index),
+        )
+
+    def schedule(self, window_hours: float) -> tuple[float, ...]:
+        """Wave start hours inside an execution window of ``window_hours``.
+
+        An explicit ``wave_gap_hours`` must leave one trailing gap after the
+        fleet wave (the final soak the last gate-less wave still deserves);
+        ``None`` divides the window evenly into ``len(fractions) + 1`` gaps.
+        """
+        if window_hours <= 0:
+            raise ConfigurationError("rollout window must be positive")
+        n = len(self.fractions)
+        gap = (
+            self.wave_gap_hours
+            if self.wave_gap_hours is not None
+            else (window_hours - self.start_hour) / (n + 1)
+        )
+        if gap <= 0:
+            raise ConfigurationError(
+                f"start_hour {self.start_hour:.1f}h leaves no room for waves "
+                f"inside a {window_hours:.1f}h rollout window"
+            )
+        starts = tuple(self.start_hour + i * gap for i in range(n))
+        if starts[-1] + gap > window_hours + 1e-9:
+            raise ConfigurationError(
+                f"wave schedule (last start {starts[-1]:.1f}h + {gap:.1f}h soak) "
+                f"does not fit the {window_hours:.1f}h rollout window"
+            )
+        return starts
+
+    def plan(self, flight_plan: FlightPlan) -> "RolloutPlan":
+        """Stage a validated flight plan's builds across the fleet.
+
+        Every wave carries the same build × selector entries; the wave's
+        fraction decides how much of each entry's population it reaches.
+        Relative container-delta builds are clamped to ±``max_step``.
+        """
+        entries = tuple(self._clamped(entry) for entry in flight_plan)
+        if not entries:
+            return RolloutPlan(waves=(), policy=self)
+        waves = tuple(
+            RolloutWave(fraction=fraction, entries=entries, name=self.wave_name(i))
+            for i, fraction in enumerate(self.fractions)
+        )
+        return RolloutPlan(waves=waves, policy=self)
+
+    def _clamped(self, entry: PlannedFlight) -> PlannedFlight:
+        build = entry.build
+        if self.max_step is None or not isinstance(build, ContainerDeltaBuild):
+            return entry
+        clamped = max(-self.max_step, min(self.max_step, build.delta))
+        if clamped == build.delta:
+            return entry
+        # replace() keeps the build's concrete type and name; only the
+        # delta is conservatively narrowed.
+        return replace(entry, build=replace(build, delta=clamped))
+
+
+@dataclass(frozen=True)
+class RolloutWave:
+    """One wave: extend each entry's coverage to ``fraction`` of its fleet.
+
+    ``entries`` pair a reversible build with the declarative machine selector
+    it deploys to (the same vocabulary pilot flights use); ``fraction`` is
+    the cumulative share of each entry's selected population this wave
+    reaches.
+    """
+
+    fraction: float
+    entries: tuple[PlannedFlight, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"wave fraction must be in (0, 1]; got {self.fraction}"
+            )
+        if not self.entries:
+            raise ConfigurationError(f"wave {self.name!r} deploys no builds")
+
+    def describe(self) -> str:
+        """Stable fingerprint (cache-key material)."""
+        inner = ";".join(entry.describe() for entry in self.entries)
+        return f"{self.name}@{self.fraction}[{inner}]"
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """A staged, build-native rollout: waves plus the policy that gates them.
+
+    Falsy when empty (nothing to roll out), so callers can branch with
+    ``if plan:`` exactly like :class:`~repro.flighting.build.FlightPlan`.
+    """
+
+    waves: tuple[RolloutWave, ...] = ()
+    policy: RolloutPolicy = field(default_factory=RolloutPolicy)
+
+    def __bool__(self) -> bool:
+        return bool(self.waves)
+
+    def __len__(self) -> int:
+        return len(self.waves)
+
+    def __iter__(self):
+        return iter(self.waves)
+
+    @classmethod
+    def from_flight_plan(
+        cls, flight_plan: FlightPlan, policy: RolloutPolicy | None = None
+    ) -> "RolloutPlan":
+        """Stage ``flight_plan`` under ``policy`` (default: pilot → fleet)."""
+        return (policy if policy is not None else RolloutPolicy()).plan(flight_plan)
+
+    def validate(self, cluster: Cluster) -> dict[str, list[Machine]]:
+        """Check wave ordering and selector coverage against ``cluster``.
+
+        Partial-fleet (fractional) waves are the normal case — validation
+        demands strictly widening fractions ending at the full fleet, that
+        every entry selects at least one machine, and that no two entries of
+        one wave select overlapping machine populations (two builds racing
+        for the same machine would make the rollout's end state
+        order-dependent, and revert ambiguous).
+
+        Returns the per-entry machine selections it computed (keyed by
+        entry fingerprint), so executors can reuse them as the population
+        snapshot instead of re-scanning the fleet.
+        """
+        selections: dict[str, list[Machine]] = {}
+        last_fraction = 0.0
+        checked_entries: set[int] = set()
+        for wave in self.waves:
+            if wave.fraction <= last_fraction:
+                raise ConfigurationError(
+                    "rollout waves must widen strictly: fraction "
+                    f"{wave.fraction} after {last_fraction}"
+                )
+            last_fraction = wave.fraction
+            # Policy-built plans share one entries tuple across all waves;
+            # scanning the fleet once per distinct tuple keeps validation
+            # O(fleet), not O(fleet × waves).
+            if id(wave.entries) in checked_entries:
+                continue
+            checked_entries.add(id(wave.entries))
+            # Overlap is keyed by entry *position*, not name: auto-generated
+            # names collide for same-selector builds of one type, and two
+            # builds racing for a machine is the hazard regardless of names.
+            seen: dict[int, int] = {}
+            for index, entry in enumerate(wave.entries):
+                selected = entry.select_machines(cluster)
+                if not selected:
+                    raise ConfigurationError(
+                        f"rollout entry {entry.name!r} selects no machines"
+                    )
+                for machine in selected:
+                    other = seen.get(machine.machine_id)
+                    if other is not None and other != index:
+                        raise ConfigurationError(
+                            f"overlapping selectors in wave {wave.name!r}: "
+                            f"entries {wave.entries[other].describe()!r} and "
+                            f"{entry.describe()!r} both select machine "
+                            f"{machine.name}"
+                        )
+                    seen[machine.machine_id] = index
+                selections.setdefault(entry.describe(), selected)
+        if self.waves and self.waves[-1].fraction != 1.0:
+            raise ConfigurationError(
+                "the final wave must reach the whole selected fleet "
+                f"(fraction 1.0); got {self.waves[-1].fraction}"
+            )
+        return selections
+
+    def describe(self) -> str:
+        """Stable fingerprint over policy and waves (cache-key material)."""
+        waves = ";".join(wave.describe() for wave in self.waves)
+        return f"{self.policy!r}|{waves}"
 
 
 @dataclass(frozen=True, slots=True)
-class RolloutWave:
-    """One wave: the sub-clusters receiving the config at ``start_hour``."""
+class RolloutWaveRecord:
+    """What one wave actually did: the staged rollout's per-wave readout.
 
+    ``gate`` is the safety-gate verdict evaluated just before this wave
+    (None for the ungated pilot wave and for waves skipped after a halt);
+    ``machines`` counts the machines newly covered by this wave.
+    """
+
+    wave: str
+    fraction: float
     start_hour: float
-    subclusters: tuple[int, ...]
+    machines: int
+    gate: GateVerdict | None
+    applied: bool
+    reverted: bool
+
+    def summary(self) -> str:
+        """One line of the rollout audit trail."""
+        state = "applied" if self.applied else "skipped"
+        if self.reverted:
+            state = "reverted"
+        gate = f"; gate: {self.gate.reason}" if self.gate is not None else ""
+        return (
+            f"wave {self.wave!r} ({self.fraction:.0%}) at {self.start_hour:.1f}h: "
+            f"{state}, {self.machines} machine(s){gate}"
+        )
 
 
 @dataclass
-class RolloutPlan:
-    """A progressive rollout schedule for a target configuration."""
+class RolloutExecution:
+    """Live state of one staged rollout; fills in while the simulator runs."""
 
-    target: YarnConfig
-    waves: list[RolloutWave] = field(default_factory=list)
+    records: list[RolloutWaveRecord] = field(default_factory=list)
+    halted: bool = False
+    machines_touched: int = 0
+    #: Cumulative covered machine count per entry fingerprint.
+    _covered: dict[str, int] = field(default_factory=dict)
+    #: (applied build copy, machines) in application order, for revert.
+    _applied: list[tuple[object, list[Machine]]] = field(default_factory=list)
 
-    def validate(self, cluster: Cluster) -> None:
-        """Check waves cover every sub-cluster exactly once, in time order."""
-        covered: list[int] = []
-        last_start = -1.0
-        for wave in self.waves:
-            if wave.start_hour <= last_start:
-                raise ConfigurationError("rollout waves must be strictly ordered in time")
-            last_start = wave.start_hour
-            covered.extend(wave.subclusters)
-        expected = {m.subcluster for m in cluster.machines}
-        if sorted(covered) != sorted(expected) or len(covered) != len(set(covered)):
-            raise ConfigurationError(
-                f"rollout waves must cover each sub-cluster exactly once; "
-                f"got {sorted(covered)}, expected {sorted(expected)}"
-            )
+    @property
+    def completed(self) -> bool:
+        """True when every wave applied and nothing was reverted."""
+        return bool(self.records) and not self.halted and all(
+            r.applied and not r.reverted for r in self.records
+        )
+
+    @property
+    def reverted(self) -> bool:
+        """True when a failed gate rolled the deployed waves back."""
+        return self.halted
 
 
 class DeploymentModule:
-    """Applies a target config progressively, honoring the ±`max_step` rule."""
+    """Executes staged rollouts, honoring the conservative ±`max_step` rule."""
 
     def __init__(self, cluster: Cluster, max_step: int = 1):
         if max_step < 1:
             raise ConfigurationError("max_step must be >= 1")
         self.cluster = cluster
         self.max_step = max_step
-        self.deployed_subclusters: set[int] = set()
-        self.rolled_back = False
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -86,71 +422,188 @@ class DeploymentModule:
         return clamped
 
     def staged_plan(
-        self, target: YarnConfig, start_hour: float, wave_gap_hours: float
+        self,
+        target: YarnConfig,
+        start_hour: float = 0.0,
+        wave_gap_hours: float | None = None,
+        fractions: tuple[float, ...] = DEFAULT_WAVE_FRACTIONS,
     ) -> RolloutPlan:
-        """One wave per sub-cluster, ``wave_gap_hours`` apart."""
-        if wave_gap_hours <= 0:
-            raise ConfigurationError("wave_gap_hours must be positive")
-        subclusters = sorted({m.subcluster for m in self.cluster.machines})
-        waves = [
-            RolloutWave(start_hour=start_hour + i * wave_gap_hours, subclusters=(sc,))
-            for i, sc in enumerate(subclusters)
-        ]
-        plan = RolloutPlan(target=self.clamp_to_step(target), waves=waves)
-        plan.validate(self.cluster)
-        return plan
+        """Stage a legacy all-at-once ``YarnConfig`` target (thin shim).
+
+        The target is clamped to ±``max_step`` and decomposed into one
+        :class:`~repro.flighting.build.YarnLimitsBuild` per machine group
+        present in the cluster, then staged under the default wave schedule.
+        """
+        clamped = self.clamp_to_step(target)
+        entries = []
+        for key in sorted(self.cluster.machines_by_group()):
+            limits = clamped.for_group(key)
+            entries.append(
+                PlannedFlight(
+                    build=YarnLimitsBuild(
+                        max_running_containers=limits.max_running_containers,
+                        max_queued_containers=limits.max_queued_containers,
+                    ),
+                    group=key,
+                    name=f"rollout-{key.label}",
+                )
+            )
+        policy = RolloutPolicy(
+            fractions=fractions,
+            start_hour=start_hour,
+            wave_gap_hours=wave_gap_hours,
+            max_step=None,  # the target was already clamped above
+        )
+        # Group selectors are disjoint by construction; schedule/execute
+        # validates before anything deploys, so no extra fleet scan here.
+        return policy.plan(FlightPlan(entries=tuple(entries)))
 
     # ------------------------------------------------------------------
     # Execution on a simulator
     # ------------------------------------------------------------------
-    def schedule_rollout(
+    def schedule(
         self,
         simulator: ClusterSimulator,
         plan: RolloutPlan,
+        window_hours: float,
         gate: SafetyGate | None = None,
-    ) -> None:
-        """Register the rollout's waves as simulator actions.
+    ) -> RolloutExecution:
+        """Register the plan's waves as simulator actions (before ``run``).
 
-        When ``gate`` is given, it is evaluated just before each wave after
-        the first; a failing gate cancels remaining waves and reverts the
-        already-deployed sub-clusters to the pre-rollout config.
+        Returns the :class:`RolloutExecution` whose records fill in as the
+        simulation runs. The policy's per-wave latency gate (or the ``gate``
+        override) is evaluated just before each wave after the first; a
+        failing gate halts the rollout and reverts every already-deployed
+        wave's builds, newest first.
         """
-        plan.validate(self.cluster)
-        original = self.cluster.yarn_config.copy()
+        if not plan.waves:
+            raise ConfigurationError("empty rollout plan: nothing to deploy")
+        # Validation's per-entry selections double as the population
+        # snapshot: a software build changes the flighted machines' selector
+        # attributes mid-run, so re-selecting at wave time would silently
+        # shrink later waves.
+        populations = plan.validate(self.cluster)
+        starts = plan.policy.schedule(window_hours)
+        execution = RolloutExecution()
 
-        def wave_action(wave: RolloutWave):
+        def wave_action(index: int, wave: RolloutWave, start: float):
             def action(sim: ClusterSimulator) -> None:
-                if self.rolled_back:
+                if execution.halted:
+                    execution.records.append(
+                        RolloutWaveRecord(
+                            wave=wave.name,
+                            fraction=wave.fraction,
+                            start_hour=start,
+                            machines=0,
+                            gate=None,
+                            applied=False,
+                            reverted=False,
+                        )
+                    )
                     return
-                if gate is not None and self.deployed_subclusters:
-                    verdict = gate.evaluate(sim)
+                verdict = None
+                if index > 0:
+                    wave_gate = gate if gate is not None else plan.policy.gate_for(index)
+                    verdict = wave_gate.evaluate(sim)
                     if not verdict.passed:
-                        self._revert(sim, original)
+                        self._revert(sim, execution)
+                        execution.records.append(
+                            RolloutWaveRecord(
+                                wave=wave.name,
+                                fraction=wave.fraction,
+                                start_hour=start,
+                                machines=0,
+                                gate=verdict,
+                                applied=False,
+                                reverted=False,
+                            )
+                        )
                         return
-                self._apply_to_subclusters(sim, plan.target, wave.subclusters)
+                machines = self._apply_wave(sim, wave, execution, populations)
+                execution.records.append(
+                    RolloutWaveRecord(
+                        wave=wave.name,
+                        fraction=wave.fraction,
+                        start_hour=start,
+                        machines=machines,
+                        gate=verdict,
+                        applied=True,
+                        reverted=False,
+                    )
+                )
 
             return action
 
-        for wave in plan.waves:
-            simulator.schedule_action(hours(wave.start_hour), wave_action(wave))
+        for index, (wave, start) in enumerate(zip(plan.waves, starts)):
+            simulator.schedule_action(hours(start), wave_action(index, wave, start))
+        return execution
 
-    def _apply_to_subclusters(
-        self, sim: ClusterSimulator, target: YarnConfig, subclusters: tuple[int, ...]
-    ) -> None:
-        selected = set(subclusters)
-        for machine in self.cluster.machines:
-            if machine.subcluster in selected:
+    def execute(
+        self,
+        simulator: ClusterSimulator,
+        plan: RolloutPlan,
+        window_hours: float,
+        gate: SafetyGate | None = None,
+    ) -> RolloutExecution:
+        """Schedule the plan, run the simulator, and return the execution."""
+        execution = self.schedule(simulator, plan, window_hours, gate=gate)
+        simulator.run(window_hours)
+        return execution
+
+    # ------------------------------------------------------------------
+    # Wave mechanics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wave_target(fraction: float, population: int) -> int:
+        """Machines covered once a wave at ``fraction`` has applied."""
+        if fraction >= 1.0:
+            return population
+        return min(population, max(1, math.ceil(fraction * population)))
+
+    def _apply_wave(
+        self,
+        sim: ClusterSimulator,
+        wave: RolloutWave,
+        execution: RolloutExecution,
+        populations: dict[str, list[Machine]],
+    ) -> int:
+        applied = 0
+        for entry in wave.entries:
+            key = entry.describe()
+            population = populations[key]
+            covered = execution._covered.get(key, 0)
+            target = self._wave_target(wave.fraction, len(population))
+            if target <= covered:
+                continue
+            increment = population[covered:target]
+            # Each wave applies its own copy of the build: `apply` resets the
+            # build's saved revert-state, so sharing one instance across
+            # waves would lose every earlier wave's ability to revert.
+            build = copy.deepcopy(entry.build)
+            for machine in increment:
                 machine.advance(sim.now)
-                machine.apply_limits(target.for_group(machine.group_key))
+            build.apply(sim.cluster, increment)
+            for machine in increment:
                 sim._drain_queue(machine)
                 sim.scheduler.refresh_machine(machine)
-        self.deployed_subclusters |= selected
+            execution._applied.append((build, list(increment)))
+            execution._covered[key] = target
+            applied += len(increment)
+        execution.machines_touched += applied
+        return applied
 
-    def _revert(self, sim: ClusterSimulator, original: YarnConfig) -> None:
-        for machine in self.cluster.machines:
-            if machine.subcluster in self.deployed_subclusters:
+    def _revert(self, sim: ClusterSimulator, execution: RolloutExecution) -> None:
+        """Undo every deployed wave's builds, newest first."""
+        for build, machines in reversed(execution._applied):
+            for machine in machines:
                 machine.advance(sim.now)
-                machine.apply_limits(original.for_group(machine.group_key))
+            build.revert(sim.cluster, machines)
+            for machine in machines:
                 sim._drain_queue(machine)
                 sim.scheduler.refresh_machine(machine)
-        self.rolled_back = True
+        execution._applied.clear()
+        execution.records[:] = [
+            replace(record, reverted=True) if record.applied else record
+            for record in execution.records
+        ]
+        execution.halted = True

@@ -42,7 +42,13 @@ from repro.service.scenarios import (
     ScenarioCatalog,
     default_catalog,
 )
-from repro.service.service import ContinuousTuningService, FleetCampaignReport
+from repro.service.service import (
+    DEFAULT_CACHE_BUDGET_MB,
+    DEFAULT_CACHE_ENTRIES,
+    ContinuousTuningService,
+    FleetCampaignReport,
+    derive_cache_entries,
+)
 
 __all__ = [
     "CacheStats",
@@ -65,4 +71,7 @@ __all__ = [
     "default_catalog",
     "ContinuousTuningService",
     "FleetCampaignReport",
+    "DEFAULT_CACHE_BUDGET_MB",
+    "DEFAULT_CACHE_ENTRIES",
+    "derive_cache_entries",
 ]

@@ -33,6 +33,16 @@ deployment machinery: pilot-flight significance tests
 :mod:`repro.stats.treatment` carried by
 :class:`~repro.core.kea.DeploymentImpact`. A rollout that regresses is
 rolled back: the proposed config is discarded and the baseline stands.
+
+The DEPLOY phase is **staged**: a proposal whose flight plan validated ships
+as a wave-based rollout
+(:meth:`~repro.core.application.TuningApplication.rollout_plan` — pilot →
+10% → 50% → fleet under the default
+:class:`~repro.flighting.deployment.RolloutPolicy`), with the safety gate
+re-evaluated between waves and every deployed wave reverted if a gate fails
+mid-rollout; each wave's verdict lands in ``CampaignReport.rollout_waves``.
+Only build-less proposals fall back to the legacy all-at-once ``impact``
+evaluation.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.core.application import APPLICATIONS, TuningApplication, TuningPropos
 from repro.core.kea import DeploymentImpact, FlightValidation, Observation
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import FlightPlan
+from repro.flighting.deployment import RolloutPlan, RolloutPolicy, RolloutWaveRecord
 from repro.flighting.safety import DeploymentGuardrail
 from repro.service.pool import SimulationOutcome, SimulationRequest
 from repro.service.registry import TenantSpec
@@ -80,11 +91,13 @@ TERMINAL_PHASES = frozenset(
     {CampaignPhase.DEPLOYED, CampaignPhase.ROLLED_BACK, CampaignPhase.CONVERGED}
 )
 
-#: Which request kind each simulation-heavy phase waits on.
+#: Which request kind each simulation-heavy phase waits on. DEPLOY is
+#: resolved dynamically (:meth:`Campaign._request_kind`): a proposal with a
+#: flight plan ships as a staged ``rollout``, one without falls back to the
+#: legacy all-at-once ``impact`` evaluation.
 _REQUEST_KIND = {
     CampaignPhase.OBSERVE: "observe",
     CampaignPhase.FLIGHT: "flight",
-    CampaignPhase.DEPLOY: "impact",
 }
 
 
@@ -143,6 +156,10 @@ class CampaignReport:
     #: One entry per executed FLIGHT phase: the pilot-flight reports and the
     #: in-flight safety-gate verdict, in round order.
     flight_validations: tuple[FlightValidation, ...] = ()
+    #: One entry per rollout wave the DEPLOY phases executed, in wave order:
+    #: fraction reached, machines covered, and the guardrail verdict that
+    #: let the wave proceed (or halted the rollout).
+    rollout_waves: tuple[RolloutWaveRecord, ...] = ()
 
     @property
     def capacity_gain(self) -> float:
@@ -193,6 +210,8 @@ class Campaign:
         machines_per_group: int = 8,
         initial_config: YarnConfig | None = None,
         application: str | TuningApplication | None = None,
+        rollout_policy: RolloutPolicy | None = None,
+        require_flight_validation: bool = False,
     ):
         if rounds < 1:
             raise ServiceError("a campaign needs at least one round")
@@ -209,6 +228,13 @@ class Campaign:
         )
         self._initial_config = self.config.copy()
         self.application = self._resolve_application(application)
+        #: Wave schedule the DEPLOY phase ships validated proposals under
+        #: (None: the application's default pilot → 10% → 50% → fleet).
+        self.rollout_policy = rollout_policy
+        #: When set, an advisory recommendation whose pilot flight was
+        #: inconclusive is withheld (the round rolls back) instead of
+        #: converging with the verdict merely recorded.
+        self.require_flight_validation = require_flight_validation
 
         self.round = 1
         self.phase = CampaignPhase.OBSERVE
@@ -220,7 +246,9 @@ class Campaign:
         self.tuning: TuningProposal | None = None
         self.last_impact: DeploymentImpact | None = None
         self.flight_validations: list[FlightValidation] = []
+        self.rollout_waves: list[RolloutWaveRecord] = []
         self._flight_plan: FlightPlan | None = None
+        self._staged_plan: RolloutPlan | None = None
 
     def _resolve_application(
         self, application: str | TuningApplication | None
@@ -249,11 +277,31 @@ class Campaign:
         """The deterministic tag for this round's ``step`` window."""
         return f"campaign/{self.scenario.name}/r{self.round}/{step}"
 
+    def _request_kind(self) -> str | None:
+        """The request kind the current phase waits on (None: analytical)."""
+        if self.phase is CampaignPhase.DEPLOY:
+            # Keyed on the *rollout* plan, not the flight plan: an
+            # application may pilot builds yet stage nothing (an empty
+            # rollout_plan() means "nothing is deployable in waves"), and
+            # that proposal must fall back to the all-at-once impact path.
+            return "rollout" if self._deploy_plan() else "impact"
+        return _REQUEST_KIND.get(self.phase)
+
+    def _deploy_plan(self) -> RolloutPlan | None:
+        """The staged rollout the DEPLOY phase executes (memoized per round)."""
+        if not self._flight_plan or self.tuning is None:
+            return None
+        if self._staged_plan is None:
+            self._staged_plan = self.application.rollout_plan(
+                self.tuning, policy=self.rollout_policy
+            )
+        return self._staged_plan
+
     def pending_request(self) -> SimulationRequest | None:
         """The simulation this campaign waits on, or None when terminal."""
         if self.done:
             return None
-        kind = _REQUEST_KIND.get(self.phase)
+        kind = self._request_kind()
         if kind is None:  # pragma: no cover - CALIBRATE/TUNE never persist
             raise ServiceError(
                 f"campaign {self.spec.name!r} is mid-{self.phase.value}; "
@@ -292,6 +340,14 @@ class Campaign:
                 **common,
             )
         assert self.tuning is not None
+        if kind == "rollout":
+            # The validated flight plan drives a staged fleet rollout: the
+            # same builds the pilot exercised, widening wave by wave.
+            return SimulationRequest(
+                days=self.impact_days,
+                rollout=self._deploy_plan(),
+                **common,
+            )
         return SimulationRequest(
             days=self.impact_days,
             proposed=self.tuning.proposed_config.copy(),
@@ -315,7 +371,7 @@ class Campaign:
 
     def advance(self, outcome: SimulationOutcome) -> None:
         """Consume the outcome of :meth:`pending_request` and move on."""
-        expected = _REQUEST_KIND.get(self.phase)
+        expected = None if self.done else self._request_kind()
         if self.done or expected is None:
             raise ServiceError(
                 f"campaign {self.spec.name!r} ({self.phase.value}) "
@@ -331,7 +387,7 @@ class Campaign:
         elif self.phase is CampaignPhase.FLIGHT:
             self._after_flight(outcome)
         else:
-            self._after_impact(outcome)
+            self._after_deploy(outcome)
 
     # ------------------------------------------------------------------
     # Phase handlers
@@ -500,6 +556,15 @@ class Campaign:
             f"{len(outcome.flight_reports)} advisory pilot flight(s) "
             f"measured on {gate_metric}{gate_note}",
         )
+        if not validated and self.require_flight_validation:
+            # The knob demands a conclusive pilot before the recommendation
+            # may stand: an inconclusive flight withdraws it.
+            self._end_round(
+                CampaignPhase.ROLLED_BACK,
+                f"advisory recommendation withheld: pilot flight inconclusive "
+                f"on {gate_metric} and flight validation is required",
+            )
+            return
         verdict = (
             "validated by pilot flight"
             if validated
@@ -512,9 +577,33 @@ class Campaign:
             f"recorded ({verdict}), nothing to deploy",
         )
 
-    def _after_impact(self, outcome: SimulationOutcome) -> None:
+    def _after_deploy(self, outcome: SimulationOutcome) -> None:
         assert outcome.impact is not None and self.tuning is not None
         self.last_impact = outcome.impact
+        if outcome.kind == "rollout":
+            self.rollout_waves.extend(outcome.rollout_waves)
+            failed = next(
+                (
+                    r
+                    for r in outcome.rollout_waves
+                    if r.gate is not None and not r.gate.passed
+                ),
+                None,
+            )
+            if failed is not None:
+                reverted = sum(1 for r in outcome.rollout_waves if r.reverted)
+                self._end_round(
+                    CampaignPhase.ROLLED_BACK,
+                    f"rollout halted before wave {failed.wave!r}: "
+                    f"{failed.gate.reason}; {reverted} deployed wave(s) reverted",
+                )
+                return
+            shipped = [r for r in outcome.rollout_waves if r.applied]
+            self._log(
+                CampaignPhase.DEPLOY,
+                f"{len(shipped)} wave(s) shipped "
+                f"({' → '.join(r.wave for r in shipped)})",
+            )
         verdict = self.guardrails.deployment.judge(outcome.impact)
         if verdict.passed:
             self.config = self.application.apply(self.config, self.tuning)
@@ -537,6 +626,7 @@ class Campaign:
         self.engine = None
         self.tuning = None
         self._flight_plan = None
+        self._staged_plan = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -562,4 +652,5 @@ class Campaign:
             history=tuple(self.history),
             last_impact=self.last_impact,
             flight_validations=tuple(self.flight_validations),
+            rollout_waves=tuple(self.rollout_waves),
         )

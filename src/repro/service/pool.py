@@ -24,6 +24,7 @@ from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ObservationSpec
 from repro.core.kea import DeploymentImpact
 from repro.flighting.build import PlannedFlight
+from repro.flighting.deployment import RolloutPlan, RolloutWaveRecord
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate
 from repro.flighting.tool import FlightReport
 from repro.service.registry import TenantSpec
@@ -40,7 +41,7 @@ __all__ = [
     "config_fingerprint",
 ]
 
-_KINDS = ("observe", "flight", "impact")
+_KINDS = ("observe", "flight", "impact", "rollout")
 
 
 def config_fingerprint(config: YarnConfig) -> str:
@@ -62,12 +63,14 @@ class SimulationRequest:
 
     ``kind`` selects the step: ``observe`` (one production window, recorded
     per the ``observation`` spec), ``flight`` (pilot flights of the planned
-    ``flights`` builds plus a latency safety gate), or ``impact``
-    (before/after rollout evaluation of ``proposed``). The explicit
+    ``flights`` builds plus a latency safety gate), ``rollout`` (the staged
+    wave-by-wave deployment of the ``rollout`` plan, paired against an
+    identical-workload baseline window), or ``impact`` (the legacy
+    all-at-once before/after evaluation of ``proposed``). The explicit
     ``workload_tag`` pins the arrival sequence, making the request
-    replayable and cacheable; ``observation`` and the builds fold into the
-    cache key, so two windows that record different telemetry — or pilot
-    different builds — never alias.
+    replayable and cacheable; ``observation``, the builds, and the rollout
+    plan fold into the cache key, so two windows that record different
+    telemetry — or deploy different waves — never alias.
     """
 
     tenant: str
@@ -79,6 +82,7 @@ class SimulationRequest:
     days: float = 1.0
     observation: ObservationSpec = ObservationSpec()
     proposed: YarnConfig | None = None
+    rollout: RolloutPlan | None = None
     flights: tuple[PlannedFlight, ...] = ()
     flight_metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization")
     flight_hours: float = 8.0
@@ -95,6 +99,8 @@ class SimulationRequest:
             raise ServiceError("an impact request needs a proposed config")
         if self.kind == "flight" and not self.flights:
             raise ServiceError("a flight request needs planned flights")
+        if self.kind == "rollout" and not self.rollout:
+            raise ServiceError("a rollout request needs a non-empty rollout plan")
         if self.days <= 0 or self.flight_hours <= 0:
             raise ServiceError("request windows must be positive")
 
@@ -112,6 +118,7 @@ class SimulationRequest:
             config_fingerprint(self.config),
             config_fingerprint(self.proposed) if self.proposed else "-",
             self.observation.fingerprint(),
+            self.rollout.describe() if self.rollout is not None else "-",
             ";".join(flight.describe() for flight in self.flights),
             ",".join(self.flight_metrics),
             f"{self.days}:{self.flight_hours}:{self.machines_per_group}",
@@ -138,6 +145,7 @@ class SimulationOutcome:
     flight_reports: list[FlightReport] = field(default_factory=list)
     gate: GateVerdict | None = None
     impact: DeploymentImpact | None = None
+    rollout_waves: list[RolloutWaveRecord] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
 
@@ -186,6 +194,16 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
         )
         outcome.flight_reports = validation.reports
         outcome.gate = validation.gate
+    elif request.kind == "rollout":
+        staged = kea.staged_rollout(
+            request.rollout,
+            days=request.days,
+            benchmark_period_hours=scenario.benchmark_period_hours,
+            load_multiplier=scenario.stress_load_multiplier,
+            workload_tag=request.workload_tag,
+        )
+        outcome.rollout_waves = list(staged.waves)
+        outcome.impact = staged.impact
     else:  # impact
         outcome.impact = kea.deployment_impact(
             request.proposed,

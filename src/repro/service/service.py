@@ -19,6 +19,7 @@ tunes queue lengths or evaluates a power-capping level.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from repro.service.cache import CacheStats, SimulationCache
@@ -26,21 +27,108 @@ from repro.service.campaign import Campaign, CampaignGuardrails, CampaignReport
 from repro.service.pool import SimulationOutcome, SimulationPool, SimulationRequest
 from repro.service.registry import FleetRegistry
 from repro.service.scenarios import Scenario, ScenarioCatalog, default_catalog
+from repro.telemetry.records import MachineHourRecord, QueueStats
 from repro.utils.errors import ServiceError
 from repro.utils.tables import TextTable
 
 __all__ = [
     "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_CACHE_BUDGET_MB",
+    "MAX_CACHE_ENTRIES",
+    "derive_cache_entries",
     "FleetCampaignReport",
     "ContinuousTuningService",
 ]
 
-#: Default bound for the service's simulation cache. Each cached outcome
-#: holds a full window's machine-hour records (plus any resource samples),
-#: so an unbounded cache is a memory leak for a long-running service; 256
-#: outcomes comfortably covers repeated campaigns over dozens of tenants
-#: while keeping the resident set bounded.
+#: Fallback bound for the simulation cache when nothing is known about the
+#: working set (an empty registry). A tenant-aware service derives its bound
+#: from measured outcome footprints instead — see :func:`derive_cache_entries`.
 DEFAULT_CACHE_ENTRIES = 256
+
+#: Default memory budget the derived cache bound targets. Each cached outcome
+#: holds a full window's machine-hour records (plus any resource samples), so
+#: an unbounded cache is a memory leak for a long-running service.
+DEFAULT_CACHE_BUDGET_MB = 256.0
+
+#: Hard ceiling on the derived bound: beyond this, lookups stay cheap but a
+#: misconfigured budget would hoard gigabytes of telemetry.
+MAX_CACHE_ENTRIES = 4096
+
+#: Simulation-heavy requests one campaign round can issue (observe, flight,
+#: rollout-or-impact): the per-round working set multiplier.
+_REQUESTS_PER_ROUND = 3
+
+
+def _measured_record_bytes() -> int:
+    """Measured in-memory footprint of one machine-hour record.
+
+    Sums ``sys.getsizeof`` over a representative record and its field
+    payloads (the slotted dataclass itself, its strings, and the queue-stats
+    sub-object), so the estimate tracks the real record layout instead of a
+    hand-maintained constant.
+    """
+    probe = MachineHourRecord(
+        machine_id=0,
+        machine_name="m000000",
+        sku="Gen 1.1",
+        software="SC1",
+        rack=0,
+        row=0,
+        subcluster=0,
+        hour=0,
+        cpu_utilization=0.5,
+        avg_running_containers=4.0,
+        total_data_read_bytes=1.0e9,
+        tasks_finished=12,
+        total_cpu_seconds=1800.0,
+        total_task_seconds=3600.0,
+        avg_cores_in_use=8.0,
+        avg_ram_gb_in_use=32.0,
+        avg_ssd_gb_in_use=100.0,
+        avg_power_watts=300.0,
+        power_cap_watts=None,
+        feature_enabled=False,
+        max_running_containers=8,
+        queue=QueueStats(avg_length=0.5, enqueued=6, dequeued=6, waits=[30.0] * 6),
+    )
+    total = sys.getsizeof(probe)
+    for name in MachineHourRecord.__slots__:
+        value = getattr(probe, name)
+        total += sys.getsizeof(value)
+        if isinstance(value, QueueStats):
+            total += sum(sys.getsizeof(getattr(value, n)) for n in QueueStats.__slots__)
+    return total
+
+
+def derive_cache_entries(
+    registry: FleetRegistry,
+    observe_days: float = 1.0,
+    rounds: int = 4,
+    budget_mb: float = DEFAULT_CACHE_BUDGET_MB,
+) -> int:
+    """Cache bound from measured outcome footprints, not a fixed constant.
+
+    One cached outcome holds roughly *machines × hours* machine-hour records
+    (:func:`_measured_record_bytes` each), so the bound is however many
+    outcomes fit in ``budget_mb`` — floored at the working set one campaign
+    sweep needs (tenants × ``rounds`` × requests per round; evicting inside
+    a sweep would collapse the hit rate of an immediate re-run) and capped
+    at :data:`MAX_CACHE_ENTRIES`. The ceiling wins over the floor: a
+    registry so large its working set exceeds the ceiling gets the ceiling,
+    not an unbounded hoard.
+    """
+    if budget_mb <= 0:
+        raise ServiceError(f"budget_mb must be positive, got {budget_mb}")
+    if observe_days <= 0 or rounds < 1:
+        raise ServiceError("observe_days must be positive and rounds >= 1")
+    machines = max((spec.fleet_spec.total_machines for spec in registry), default=0)
+    if machines == 0:
+        return DEFAULT_CACHE_ENTRIES
+    records_per_window = machines * max(1, round(observe_days * 24.0))
+    outcome_bytes = records_per_window * _measured_record_bytes()
+    fits_budget = int((budget_mb * 1024 * 1024) // max(outcome_bytes, 1))
+    working_set = len(registry) * rounds * _REQUESTS_PER_ROUND
+    return min(max(working_set, fits_budget), MAX_CACHE_ENTRIES)
 
 
 @dataclass
@@ -102,16 +190,25 @@ class ContinuousTuningService:
         pool: SimulationPool | None = None,
         cache: SimulationCache | None = None,
         guardrails: CampaignGuardrails | None = None,
+        cache_budget_mb: float = DEFAULT_CACHE_BUDGET_MB,
     ):
         self.registry = registry
         # A fresh catalog per service: ScenarioCatalog is mutable, and two
         # services must not see each other's registered scenarios.
         self.catalog = catalog if catalog is not None else default_catalog()
         self.pool = pool if pool is not None else SimulationPool(max_workers=1)
+        # The default cache bound is derived from the registry's measured
+        # outcome footprints (records per window × tenants × rounds), so big
+        # fleets get fewer, heavier entries and small test fleets cache more.
+        # Auto-derived caches may grow at launch() when a campaign's actual
+        # working set exceeds the construction-time estimate.
+        self._cache_auto = cache is None
         self.cache = (
             cache
             if cache is not None
-            else SimulationCache(max_entries=DEFAULT_CACHE_ENTRIES)
+            else SimulationCache(
+                max_entries=derive_cache_entries(registry, budget_mb=cache_budget_mb)
+            )
         )
         self.guardrails = guardrails
 
@@ -139,6 +236,13 @@ class ContinuousTuningService:
         names = tenants if tenants is not None else self.registry.names()
         if not names:
             raise ServiceError("no tenants selected; register some first")
+        if self._cache_auto and self.cache.max_entries is not None:
+            # The construction-time bound assumed a default round count; a
+            # bigger launch must still fit one full sweep (evicting inside a
+            # sweep collapses the hit rate), ceiling permitting.
+            needed = len(names) * rounds * _REQUESTS_PER_ROUND
+            if needed > self.cache.max_entries:
+                self.cache.max_entries = min(needed, MAX_CACHE_ENTRIES)
         return {
             name: Campaign(
                 spec=self.registry.get(name),

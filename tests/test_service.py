@@ -262,6 +262,83 @@ class TestRequestsAndCache:
         assert not pool.parallel
 
 
+class TestCacheSizing:
+    def test_bound_derives_from_footprints_not_a_constant(self):
+        from repro.service import DEFAULT_CACHE_ENTRIES, derive_cache_entries
+        from repro.service.service import MAX_CACHE_ENTRIES
+
+        registry = make_registry()
+        derived = derive_cache_entries(registry, budget_mb=256.0)
+        # A bigger budget fits more outcomes; a tighter one fewer (down to
+        # the working-set floor), and the bound never exceeds the ceiling.
+        assert derive_cache_entries(registry, budget_mb=1024.0) >= derived
+        floor = len(registry) * 4 * 3  # tenants × rounds × requests/round
+        assert derive_cache_entries(registry, budget_mb=0.25) == floor
+        assert derive_cache_entries(registry, budget_mb=1e9) == MAX_CACHE_ENTRIES
+        # No tenants: nothing to measure, fall back to the legacy constant.
+        assert derive_cache_entries(FleetRegistry()) == DEFAULT_CACHE_ENTRIES
+        # The ceiling wins over the working-set floor: a huge registry must
+        # not talk the cache into an unbounded hoard.
+        huge = FleetRegistry()
+        for i in range(400):  # 400 × 4 rounds × 3 requests > MAX_CACHE_ENTRIES
+            huge.add(TenantSpec(name=f"t{i}", fleet_spec=small_fleet_spec(), seed=i))
+        assert derive_cache_entries(huge, budget_mb=0.25) == MAX_CACHE_ENTRIES
+
+    def test_bound_shrinks_for_bigger_fleets(self):
+        from repro.cluster import small_application_fleet_spec
+        from repro.service import derive_cache_entries
+
+        small = make_registry()
+        big = FleetRegistry()
+        big.add(
+            TenantSpec(name="big", fleet_spec=small_application_fleet_spec(), seed=1)
+        )
+        assert (
+            small.get("east").fleet_spec.total_machines
+            < big.get("big").fleet_spec.total_machines
+        ), "fixture precondition: the 'big' fleet must out-size the small one"
+        assert derive_cache_entries(big, budget_mb=8.0) <= derive_cache_entries(
+            small, budget_mb=8.0
+        )
+
+    def test_service_uses_the_derived_bound(self):
+        from repro.service import derive_cache_entries
+
+        registry = make_registry()
+        with ContinuousTuningService(
+            registry, pool=SimulationPool(max_workers=1), cache_budget_mb=32.0
+        ) as service:
+            assert service.cache.max_entries == derive_cache_entries(
+                registry, budget_mb=32.0
+            )
+
+    def test_invalid_budget_rejected(self):
+        from repro.service import derive_cache_entries
+
+        with pytest.raises(ServiceError):
+            derive_cache_entries(make_registry(), budget_mb=0.0)
+
+    def test_auto_cache_grows_to_fit_a_bigger_launch(self):
+        registry = make_registry()
+        with ContinuousTuningService(
+            registry, pool=SimulationPool(max_workers=1), cache_budget_mb=0.25
+        ) as service:
+            floor = len(registry) * 4 * 3
+            assert service.cache.max_entries == floor
+            # A launch whose sweep outsizes the construction-time estimate
+            # widens the bound so one full sweep still fits.
+            service.launch(scenario="diurnal-baseline", rounds=20)
+            assert service.cache.max_entries == len(registry) * 20 * 3
+        # A user-supplied cache is never resized.
+        with ContinuousTuningService(
+            make_registry(),
+            pool=SimulationPool(max_workers=1),
+            cache=SimulationCache(max_entries=7),
+        ) as service:
+            service.launch(scenario="diurnal-baseline", rounds=20)
+            assert service.cache.max_entries == 7
+
+
 # ----------------------------------------------------------------------
 # Campaign state machine (unit level: fabricated outcomes)
 # ----------------------------------------------------------------------
@@ -393,13 +470,15 @@ class TestEndToEnd:
             name: [e.phase for e in report.history]
             for name, report in serial_run.reports.items()
         }
-        # The full OBSERVE → CALIBRATE → TUNE → FLIGHT → DEPLOYED chain ships
-        # on at least one tenant, and at least one tenant rolls back.
+        # The full OBSERVE → CALIBRATE → TUNE → FLIGHT → DEPLOY (staged
+        # waves) → DEPLOYED chain ships on at least one tenant, and at least
+        # one tenant rolls back.
         full_chain = [
             CampaignPhase.OBSERVE,
             CampaignPhase.CALIBRATE,
             CampaignPhase.TUNE,
             CampaignPhase.FLIGHT,
+            CampaignPhase.DEPLOY,
             CampaignPhase.DEPLOYED,
         ]
         assert any(history == full_chain for history in phases.values())
@@ -409,6 +488,15 @@ class TestEndToEnd:
             r for r in serial_run.reports.values() if r.deployments > 0
         ]
         assert all(r.capacity_after != r.capacity_before for r in deployed)
+        # Deployments ship wave by wave: every deploying tenant records the
+        # full pilot → fleet schedule with per-wave guardrail verdicts.
+        for report in deployed:
+            waves = report.rollout_waves
+            assert [w.wave for w in waves] == ["pilot", "10%", "50%", "fleet"]
+            assert all(w.applied and not w.reverted for w in waves)
+            assert all(w.gate is not None for w in waves[1:])
+            fractions = [w.fraction for w in waves]
+            assert fractions == sorted(fractions) and fractions[-1] == 1.0
 
     def test_parallel_run_matches_serial_exactly(self, serial_run, parallel_run):
         """Same seeds and tags → bit-identical results, pool or no pool."""
@@ -420,6 +508,7 @@ class TestEndToEnd:
             assert [
                 (e.round, e.phase, e.detail) for e in parallel_report.history
             ] == [(e.round, e.phase, e.detail) for e in serial_report.history]
+            assert parallel_report.rollout_waves == serial_report.rollout_waves
             if serial_report.last_impact is not None:
                 assert parallel_report.last_impact is not None
                 for field in ("throughput", "latency"):
