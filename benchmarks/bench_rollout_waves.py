@@ -3,7 +3,9 @@
 Runs :meth:`~repro.core.kea.Kea.staged_rollout` for a per-group container
 bump under several :class:`~repro.flighting.deployment.RolloutPolicy` wave
 schedules (two-wave, default pilot → fleet, eight-wave) on one small fleet,
-recording the rollout's wall-clock and wave accounting. Emits
+recording the rollout's wall-clock and wave accounting — plus a **resume**
+scenario: a rollout halted by a rigged gate, then re-entered at the failed
+wave from its checkpoint (the timed window is the resume itself). Emits
 ``BENCH_rollout.json`` so ``check_bench_regression.py`` can gate the
 staged-deployment hot path against the committed baseline alongside the
 application suite.
@@ -16,6 +18,7 @@ from repro.core import Kea
 from repro.cluster import small_fleet_spec
 from repro.flighting.build import FlightPlan
 from repro.flighting.deployment import RolloutPolicy
+from repro.flighting.safety import GateVerdict, SafetyGate
 from repro.utils.tables import TextTable
 
 BENCH_SEED = 20260729
@@ -31,6 +34,57 @@ POLICIES = {
         gate_allowance=10.0,
     ),
 }
+
+
+class _FailOnFirstGate(SafetyGate):
+    """Halts the rollout at its first gated wave (the resume setup)."""
+
+    def __init__(self):
+        self.evaluations = 0
+
+    def evaluate(self, simulator) -> GateVerdict:
+        self.evaluations += 1
+        if self.evaluations == 1:
+            return GateVerdict(passed=False, reason="rigged halt for resume bench")
+        return GateVerdict(passed=True, reason="rigged pass")
+
+
+def _run_resume(name: str) -> dict:
+    """Halt the default schedule at wave 1, then time the resumed window."""
+    kea = Kea(fleet_spec=small_fleet_spec(), seed=BENCH_SEED)
+    cluster = kea.build_cluster()
+    groups = sorted(cluster.machines_by_group())
+    flight_plan = FlightPlan.from_container_deltas({g: 1 for g in groups})
+
+    halted = kea.staged_rollout(
+        flight_plan,
+        policy=RolloutPolicy(gate_allowance=10.0),
+        days=ROLLOUT_DAYS,
+        workload_tag=f"bench/rollout/{name}-halt",
+        gate=_FailOnFirstGate(),
+    )
+    assert halted.reverted and halted.checkpoint is not None
+    plan = RolloutPolicy(
+        gate_allowance=10.0,
+        resume_from_wave=halted.checkpoint.halted_before_wave,
+    ).plan(flight_plan)
+
+    started = time.perf_counter()
+    rollout = kea.staged_rollout(
+        plan,
+        days=ROLLOUT_DAYS,
+        workload_tag=f"bench/rollout/{name}",
+        checkpoint=halted.checkpoint,
+    )
+    elapsed = time.perf_counter() - started
+
+    return {
+        "schedule": name,
+        "waves": len(rollout.waves),
+        "machines_touched": rollout.machines_touched,
+        "completed": rollout.completed,
+        "total_seconds": round(elapsed, 3),
+    }
 
 
 def _run_one(name: str, policy: RolloutPolicy) -> dict:
@@ -59,6 +113,7 @@ def _run_one(name: str, policy: RolloutPolicy) -> dict:
 
 def test_bench_rollout_waves(benchmark):
     rows = [_run_one(name, policy) for name, policy in POLICIES.items()]
+    rows.append(_run_resume("waves-4-resume"))
 
     table = TextTable(
         ["schedule", "waves", "machines", "completed", "total (s)"],

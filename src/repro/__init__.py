@@ -50,7 +50,13 @@ from repro.core import (
     TuningProposal,
     register_application,
 )
-from repro.flighting import RolloutPlan, RolloutPolicy, RolloutWave, RolloutWaveRecord
+from repro.flighting import (
+    RolloutCheckpoint,
+    RolloutPlan,
+    RolloutPolicy,
+    RolloutWave,
+    RolloutWaveRecord,
+)
 from repro.service import (
     Campaign,
     CampaignGuardrails,
@@ -83,6 +89,7 @@ __all__ = [
     "Kea",
     "Observation",
     "StagedRollout",
+    "RolloutCheckpoint",
     "RolloutPlan",
     "RolloutPolicy",
     "RolloutWave",

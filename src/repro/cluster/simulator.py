@@ -44,11 +44,11 @@ from repro.telemetry.records import (
     TaskLog,
 )
 from repro.utils.errors import SchedulingError
-from repro.utils.rng import RngStreams
+from repro.utils.rng import RngStreams, derive_seed
 from repro.utils.units import SECONDS_PER_HOUR
 from repro.workload.generator import Workload
 from repro.workload.job import JobRuntime
-from repro.workload.task import Task
+from repro.workload.task import Task, TaskId, task_run_scope
 
 __all__ = [
     "SimulationConfig",
@@ -194,11 +194,21 @@ class ClusterSimulator:
         workload: Workload,
         streams: RngStreams | None = None,
         config: SimulationConfig | None = None,
+        run_token: str | None = None,
     ):
         self.cluster = cluster
         self.workload = workload
         self.streams = streams if streams is not None else RngStreams(0)
         self.config = config if config is not None else SimulationConfig()
+        # The run-scoped task-identity token. Derived from the stream seed
+        # (itself a function of the caller's seed/workload tag), so the same
+        # simulation allocates the same task ids in any process, while two
+        # different runs — in one process or many — can never collide.
+        self.run_token = (
+            run_token
+            if run_token is not None
+            else f"run-{derive_seed(self.streams.seed, 'task-run-token'):016x}"
+        )
         self.scheduler = YarnScheduler(
             cluster, seed=self.streams.get("scheduler-seed").integers(0, 2**31).item()
         )
@@ -213,11 +223,13 @@ class ClusterSimulator:
         )
         self._sampled_machines: list[Machine] = []
         self._pending_actions: list[tuple[float, Callable[[ClusterSimulator], None]]] = []
-        # Maps task.seq_id -> JobRuntime for tasks sitting in machine queues.
-        # Keyed by the monotonic per-task sequence id, not id(task): CPython
+        # Maps task.task_id -> JobRuntime for tasks sitting in machine
+        # queues. Keyed by the run-scoped task id, not id(task): CPython
         # reuses object ids after garbage collection, so an id() key could
-        # silently alias a finished task with a freshly allocated one.
-        self._job_of_queued: dict[int, JobRuntime] = {}
+        # silently alias a finished task with a freshly allocated one — and
+        # the run token keeps identities distinct across runs and worker
+        # processes.
+        self._job_of_queued: dict[TaskId, JobRuntime] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -244,6 +256,10 @@ class ClusterSimulator:
         """Simulate ``duration_hours`` hours and return the collected telemetry."""
         if duration_hours <= 0:
             raise ValueError("duration_hours must be positive")
+        with task_run_scope(self.run_token):
+            return self._run(duration_hours)
+
+    def _run(self, duration_hours: float) -> SimulationResult:
         horizon = duration_hours * SECONDS_PER_HOUR
         self._push(0.0, _HOUR, 0)
         for time, action in self._pending_actions:
@@ -328,7 +344,7 @@ class ClusterSimulator:
             self.scheduler.note_started(placement.machine)
         else:
             self.result.tasks_queued += 1
-            self._job_of_queued[task.seq_id] = job
+            self._job_of_queued[task.task_id] = job
 
     def _start_on(
         self, machine: Machine, job: JobRuntime, task: Task, queue_wait: float
@@ -398,7 +414,7 @@ class ClusterSimulator:
             if popped is None:  # pragma: no cover - guarded by loop condition
                 break
             task, wait = popped
-            job = self._job_of_queued.pop(task.seq_id)
+            job = self._job_of_queued.pop(task.task_id)
             self._start_on(machine, job, task, queue_wait=wait)
 
     def _flush_hour(self, hour: int) -> None:

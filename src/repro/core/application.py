@@ -41,13 +41,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ObservationSpec
 from repro.cluster.software import MachineGroupKey
 from repro.flighting.build import FlightPlan
-from repro.flighting.deployment import RolloutPlan, RolloutPolicy
+from repro.flighting.deployment import RolloutCheckpoint, RolloutPlan, RolloutPolicy
 from repro.utils.errors import ApplicationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a kea import cycle
@@ -289,6 +290,30 @@ class TuningApplication(abc.ABC):
         plan means nothing is deployable in waves.
         """
         return RolloutPlan.from_flight_plan(self.flight_plan(proposal), policy)
+
+    def resume_rollout_plan(
+        self, plan: RolloutPlan, checkpoint: RolloutCheckpoint
+    ) -> RolloutPlan:
+        """Re-stage a halted rollout to re-enter at the failed wave.
+
+        Returns ``plan`` with its policy pinned to the checkpoint's halted
+        wave (``resume_from_wave``): execution restores the checkpointed
+        coverage at window start instead of re-running the pilot, then
+        widens from the failed wave onward, gates included.
+
+        Overrides may adjust the *gating* of the re-entry — tighter
+        ``gate_allowance``, longer soak gaps, a different
+        ``gate_window_hours`` — but must keep the staged waves and the
+        checkpoint's re-entry index intact:
+        :meth:`~repro.flighting.deployment.DeploymentModule.resolve_resume`
+        rejects a resume whose waves or ``resume_from_wave`` disagree with
+        the checkpoint (a checkpoint's covered counts are only meaningful
+        against the plan that produced them).
+        """
+        policy = dc_replace(
+            plan.policy, resume_from_wave=checkpoint.halted_before_wave
+        )
+        return RolloutPlan(waves=plan.waves, policy=policy)
 
     def evaluate(
         self, before: "Observation", after: "Observation"

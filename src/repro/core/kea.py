@@ -50,6 +50,7 @@ from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import FlightPlan, PlannedFlight
 from repro.flighting.deployment import (
     DeploymentModule,
+    RolloutCheckpoint,
     RolloutPlan,
     RolloutPolicy,
     RolloutWaveRecord,
@@ -134,10 +135,14 @@ class StagedRollout:
     """Outcome of one wave-based fleet rollout (:meth:`Kea.staged_rollout`).
 
     ``waves`` are the per-wave impact records in execution order — fraction
-    reached, machines newly covered, and the safety-gate verdict that let
-    the wave proceed (or halted it). ``impact`` is the §5.2.2 before/after
-    treatment-effect evaluation of the whole rollout window against an
-    identical-workload baseline window.
+    reached, machines newly covered, the safety-gate verdict that let the
+    wave proceed (or halted it), and the wave's own treatment effect
+    (flighted-so-far vs not-yet-covered machines inside its soak window).
+    ``impact`` is the §5.2.2 before/after treatment-effect evaluation of the
+    whole rollout window against an identical-workload baseline window.
+    ``checkpoint`` is non-None exactly when a gate halted the rollout: pass
+    it (with a ``resume_from_wave`` policy) to a later
+    :meth:`Kea.staged_rollout` to re-enter at the failed wave.
     """
 
     waves: tuple[RolloutWaveRecord, ...]
@@ -147,6 +152,7 @@ class StagedRollout:
     #: / ``reverted`` — the execution is the single source of these verdicts.
     completed: bool = False
     reverted: bool = False
+    checkpoint: RolloutCheckpoint | None = None
 
     @property
     def failed_wave(self) -> RolloutWaveRecord | None:
@@ -553,6 +559,7 @@ class Kea:
         load_multiplier: float = 1.6,
         workload_tag: str | None = None,
         gate: SafetyGate | None = None,
+        checkpoint: RolloutCheckpoint | None = None,
     ) -> StagedRollout:
         """Ship a validated plan across the fleet in gated waves (§5.2.2).
 
@@ -564,11 +571,21 @@ class Kea:
         coverage to its fleet fraction, the policy's latency gate (or the
         ``gate`` override) is evaluated between waves, and a failing gate
         reverts every already-deployed wave — the fleet ends bit-identical
-        to its pre-rollout configuration.
+        to its pre-rollout configuration, and the returned rollout carries
+        the halt's :class:`~repro.flighting.deployment.RolloutCheckpoint`.
 
-        The returned :class:`StagedRollout` carries the per-wave records
-        plus a :class:`DeploymentImpact` pairing the rollout window against
-        a baseline window replaying the identical workload arrivals.
+        Passing that ``checkpoint`` back (with the plan's policy set to
+        ``resume_from_wave``) *resumes* the rollout in this window: the
+        checkpointed coverage is restored at window start — the pilot and
+        other already-proven waves are not re-run — and execution re-enters
+        at the failed wave, gates included.
+
+        The returned :class:`StagedRollout` carries the per-wave records —
+        each deployed wave annotated with its own treatment effect
+        (flighted-so-far vs not-yet-covered machines in the wave's soak
+        window) — plus a :class:`DeploymentImpact` pairing the rollout
+        window against a baseline window replaying the identical workload
+        arrivals.
         """
         if isinstance(plan, dict):
             plan = FlightPlan.from_container_deltas(plan)
@@ -582,7 +599,9 @@ class Kea:
         if not plan:
             raise ConfigurationError("staged rollout needs a non-empty plan")
         # Fail invalid plans (bad schedule, overlapping selectors, empty
-        # selections) before paying for the baseline window.
+        # selections, a resume without its checkpoint) before paying for the
+        # baseline window.
+        DeploymentModule.resolve_resume(plan, checkpoint)
         plan.validate(self.build_cluster())
         plan.policy.schedule(days * 24.0)
         tag = workload_tag if workload_tag is not None else self._fresh_tag("rollout")
@@ -597,7 +616,11 @@ class Kea:
 
         def stage_waves(sim: ClusterSimulator) -> None:
             module = DeploymentModule(sim.cluster)
-            executions.append(module.schedule(sim, plan, days * 24.0, gate=gate))
+            executions.append(
+                module.schedule(
+                    sim, plan, days * 24.0, gate=gate, checkpoint=checkpoint
+                )
+            )
 
         after = self.simulate(
             days,
@@ -608,12 +631,14 @@ class Kea:
             actions=stage_waves,
         )
         execution = executions[0]
+        DeploymentModule.attach_wave_impacts(after.result.records, execution)
         return StagedRollout(
             waves=tuple(execution.records),
             impact=_paired_impact(before, after),
             machines_touched=execution.machines_touched,
             completed=execution.completed,
             reverted=execution.reverted,
+            checkpoint=execution.checkpoint,
         )
 
     def benchmark_impact(

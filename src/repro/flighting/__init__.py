@@ -14,6 +14,7 @@ from repro.flighting.build import (
 from repro.flighting.deployment import (
     DEFAULT_WAVE_FRACTIONS,
     DeploymentModule,
+    RolloutCheckpoint,
     RolloutExecution,
     RolloutPlan,
     RolloutPolicy,
@@ -41,6 +42,7 @@ __all__ = [
     "YarnLimitsBuild",
     "DEFAULT_WAVE_FRACTIONS",
     "DeploymentModule",
+    "RolloutCheckpoint",
     "RolloutExecution",
     "RolloutPlan",
     "RolloutPolicy",

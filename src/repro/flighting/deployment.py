@@ -18,6 +18,16 @@ evaluates the gate between waves, and reverts every already-deployed wave
 via ``build.revert`` on a gate failure — so queue-bound, software re-image,
 and power-cap builds all roll out progressively, not just container limits.
 
+Rollouts are **resumable** and **impact-measured**: a halted rollout leaves a
+serializable :class:`RolloutCheckpoint` (per-entry covered counts — the
+applied-build state at the moment the gate failed), and a policy with
+``resume_from_wave`` re-enters at the failed wave in a later window instead of
+restarting from the pilot — the checkpointed coverage is restored at window
+start, never re-run as gated waves. Every applied wave additionally records a
+treatment effect (:attr:`RolloutWaveRecord.impact`): machines flighted so far
+vs machines not yet covered, measured on machine-hour throughput inside the
+wave's soak window via :func:`repro.stats.treatment.population_effect`.
+
 The legacy all-at-once :class:`~repro.cluster.config.YarnConfig` target path
 survives as a thin shim: :meth:`DeploymentModule.staged_plan` converts a
 target config into per-group :class:`~repro.flighting.build.YarnLimitsBuild`
@@ -41,6 +51,8 @@ from repro.flighting.build import (
     YarnLimitsBuild,
 )
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
+from repro.stats.treatment import TreatmentEffect, population_effect
+from repro.telemetry.records import MachineHourRecord
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import hours
 
@@ -49,6 +61,7 @@ __all__ = [
     "RolloutPolicy",
     "RolloutWave",
     "RolloutPlan",
+    "RolloutCheckpoint",
     "RolloutWaveRecord",
     "RolloutExecution",
     "DeploymentModule",
@@ -83,6 +96,14 @@ class RolloutPolicy:
 
     ``max_step`` clamps relative container-delta builds to the paper's
     conservative ±step rule at plan time (None disables clamping).
+
+    ``resume_from_wave`` re-enters a previously halted rollout at that wave
+    index instead of restarting from the pilot: execution restores the
+    halted run's :class:`RolloutCheckpoint` coverage at window start (the
+    earlier waves are *not* re-run as gated waves) and then applies waves
+    ``resume_from_wave`` onward, gates included. The index must name a
+    gated wave (1 … len(fractions) − 1), and execution requires the
+    checkpoint the halted run produced.
     """
 
     fractions: tuple[float, ...] = DEFAULT_WAVE_FRACTIONS
@@ -92,6 +113,7 @@ class RolloutPolicy:
     gate_window_hours: int = 2
     gate_allowance: float | tuple[float, ...] = 0.25
     max_step: int | None = 1
+    resume_from_wave: int | None = None
 
     def __post_init__(self) -> None:
         # Accept any sequence literal for the tuple-typed fields; a list
@@ -141,16 +163,29 @@ class RolloutPolicy:
             raise ConfigurationError("gate allowances must be non-negative")
         if self.max_step is not None and self.max_step < 1:
             raise ConfigurationError("max_step must be >= 1 (or None)")
+        if self.resume_from_wave is not None and not (
+            1 <= self.resume_from_wave < len(self.fractions)
+        ):
+            raise ConfigurationError(
+                f"resume_from_wave must name a gated wave in "
+                f"[1, {len(self.fractions) - 1}]; got {self.resume_from_wave}"
+            )
 
     def wave_name(self, index: int) -> str:
-        """The wave's display name (``pilot`` → percentages → ``fleet``)."""
+        """The wave's display name (``pilot`` → percentages → ``fleet``).
+
+        The fleet check runs first: a single-wave policy
+        (``fractions=(1.0,)``) covers the whole fleet at once and must be
+        labelled ``fleet``, not ``pilot`` — wave 0 is only a pilot when
+        later waves exist to widen it.
+        """
         if self.names:
             return self.names[index]
         fraction = self.fractions[index]
-        if index == 0:
-            return "pilot"
         if fraction >= 1.0:
             return "fleet"
+        if index == 0:
+            return "pilot"
         return f"{fraction:.0%}"
 
     def allowance_for(self, index: int) -> float:
@@ -335,10 +370,59 @@ class RolloutPlan:
             )
         return selections
 
+    def waves_fingerprint(self) -> str:
+        """Stable fingerprint of the waves alone, policy excluded.
+
+        Resume plans re-stage the *same* waves under a policy that differs
+        only in ``resume_from_wave``; checkpoints bind to this fingerprint so
+        a halted rollout can be resumed under the adjusted policy while a
+        checkpoint from a different plan is still rejected loudly.
+        """
+        return ";".join(wave.describe() for wave in self.waves)
+
     def describe(self) -> str:
         """Stable fingerprint over policy and waves (cache-key material)."""
-        waves = ";".join(wave.describe() for wave in self.waves)
-        return f"{self.policy!r}|{waves}"
+        return f"{self.policy!r}|{self.waves_fingerprint()}"
+
+
+@dataclass(frozen=True)
+class RolloutCheckpoint:
+    """Where a halted rollout stopped, as a serializable, resumable value.
+
+    ``covered`` is the applied-build state per plan entry — (entry
+    fingerprint, machines covered) pairs at the moment the gate failed,
+    *before* the halt reverted the deployed waves. Together with the plan
+    (whose entries and populations are re-derivable in any process) this is
+    everything a later window needs to restore coverage and re-enter at
+    ``halted_before_wave``. Checkpoints pickle cleanly, ride on campaign
+    ``resume`` requests through the simulation pool, and fold into cache
+    keys via :meth:`describe`.
+    """
+
+    plan_fingerprint: str
+    halted_before_wave: int
+    halted_wave: str
+    covered: tuple[tuple[str, int], ...]
+    machines_deployed: int
+
+    def __post_init__(self) -> None:
+        if self.halted_before_wave < 1:
+            raise ConfigurationError(
+                "a checkpoint halts before a gated wave (index >= 1); "
+                f"got {self.halted_before_wave}"
+            )
+
+    def covered_counts(self) -> dict[str, int]:
+        """The per-entry covered counts as a lookup dict."""
+        return dict(self.covered)
+
+    def describe(self) -> str:
+        """Stable fingerprint (cache-key material)."""
+        inner = ",".join(f"{key}={count}" for key, count in self.covered)
+        return (
+            f"ckpt@{self.halted_before_wave}:{self.halted_wave}"
+            f"[{inner}]|{self.plan_fingerprint}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -347,7 +431,13 @@ class RolloutWaveRecord:
 
     ``gate`` is the safety-gate verdict evaluated just before this wave
     (None for the ungated pilot wave and for waves skipped after a halt);
-    ``machines`` counts the machines newly covered by this wave.
+    ``machines`` counts the machines newly covered by this wave. ``resumed``
+    marks a wave whose coverage was restored from a halted run's checkpoint
+    at window start rather than applied as a gated wave. ``impact`` is the
+    wave's measured treatment effect — machines flighted so far vs machines
+    not yet covered, on machine-hour throughput inside the wave's soak
+    window (filled for every wave that deployed builds; None for skipped
+    and gate-failed waves).
     """
 
     wave: str
@@ -357,17 +447,67 @@ class RolloutWaveRecord:
     gate: GateVerdict | None
     applied: bool
     reverted: bool
+    resumed: bool = False
+    impact: TreatmentEffect | None = None
 
     def summary(self) -> str:
         """One line of the rollout audit trail."""
         state = "applied" if self.applied else "skipped"
+        if self.resumed:
+            state = "restored from checkpoint"
         if self.reverted:
             state = "reverted"
         gate = f"; gate: {self.gate.reason}" if self.gate is not None else ""
+        impact = (
+            f"; impact: {self.impact.relative_effect:+.1%} throughput "
+            f"(t={self.impact.test.t_value:.2f})"
+            if self.impact is not None
+            else ""
+        )
         return (
             f"wave {self.wave!r} ({self.fraction:.0%}) at {self.start_hour:.1f}h: "
-            f"{state}, {self.machines} machine(s){gate}"
+            f"{state}, {self.machines} machine(s){gate}{impact}"
         )
+
+
+@dataclass(frozen=True, slots=True)
+class _WaveImpactWindow:
+    """Where one deployed wave's impact contrast lives in the telemetry.
+
+    ``record_index`` points at the wave's :class:`RolloutWaveRecord`;
+    ``start``/``end`` bound the wave's soak window in hours; ``covered_ids``
+    snapshots the machines covered once the wave applied; ``new_ids`` are
+    the machines this wave newly covered; ``previous_start`` opens the prior
+    wave's window (the fleet wave's before/after fallback).
+    """
+
+    record_index: int
+    start: float
+    end: float
+    covered_ids: frozenset[int]
+    new_ids: frozenset[int]
+    previous_start: float
+    #: Explicit control arm. None: everything outside ``covered_ids``. A
+    #: checkpoint restoration applies several waves' coverage at once, so a
+    #: restored wave's control must exclude the *other* restored machines
+    #: too — they carry the build even though this wave's cumulative
+    #: coverage does not include them.
+    control_ids: frozenset[int] | None = None
+
+
+def _full_hours(start: float, end: float) -> tuple[int, int]:
+    """The fully-contained hour range [lo, hi) inside ``[start, end)``.
+
+    Machine-hour records are hourly; an hour straddling a wave boundary
+    mixes pre- and post-treatment telemetry, so only hours entirely inside
+    the window count. A sub-hour window keeps its (partially treated)
+    first hour rather than measuring nothing.
+    """
+    lo = math.ceil(start - 1e-9)
+    hi = math.floor(end + 1e-9)
+    if hi <= lo:
+        lo, hi = math.floor(start + 1e-9), math.floor(start + 1e-9) + 1
+    return lo, hi
 
 
 @dataclass
@@ -377,16 +517,26 @@ class RolloutExecution:
     records: list[RolloutWaveRecord] = field(default_factory=list)
     halted: bool = False
     machines_touched: int = 0
+    #: Checkpoint of the coverage at the moment a gate halted the rollout
+    #: (None while the rollout is live or when it completed).
+    checkpoint: RolloutCheckpoint | None = None
     #: Cumulative covered machine count per entry fingerprint.
     _covered: dict[str, int] = field(default_factory=dict)
     #: (applied build copy, machines) in application order, for revert.
     _applied: list[tuple[object, list[Machine]]] = field(default_factory=list)
+    #: Machine ids covered so far (all entries), for wave-impact contrasts.
+    _covered_ids: set[int] = field(default_factory=set)
+    #: Every machine id any plan entry selects (the rollout's universe).
+    _population_ids: frozenset[int] = frozenset()
+    #: One impact-contrast window per deployed wave.
+    _impact_meta: list[_WaveImpactWindow] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
-        """True when every wave applied and nothing was reverted."""
+        """True when every wave deployed (applied, or restored from a resume
+        checkpoint) and nothing was reverted."""
         return bool(self.records) and not self.halted and all(
-            r.applied and not r.reverted for r in self.records
+            (r.applied or r.resumed) and not r.reverted for r in self.records
         )
 
     @property
@@ -461,23 +611,69 @@ class DeploymentModule:
     # ------------------------------------------------------------------
     # Execution on a simulator
     # ------------------------------------------------------------------
+    @staticmethod
+    def resolve_resume(
+        plan: RolloutPlan, checkpoint: RolloutCheckpoint | None
+    ) -> int | None:
+        """The wave index a resumed execution re-enters at (None: fresh).
+
+        Cross-validates the policy's ``resume_from_wave`` against the
+        checkpoint: a resumable policy without the halted run's checkpoint,
+        a checkpoint from a different plan, or a disagreeing wave index all
+        fail loudly *before* any window simulates.
+        """
+        resume_from = plan.policy.resume_from_wave
+        if checkpoint is None:
+            if resume_from is not None:
+                raise ConfigurationError(
+                    f"policy resumes from wave {resume_from} but no rollout "
+                    "checkpoint was supplied; pass the halted run's checkpoint"
+                )
+            return None
+        if checkpoint.plan_fingerprint != plan.waves_fingerprint():
+            raise ConfigurationError(
+                "rollout checkpoint does not belong to this plan "
+                "(the staged waves differ); resume the plan that halted"
+            )
+        if resume_from is None:
+            resume_from = checkpoint.halted_before_wave
+        elif resume_from != checkpoint.halted_before_wave:
+            raise ConfigurationError(
+                f"policy resumes from wave {resume_from} but the checkpoint "
+                f"halted before wave {checkpoint.halted_before_wave}"
+            )
+        if not 1 <= resume_from < len(plan.waves):
+            raise ConfigurationError(
+                f"resume wave {resume_from} is out of range for a "
+                f"{len(plan.waves)}-wave plan"
+            )
+        return resume_from
+
     def schedule(
         self,
         simulator: ClusterSimulator,
         plan: RolloutPlan,
         window_hours: float,
         gate: SafetyGate | None = None,
+        checkpoint: RolloutCheckpoint | None = None,
     ) -> RolloutExecution:
         """Register the plan's waves as simulator actions (before ``run``).
 
         Returns the :class:`RolloutExecution` whose records fill in as the
         simulation runs. The policy's per-wave latency gate (or the ``gate``
         override) is evaluated just before each wave after the first; a
-        failing gate halts the rollout and reverts every already-deployed
-        wave's builds, newest first.
+        failing gate halts the rollout, reverts every already-deployed
+        wave's builds newest first, and leaves the coverage checkpoint on
+        :attr:`RolloutExecution.checkpoint`.
+
+        With ``checkpoint`` (and a policy whose ``resume_from_wave`` names
+        the halted wave), the execution *resumes*: the checkpointed coverage
+        is restored at window start — not re-run as gated waves — and only
+        waves from the resume index onward are scheduled, gates included.
         """
         if not plan.waves:
             raise ConfigurationError("empty rollout plan: nothing to deploy")
+        resume_from = self.resolve_resume(plan, checkpoint)
         # Validation's per-entry selections double as the population
         # snapshot: a software build changes the flighted machines' selector
         # attributes mid-run, so re-selecting at wave time would silently
@@ -485,6 +681,11 @@ class DeploymentModule:
         populations = plan.validate(self.cluster)
         starts = plan.policy.schedule(window_hours)
         execution = RolloutExecution()
+        execution._population_ids = frozenset(
+            machine.machine_id
+            for population in populations.values()
+            for machine in population
+        )
 
         def wave_action(index: int, wave: RolloutWave, start: float):
             def action(sim: ClusterSimulator) -> None:
@@ -506,6 +707,13 @@ class DeploymentModule:
                     wave_gate = gate if gate is not None else plan.policy.gate_for(index)
                     verdict = wave_gate.evaluate(sim)
                     if not verdict.passed:
+                        execution.checkpoint = RolloutCheckpoint(
+                            plan_fingerprint=plan.waves_fingerprint(),
+                            halted_before_wave=index,
+                            halted_wave=wave.name,
+                            covered=tuple(sorted(execution._covered.items())),
+                            machines_deployed=execution.machines_touched,
+                        )
                         self._revert(sim, execution)
                         execution.records.append(
                             RolloutWaveRecord(
@@ -519,7 +727,7 @@ class DeploymentModule:
                             )
                         )
                         return
-                machines = self._apply_wave(sim, wave, execution, populations)
+                machines, new_ids = self._apply_wave(sim, wave, execution, populations)
                 execution.records.append(
                     RolloutWaveRecord(
                         wave=wave.name,
@@ -531,12 +739,120 @@ class DeploymentModule:
                         reverted=False,
                     )
                 )
+                boundary = starts[index + 1] if index + 1 < len(starts) else window_hours
+                execution._impact_meta.append(
+                    _WaveImpactWindow(
+                        record_index=len(execution.records) - 1,
+                        start=start,
+                        end=boundary,
+                        covered_ids=frozenset(execution._covered_ids),
+                        new_ids=frozenset(new_ids),
+                        previous_start=starts[index - 1] if index > 0 else 0.0,
+                    )
+                )
 
             return action
 
+        if resume_from is not None:
+            simulator.schedule_action(
+                0.0,
+                self._restore_action(
+                    plan, checkpoint, resume_from, populations, starts, execution
+                ),
+            )
         for index, (wave, start) in enumerate(zip(plan.waves, starts)):
+            if resume_from is not None and index < resume_from:
+                continue
             simulator.schedule_action(hours(start), wave_action(index, wave, start))
         return execution
+
+    def _restore_action(
+        self,
+        plan: RolloutPlan,
+        checkpoint: RolloutCheckpoint,
+        resume_from: int,
+        populations: dict[str, list[Machine]],
+        starts: tuple[float, ...],
+        execution: RolloutExecution,
+    ):
+        """The window-start action restoring a checkpoint's coverage.
+
+        The halted run's covered slice gets its builds re-applied in one
+        shot — no gates, no soak gaps — and one ``resumed`` record per
+        skipped wave documents the restored coverage. Each restored wave is
+        measured over the idle hours before the resumed wave: its
+        cumulative coverage (as the original waves would have widened it)
+        vs the still-untreated rest of the fleet, so restored waves carry
+        their own per-step impacts.
+        """
+        counts = checkpoint.covered_counts()
+
+        def restore(sim: ClusterSimulator) -> None:
+            # The union of every wave's entries, in first-appearance order:
+            # policy-built plans share one entries tuple, but a hand-built
+            # plan may introduce an entry only in a later wave, and its
+            # checkpointed coverage must be restored too.
+            entries_by_key: dict[str, PlannedFlight] = {}
+            for wave in plan.waves:
+                for entry in wave.entries:
+                    entries_by_key.setdefault(entry.describe(), entry)
+            restored_ids: list[int] = []
+            for entry in entries_by_key.values():
+                key = entry.describe()
+                population = populations[key]
+                target = min(counts.get(key, 0), len(population))
+                if target <= 0:
+                    continue
+                increment = population[:target]
+                self._deploy_build(sim, entry, increment, execution)
+                execution._covered[key] = target
+                restored_ids.extend(machine.machine_id for machine in increment)
+            execution._covered_ids.update(restored_ids)
+            execution.machines_touched += len(restored_ids)
+            restored = frozenset(restored_ids)
+            untreated = execution._population_ids - restored
+            resume_start = starts[resume_from]
+            previous_targets = {key: 0 for key in populations}
+            cumulative: set[int] = set()
+            for index in range(resume_from):
+                wave = plan.waves[index]
+                newly: list[int] = []
+                for entry in wave.entries:
+                    key = entry.describe()
+                    population = populations[key]
+                    target = min(
+                        self._wave_target(wave.fraction, len(population)),
+                        execution._covered.get(key, 0),
+                    )
+                    increment = population[previous_targets[key]:target]
+                    newly.extend(machine.machine_id for machine in increment)
+                    previous_targets[key] = max(previous_targets[key], target)
+                cumulative.update(newly)
+                execution.records.append(
+                    RolloutWaveRecord(
+                        wave=wave.name,
+                        fraction=wave.fraction,
+                        start_hour=0.0,
+                        machines=len(newly),
+                        gate=None,
+                        applied=False,
+                        reverted=False,
+                        resumed=True,
+                    )
+                )
+                execution._impact_meta.append(
+                    _WaveImpactWindow(
+                        record_index=len(execution.records) - 1,
+                        start=0.0,
+                        end=resume_start,
+                        covered_ids=frozenset(cumulative),
+                        new_ids=frozenset(newly),
+                        previous_start=0.0,
+                        control_ids=untreated,
+                    )
+                )
+
+        return restore
 
     def execute(
         self,
@@ -544,10 +860,18 @@ class DeploymentModule:
         plan: RolloutPlan,
         window_hours: float,
         gate: SafetyGate | None = None,
+        checkpoint: RolloutCheckpoint | None = None,
     ) -> RolloutExecution:
-        """Schedule the plan, run the simulator, and return the execution."""
-        execution = self.schedule(simulator, plan, window_hours, gate=gate)
+        """Schedule the plan, run the simulator, and return the execution.
+
+        Wave impacts are attached from the run's telemetry before returning,
+        so every deployed wave's record carries its treatment effect.
+        """
+        execution = self.schedule(
+            simulator, plan, window_hours, gate=gate, checkpoint=checkpoint
+        )
         simulator.run(window_hours)
+        self.attach_wave_impacts(simulator.result.records, execution)
         return execution
 
     # ------------------------------------------------------------------
@@ -560,14 +884,40 @@ class DeploymentModule:
             return population
         return min(population, max(1, math.ceil(fraction * population)))
 
+    @staticmethod
+    def _deploy_build(
+        sim: ClusterSimulator,
+        entry: PlannedFlight,
+        machines: list[Machine],
+        execution: RolloutExecution,
+    ) -> None:
+        """Apply one entry's build to ``machines`` mid-run, revertibly.
+
+        The single machine-mutation ritual both fresh waves and checkpoint
+        restoration go through — resume correctness depends on restoring
+        coverage exactly the way a wave would have applied it. Each
+        deployment applies its own copy of the build: ``apply`` resets the
+        build's saved revert-state, so sharing one instance across waves
+        would lose every earlier deployment's ability to revert.
+        """
+        build = copy.deepcopy(entry.build)
+        for machine in machines:
+            machine.advance(sim.now)
+        build.apply(sim.cluster, machines)
+        for machine in machines:
+            sim._drain_queue(machine)
+            sim.scheduler.refresh_machine(machine)
+        execution._applied.append((build, list(machines)))
+
     def _apply_wave(
         self,
         sim: ClusterSimulator,
         wave: RolloutWave,
         execution: RolloutExecution,
         populations: dict[str, list[Machine]],
-    ) -> int:
+    ) -> tuple[int, list[int]]:
         applied = 0
+        new_ids: list[int] = []
         for entry in wave.entries:
             key = entry.describe()
             population = populations[key]
@@ -576,21 +926,13 @@ class DeploymentModule:
             if target <= covered:
                 continue
             increment = population[covered:target]
-            # Each wave applies its own copy of the build: `apply` resets the
-            # build's saved revert-state, so sharing one instance across
-            # waves would lose every earlier wave's ability to revert.
-            build = copy.deepcopy(entry.build)
-            for machine in increment:
-                machine.advance(sim.now)
-            build.apply(sim.cluster, increment)
-            for machine in increment:
-                sim._drain_queue(machine)
-                sim.scheduler.refresh_machine(machine)
-            execution._applied.append((build, list(increment)))
+            self._deploy_build(sim, entry, increment, execution)
             execution._covered[key] = target
+            new_ids.extend(machine.machine_id for machine in increment)
             applied += len(increment)
+        execution._covered_ids.update(new_ids)
         execution.machines_touched += applied
-        return applied
+        return applied, new_ids
 
     def _revert(self, sim: ClusterSimulator, execution: RolloutExecution) -> None:
         """Undo every deployed wave's builds, newest first."""
@@ -602,8 +944,91 @@ class DeploymentModule:
                 sim._drain_queue(machine)
                 sim.scheduler.refresh_machine(machine)
         execution._applied.clear()
+        # Checkpoint-restored waves are as deployed as applied ones: their
+        # re-applied builds were just undone too, and the audit trail (and
+        # the campaign's reverted-wave tally) must say so.
         execution.records[:] = [
-            replace(record, reverted=True) if record.applied else record
+            replace(record, reverted=True)
+            if record.applied or record.resumed
+            else record
             for record in execution.records
         ]
         execution.halted = True
+
+    # ------------------------------------------------------------------
+    # Per-wave impact measurement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def attach_wave_impacts(
+        records: list[MachineHourRecord], execution: RolloutExecution
+    ) -> None:
+        """Fill every deployed wave record's ``impact`` from run telemetry.
+
+        Each deployed wave is judged on machine-hour throughput (Total Data
+        Read) inside its soak window — the hours between the wave and the
+        next boundary (the next wave's start, or the window's end):
+
+        * machines **flighted so far** (covered through this wave) are the
+          treated arm, machines **not yet covered** the control, compared
+          with :func:`repro.stats.treatment.population_effect`;
+        * the fleet wave has no control population left, so it falls back to
+          a time contrast on its newly covered machines: their telemetry in
+          the previous wave's window vs this wave's window.
+
+        Only hours lying entirely inside a window count (an hour straddling
+        a wave boundary mixes pre- and post-treatment telemetry), so a wave
+        starting mid-hour never dilutes its own treated arm.
+
+        Waves that never deployed (skipped after a halt, gate-failed) keep
+        ``impact`` None. Reverted waves keep the impact measured while their
+        builds were live. Called automatically by :meth:`execute`; callers
+        driving :meth:`schedule` + ``run`` directly (the facade) invoke it
+        once the simulation finishes.
+        """
+
+        # One pass over the telemetry, bucketed by hour: each window then
+        # reads only its own hours instead of rescanning the full run per
+        # arm. Bucket order preserves record order (hour-major), so the
+        # contrast arms stay bit-identical to a linear scan.
+        by_hour: dict[int, list[tuple[int, float]]] = {}
+        for r in records:
+            by_hour.setdefault(r.hour, []).append(
+                (r.machine_id, r.total_data_read_bytes)
+            )
+
+        def window_values(ids: frozenset[int], lo: int, hi: int) -> list[float]:
+            return [
+                value
+                for hour in range(lo, hi)
+                for machine_id, value in by_hour.get(hour, ())
+                if machine_id in ids
+            ]
+
+        for window in execution._impact_meta:
+            hour_lo, hour_hi = _full_hours(window.start, window.end)
+            treated = window_values(window.covered_ids, hour_lo, hour_hi)
+            uncovered_ids = (
+                window.control_ids
+                if window.control_ids is not None
+                else execution._population_ids - window.covered_ids
+            )
+            if uncovered_ids:
+                control = window_values(uncovered_ids, hour_lo, hour_hi)
+            else:
+                # Fleet wave: contrast the newly covered machines against
+                # their own pre-wave window instead. No fallback hour here —
+                # a rollout with no pre-wave history (a single wave at the
+                # window start) has nothing untreated to compare against,
+                # and population_effect degrades gracefully on an empty arm.
+                prev_lo = math.ceil(window.previous_start - 1e-9)
+                prev_hi = math.floor(window.start + 1e-9)
+                control = (
+                    window_values(window.new_ids, prev_lo, prev_hi)
+                    if prev_hi > prev_lo
+                    else []
+                )
+                treated = window_values(window.new_ids, hour_lo, hour_hi)
+            effect = population_effect(control, treated)
+            execution.records[window.record_index] = replace(
+                execution.records[window.record_index], impact=effect
+            )

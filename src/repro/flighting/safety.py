@@ -111,6 +111,37 @@ class DeploymentGuardrail:
         self.throughput_allowance = throughput_allowance
         self.alpha = alpha
 
+    def judge_wave_impact(self, effect) -> GateVerdict:
+        """Verdict for one rollout wave's measured treatment effect.
+
+        ``effect`` is a :class:`~repro.stats.treatment.TreatmentEffect` on
+        throughput (higher is better) — the per-wave contrast a staged
+        rollout records on :class:`~repro.flighting.deployment.RolloutWaveRecord.impact`.
+        The wave fails when throughput dropped beyond
+        ``throughput_allowance`` *and* the drop is significant at ``alpha``
+        — the same deploy-on-"no significant regression" policy the
+        full-rollout :meth:`judge` applies, at wave granularity.
+        """
+        if (
+            effect.relative_effect < -self.throughput_allowance
+            and effect.significant(self.alpha)
+        ):
+            return GateVerdict(
+                passed=False,
+                reason=(
+                    f"wave throughput dropped {effect.relative_effect:+.1%} "
+                    f"(allowance {-self.throughput_allowance:+.1%}, "
+                    f"p={effect.test.p_value:.3f})"
+                ),
+            )
+        return GateVerdict(
+            passed=True,
+            reason=(
+                f"wave throughput {effect.relative_effect:+.1%}: "
+                "no significant regression"
+            ),
+        )
+
     def judge(self, impact) -> GateVerdict:
         """Verdict for a :class:`~repro.core.kea.DeploymentImpact`."""
         latency = impact.latency

@@ -29,6 +29,7 @@ from repro.service.campaign import (
     CampaignReport,
 )
 from repro.service.pool import (
+    SimulationBatchError,
     SimulationOutcome,
     SimulationPool,
     SimulationRequest,
@@ -58,6 +59,7 @@ __all__ = [
     "CampaignGuardrails",
     "CampaignPhase",
     "CampaignReport",
+    "SimulationBatchError",
     "SimulationOutcome",
     "SimulationPool",
     "SimulationRequest",

@@ -40,9 +40,18 @@ as a wave-based rollout
 10% → 50% → fleet under the default
 :class:`~repro.flighting.deployment.RolloutPolicy`), with the safety gate
 re-evaluated between waves and every deployed wave reverted if a gate fails
-mid-rollout; each wave's verdict lands in ``CampaignReport.rollout_waves``.
-Only build-less proposals fall back to the legacy all-at-once ``impact``
-evaluation.
+mid-rollout; each wave's verdict — and its measured per-wave treatment
+effect — lands in ``CampaignReport.rollout_waves``. Only build-less
+proposals fall back to the legacy all-at-once ``impact`` evaluation.
+
+Halted rollouts are **resumable**: a mid-rollout gate failure ends the round
+``ROLLED_BACK`` with the baseline standing, but the halt's
+:class:`~repro.flighting.deployment.RolloutCheckpoint` is persisted (on the
+campaign and its :class:`CampaignReport`), and the *next* round re-enters at
+the failed wave through a ``resume`` request — the checkpointed coverage is
+restored at window start instead of re-running the pilot. A campaign that
+ends while a checkpoint is still pending reports it, so an operator (or a
+follow-up campaign) can pick the rollout up where it stopped.
 """
 
 from __future__ import annotations
@@ -57,7 +66,12 @@ from repro.core.application import APPLICATIONS, TuningApplication, TuningPropos
 from repro.core.kea import DeploymentImpact, FlightValidation, Observation
 from repro.core.whatif import WhatIfEngine
 from repro.flighting.build import FlightPlan
-from repro.flighting.deployment import RolloutPlan, RolloutPolicy, RolloutWaveRecord
+from repro.flighting.deployment import (
+    RolloutCheckpoint,
+    RolloutPlan,
+    RolloutPolicy,
+    RolloutWaveRecord,
+)
 from repro.flighting.safety import DeploymentGuardrail
 from repro.service.pool import SimulationOutcome, SimulationRequest
 from repro.service.registry import TenantSpec
@@ -92,13 +106,29 @@ TERMINAL_PHASES = frozenset(
 )
 
 #: Which request kind each simulation-heavy phase waits on. DEPLOY is
-#: resolved dynamically (:meth:`Campaign._request_kind`): a proposal with a
-#: flight plan ships as a staged ``rollout``, one without falls back to the
-#: legacy all-at-once ``impact`` evaluation.
+#: resolved dynamically (:meth:`Campaign._request_kind`): a pending halt
+#: checkpoint re-enters the rollout as a ``resume``, a proposal with a
+#: flight plan ships as a staged ``rollout``, and one without falls back to
+#: the legacy all-at-once ``impact`` evaluation.
 _REQUEST_KIND = {
     CampaignPhase.OBSERVE: "observe",
     CampaignPhase.FLIGHT: "flight",
 }
+
+
+@dataclass(frozen=True)
+class _HaltedRollout:
+    """Everything a resume round needs, kept in lockstep by construction.
+
+    The checkpoint is meaningless without the plan it indexes into and the
+    proposal it would adopt, so the four travel as one value: either a halt
+    is pending (all fields valid) or it is not (the campaign holds None).
+    """
+
+    checkpoint: RolloutCheckpoint
+    plan: RolloutPlan
+    flight_plan: FlightPlan | None
+    tuning: TuningProposal
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,9 +187,14 @@ class CampaignReport:
     #: in-flight safety-gate verdict, in round order.
     flight_validations: tuple[FlightValidation, ...] = ()
     #: One entry per rollout wave the DEPLOY phases executed, in wave order:
-    #: fraction reached, machines covered, and the guardrail verdict that
-    #: let the wave proceed (or halted the rollout).
+    #: fraction reached, machines covered, the guardrail verdict that let
+    #: the wave proceed (or halted the rollout), and the wave's measured
+    #: treatment effect.
     rollout_waves: tuple[RolloutWaveRecord, ...] = ()
+    #: Non-None when the campaign ended with a halted rollout not yet
+    #: resumed: the coverage checkpoint a later round (or a follow-up
+    #: campaign) can re-enter the rollout from.
+    rollout_checkpoint: RolloutCheckpoint | None = None
 
     @property
     def capacity_gain(self) -> float:
@@ -212,6 +247,7 @@ class Campaign:
         application: str | TuningApplication | None = None,
         rollout_policy: RolloutPolicy | None = None,
         require_flight_validation: bool = False,
+        resume_halted_rollouts: bool = True,
     ):
         if rounds < 1:
             raise ServiceError("a campaign needs at least one round")
@@ -235,6 +271,10 @@ class Campaign:
         #: inconclusive is withheld (the round rolls back) instead of
         #: converging with the verdict merely recorded.
         self.require_flight_validation = require_flight_validation
+        #: When set (the default), a mid-rollout halt persists its coverage
+        #: checkpoint and the next round re-enters at the failed wave
+        #: through a ``resume`` request instead of restarting from OBSERVE.
+        self.resume_halted_rollouts = resume_halted_rollouts
 
         self.round = 1
         self.phase = CampaignPhase.OBSERVE
@@ -249,6 +289,14 @@ class Campaign:
         self.rollout_waves: list[RolloutWaveRecord] = []
         self._flight_plan: FlightPlan | None = None
         self._staged_plan: RolloutPlan | None = None
+        #: Pending resume state: the halted rollout's checkpoint together
+        #: with the plan/proposal it belongs to (None once resumed).
+        self._halted: _HaltedRollout | None = None
+
+    @property
+    def rollout_checkpoint(self) -> RolloutCheckpoint | None:
+        """The pending halt's checkpoint (None when no resume is due)."""
+        return self._halted.checkpoint if self._halted is not None else None
 
     def _resolve_application(
         self, application: str | TuningApplication | None
@@ -280,6 +328,10 @@ class Campaign:
     def _request_kind(self) -> str | None:
         """The request kind the current phase waits on (None: analytical)."""
         if self.phase is CampaignPhase.DEPLOY:
+            # A pending checkpoint means this DEPLOY re-enters the halted
+            # rollout at its failed wave instead of staging afresh.
+            if self.rollout_checkpoint is not None:
+                return "resume"
             # Keyed on the *rollout* plan, not the flight plan: an
             # application may pilot builds yet stage nothing (an empty
             # rollout_plan() means "nothing is deployable in waves"), and
@@ -340,6 +392,16 @@ class Campaign:
                 **common,
             )
         assert self.tuning is not None
+        if kind == "resume":
+            # Re-enter the halted rollout at its failed wave: the staged
+            # plan (policy pinned to the checkpoint's wave) plus the
+            # checkpoint whose coverage the window restores at start.
+            return SimulationRequest(
+                days=self.impact_days,
+                rollout=self._staged_plan,
+                checkpoint=self.rollout_checkpoint,
+                **common,
+            )
         if kind == "rollout":
             # The validated flight plan drives a staged fleet rollout: the
             # same builds the pilot exercised, widening wave by wave.
@@ -580,7 +642,11 @@ class Campaign:
     def _after_deploy(self, outcome: SimulationOutcome) -> None:
         assert outcome.impact is not None and self.tuning is not None
         self.last_impact = outcome.impact
-        if outcome.kind == "rollout":
+        if outcome.kind in ("rollout", "resume"):
+            # This window consumed any pending resume state; a re-halt below
+            # persists the *new* (wider) checkpoint.
+            resumed_plan = self._staged_plan
+            self._halted = None
             self.rollout_waves.extend(outcome.rollout_waves)
             failed = next(
                 (
@@ -591,19 +657,56 @@ class Campaign:
                 None,
             )
             if failed is not None:
+                if (
+                    self.resume_halted_rollouts
+                    and outcome.rollout_checkpoint is not None
+                    and resumed_plan is not None
+                ):
+                    self._halted = _HaltedRollout(
+                        checkpoint=outcome.rollout_checkpoint,
+                        plan=resumed_plan,
+                        flight_plan=self._flight_plan,
+                        tuning=self.tuning,
+                    )
                 reverted = sum(1 for r in outcome.rollout_waves if r.reverted)
+                checkpointed = (
+                    (
+                        f"; checkpoint at "
+                        f"{self._halted.checkpoint.machines_deployed}"
+                        " machine(s) kept for resume"
+                    )
+                    if self._halted is not None
+                    else ""
+                )
                 self._end_round(
                     CampaignPhase.ROLLED_BACK,
                     f"rollout halted before wave {failed.wave!r}: "
-                    f"{failed.gate.reason}; {reverted} deployed wave(s) reverted",
+                    f"{failed.gate.reason}; {reverted} deployed wave(s) "
+                    f"reverted{checkpointed}",
                 )
                 return
-            shipped = [r for r in outcome.rollout_waves if r.applied]
+            shipped = [r for r in outcome.rollout_waves if r.applied or r.resumed]
             self._log(
                 CampaignPhase.DEPLOY,
                 f"{len(shipped)} wave(s) shipped "
                 f"({' → '.join(r.wave for r in shipped)})",
             )
+            # Annotate widening steps whose measured effect regressed: the
+            # rollout completed (the crater tripwire passed), but a wave
+            # with a significant throughput drop deserves an audit line —
+            # the full-window guardrail below still has the final word.
+            for record in shipped:
+                if record.impact is None:
+                    continue
+                wave_verdict = self.guardrails.deployment.judge_wave_impact(
+                    record.impact
+                )
+                if not wave_verdict.passed:
+                    self._log(
+                        CampaignPhase.DEPLOY,
+                        f"wave {record.wave!r} impact regressed: "
+                        f"{wave_verdict.reason}",
+                    )
         verdict = self.guardrails.deployment.judge(outcome.impact)
         if verdict.passed:
             self.config = self.application.apply(self.config, self.tuning)
@@ -620,13 +723,34 @@ class Campaign:
         if self.round >= self.rounds:
             self.phase = result
             return
-        # Next round observes the (possibly newly adopted) baseline afresh.
         self.round += 1
-        self.phase = CampaignPhase.OBSERVE
         self.engine = None
         self.tuning = None
         self._flight_plan = None
         self._staged_plan = None
+        if self._halted is not None:
+            # A halted rollout's checkpoint is pending: this round re-enters
+            # the rollout at the failed wave instead of re-observing — the
+            # proposal was already validated; only its widening was
+            # interrupted.
+            checkpoint = self._halted.checkpoint
+            self.tuning = self._halted.tuning
+            self._flight_plan = self._halted.flight_plan
+            self._staged_plan = self.application.resume_rollout_plan(
+                self._halted.plan, checkpoint
+            )
+            self.phase = CampaignPhase.DEPLOY
+            self._log(
+                CampaignPhase.DEPLOY,
+                f"resuming halted rollout at wave {checkpoint.halted_wave!r} "
+                f"(wave {checkpoint.halted_before_wave + 1}/"
+                f"{len(self._staged_plan)}; "
+                f"{checkpoint.machines_deployed} machine(s) restored from "
+                "checkpoint)",
+            )
+            return
+        # Next round observes the (possibly newly adopted) baseline afresh.
+        self.phase = CampaignPhase.OBSERVE
 
     # ------------------------------------------------------------------
     # Reporting
@@ -653,4 +777,5 @@ class Campaign:
             last_impact=self.last_impact,
             flight_validations=tuple(self.flight_validations),
             rollout_waves=tuple(self.rollout_waves),
+            rollout_checkpoint=self.rollout_checkpoint,
         )

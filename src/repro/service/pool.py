@@ -24,7 +24,11 @@ from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ObservationSpec
 from repro.core.kea import DeploymentImpact
 from repro.flighting.build import PlannedFlight
-from repro.flighting.deployment import RolloutPlan, RolloutWaveRecord
+from repro.flighting.deployment import (
+    RolloutCheckpoint,
+    RolloutPlan,
+    RolloutWaveRecord,
+)
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate
 from repro.flighting.tool import FlightReport
 from repro.service.registry import TenantSpec
@@ -36,12 +40,34 @@ from repro.utils.errors import ServiceError
 __all__ = [
     "SimulationRequest",
     "SimulationOutcome",
+    "SimulationBatchError",
     "SimulationPool",
     "execute_request",
     "config_fingerprint",
 ]
 
-_KINDS = ("observe", "flight", "impact", "rollout")
+
+class SimulationBatchError(ServiceError):
+    """A batch ran to completion, but at least one request failed.
+
+    Raised by :meth:`SimulationPool.run` *after* every sibling finished:
+    ``outcomes`` holds the batch's results in input order (None at each
+    failed slot) and ``failures`` the (request, exception) pairs, so callers
+    can salvage the completed work — the orchestrator caches the surviving
+    outcomes before propagating — instead of re-simulating it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        outcomes: list["SimulationOutcome | None"],
+        failures: list[tuple["SimulationRequest", Exception]],
+    ):
+        super().__init__(message)
+        self.outcomes = outcomes
+        self.failures = failures
+
+_KINDS = ("observe", "flight", "impact", "rollout", "resume")
 
 
 def config_fingerprint(config: YarnConfig) -> str:
@@ -65,12 +91,14 @@ class SimulationRequest:
     per the ``observation`` spec), ``flight`` (pilot flights of the planned
     ``flights`` builds plus a latency safety gate), ``rollout`` (the staged
     wave-by-wave deployment of the ``rollout`` plan, paired against an
-    identical-workload baseline window), or ``impact`` (the legacy
-    all-at-once before/after evaluation of ``proposed``). The explicit
-    ``workload_tag`` pins the arrival sequence, making the request
-    replayable and cacheable; ``observation``, the builds, and the rollout
-    plan fold into the cache key, so two windows that record different
-    telemetry — or deploy different waves — never alias.
+    identical-workload baseline window), ``resume`` (re-entry of a halted
+    rollout at its failed wave — the ``rollout`` plan plus the halted run's
+    ``checkpoint``), or ``impact`` (the legacy all-at-once before/after
+    evaluation of ``proposed``). The explicit ``workload_tag`` pins the
+    arrival sequence, making the request replayable and cacheable;
+    ``observation``, the builds, the rollout plan, and the checkpoint fold
+    into the cache key, so two windows that record different telemetry — or
+    deploy (or restore) different waves — never alias.
     """
 
     tenant: str
@@ -83,6 +111,7 @@ class SimulationRequest:
     observation: ObservationSpec = ObservationSpec()
     proposed: YarnConfig | None = None
     rollout: RolloutPlan | None = None
+    checkpoint: RolloutCheckpoint | None = None
     flights: tuple[PlannedFlight, ...] = ()
     flight_metrics: tuple[str, ...] = ("AverageRunningContainers", "CpuUtilization")
     flight_hours: float = 8.0
@@ -99,8 +128,12 @@ class SimulationRequest:
             raise ServiceError("an impact request needs a proposed config")
         if self.kind == "flight" and not self.flights:
             raise ServiceError("a flight request needs planned flights")
-        if self.kind == "rollout" and not self.rollout:
-            raise ServiceError("a rollout request needs a non-empty rollout plan")
+        if self.kind in ("rollout", "resume") and not self.rollout:
+            raise ServiceError(f"a {self.kind} request needs a non-empty rollout plan")
+        if self.kind == "resume" and self.checkpoint is None:
+            raise ServiceError(
+                "a resume request needs the halted rollout's checkpoint"
+            )
         if self.days <= 0 or self.flight_hours <= 0:
             raise ServiceError("request windows must be positive")
 
@@ -119,6 +152,7 @@ class SimulationRequest:
             config_fingerprint(self.proposed) if self.proposed else "-",
             self.observation.fingerprint(),
             self.rollout.describe() if self.rollout is not None else "-",
+            self.checkpoint.describe() if self.checkpoint is not None else "-",
             ";".join(flight.describe() for flight in self.flights),
             ",".join(self.flight_metrics),
             f"{self.days}:{self.flight_hours}:{self.machines_per_group}",
@@ -146,6 +180,9 @@ class SimulationOutcome:
     gate: GateVerdict | None = None
     impact: DeploymentImpact | None = None
     rollout_waves: list[RolloutWaveRecord] = field(default_factory=list)
+    #: Set when a rollout/resume window halted mid-rollout: the coverage
+    #: checkpoint a later ``resume`` request re-enters from.
+    rollout_checkpoint: RolloutCheckpoint | None = None
     elapsed_seconds: float = 0.0
 
 
@@ -194,15 +231,17 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
         )
         outcome.flight_reports = validation.reports
         outcome.gate = validation.gate
-    elif request.kind == "rollout":
+    elif request.kind in ("rollout", "resume"):
         staged = kea.staged_rollout(
             request.rollout,
             days=request.days,
             benchmark_period_hours=scenario.benchmark_period_hours,
             load_multiplier=scenario.stress_load_multiplier,
             workload_tag=request.workload_tag,
+            checkpoint=request.checkpoint,
         )
         outcome.rollout_waves = list(staged.waves)
+        outcome.rollout_checkpoint = staged.checkpoint
         outcome.impact = staged.impact
     else:  # impact
         outcome.impact = kea.deployment_impact(
@@ -240,15 +279,51 @@ class SimulationPool:
         return self.max_workers > 1
 
     def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
-        """Execute a batch, preserving input order in the outcomes."""
+        """Execute a batch, preserving input order in the outcomes.
+
+        Every request gets its own future: one failing simulation no longer
+        destroys its siblings' outcomes mid-``map`` — the whole batch runs
+        to completion first, then a :class:`SimulationBatchError` naming
+        the first failing request (tenant and kind) is raised with the
+        original exception chained and the siblings' completed outcomes
+        attached, so callers can salvage them. The serial path mirrors that
+        contract, so a poisoned batch behaves identically with or without
+        worker processes.
+        """
         if not requests:
             return []
         self.executed += len(requests)
+        failures: list[tuple[SimulationRequest, Exception]] = []
+        outcomes: list[SimulationOutcome | None] = []
         if not self.parallel or len(requests) == 1:
-            return [execute_request(request) for request in requests]
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
-        return list(self._executor.map(execute_request, requests))
+            for request in requests:
+                try:
+                    outcomes.append(execute_request(request))
+                except Exception as exc:  # re-raised below, naming the request
+                    outcomes.append(None)
+                    failures.append((request, exc))
+        else:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            futures = [
+                self._executor.submit(execute_request, request)
+                for request in requests
+            ]
+            for request, future in zip(requests, futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:  # re-raised below, naming the request
+                    outcomes.append(None)
+                    failures.append((request, exc))
+        if failures:
+            request, exc = failures[0]
+            raise SimulationBatchError(
+                f"simulation request failed (tenant={request.tenant!r}, "
+                f"kind={request.kind!r}): {exc}",
+                outcomes=outcomes,
+                failures=failures,
+            ) from exc
+        return outcomes
 
     def shutdown(self) -> None:
         """Release the worker processes (idempotent)."""

@@ -24,7 +24,12 @@ from dataclasses import dataclass
 
 from repro.service.cache import CacheStats, SimulationCache
 from repro.service.campaign import Campaign, CampaignGuardrails, CampaignReport
-from repro.service.pool import SimulationOutcome, SimulationPool, SimulationRequest
+from repro.service.pool import (
+    SimulationBatchError,
+    SimulationOutcome,
+    SimulationPool,
+    SimulationRequest,
+)
 from repro.service.registry import FleetRegistry
 from repro.service.scenarios import Scenario, ScenarioCatalog, default_catalog
 from repro.telemetry.records import MachineHourRecord, QueueStats
@@ -59,13 +64,34 @@ MAX_CACHE_ENTRIES = 4096
 _REQUESTS_PER_ROUND = 3
 
 
+def _deep_getsizeof(value) -> int:
+    """``sys.getsizeof`` plus the contents of plain container values.
+
+    ``sys.getsizeof`` on a list reports the list shell only — a
+    ``QueueStats.waits`` list of N floats would count as ~56 + 8N bytes when
+    the floats themselves hold another 32N. Record fields are flat data
+    (numbers, strings, short lists), so one level of list/tuple/dict
+    recursion covers every container a record actually stores.
+    """
+    total = sys.getsizeof(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        total += sum(_deep_getsizeof(item) for item in value)
+    elif isinstance(value, dict):
+        total += sum(
+            _deep_getsizeof(key) + _deep_getsizeof(item)
+            for key, item in value.items()
+        )
+    return total
+
+
 def _measured_record_bytes() -> int:
     """Measured in-memory footprint of one machine-hour record.
 
     Sums ``sys.getsizeof`` over a representative record and its field
     payloads (the slotted dataclass itself, its strings, and the queue-stats
-    sub-object), so the estimate tracks the real record layout instead of a
-    hand-maintained constant.
+    sub-object — container fields deep-sized, so the queue's wait samples
+    are counted, not just their list shell), so the estimate tracks the
+    real record layout instead of a hand-maintained constant.
     """
     probe = MachineHourRecord(
         machine_id=0,
@@ -94,9 +120,13 @@ def _measured_record_bytes() -> int:
     total = sys.getsizeof(probe)
     for name in MachineHourRecord.__slots__:
         value = getattr(probe, name)
-        total += sys.getsizeof(value)
         if isinstance(value, QueueStats):
-            total += sum(sys.getsizeof(getattr(value, n)) for n in QueueStats.__slots__)
+            total += sys.getsizeof(value)
+            total += sum(
+                _deep_getsizeof(getattr(value, n)) for n in QueueStats.__slots__
+            )
+        else:
+            total += _deep_getsizeof(value)
     return total
 
 
@@ -261,6 +291,11 @@ class ContinuousTuningService:
         can from the cache, fans the rest out over the pool in one batch,
         and advances each campaign with its outcome. Returns the number of
         campaigns advanced (0 when all are terminal).
+
+        When one request of the batch fails, the siblings' completed
+        outcomes are cached before the
+        :class:`~repro.service.pool.SimulationBatchError` propagates, so a
+        retried beat re-simulates only the failing request.
         """
         waiting: list[tuple[Campaign, SimulationRequest]] = []
         for campaign in campaigns.values():
@@ -281,7 +316,15 @@ class ContinuousTuningService:
             else:
                 to_execute.append((index, request))
 
-        fresh = self.pool.run([request for _, request in to_execute])
+        try:
+            fresh = self.pool.run([request for _, request in to_execute])
+        except SimulationBatchError as error:
+            # The whole batch ran; keep what completed so a retry only pays
+            # for the request that actually failed.
+            for (_index, request), outcome in zip(to_execute, error.outcomes):
+                if outcome is not None:
+                    self.cache.store(request, outcome)
+            raise
         for (index, request), outcome in zip(to_execute, fresh):
             self.cache.store(request, outcome)
             outcomes[index] = outcome

@@ -22,6 +22,7 @@ __all__ = [
     "TreatmentEffect",
     "before_after_effect",
     "paired_effect",
+    "population_effect",
     "difference_in_differences",
 ]
 
@@ -84,6 +85,47 @@ def paired_effect(before: np.ndarray, after: np.ndarray) -> TreatmentEffect:
         mean_b=float(after.mean()),
     )
     return TreatmentEffect(effect=effect, relative_effect=relative, test=anchored)
+
+
+def population_effect(
+    control: np.ndarray, treated: np.ndarray, equal_variance: bool = False
+) -> TreatmentEffect:
+    """Cross-population effect inside one observation window.
+
+    ``treated`` and ``control`` are samples of the same metric drawn from two
+    disjoint unit populations over the *same* period — e.g. machines already
+    covered by a staged rollout vs machines not yet covered, inside one
+    wave's soak window. Defaults to Welch's test: a heterogeneous fleet gives
+    the two arms different variances by construction.
+
+    Degenerate arms (fewer than two observations on either side — a one-hour
+    wave window, or a fleet-wide wave with no control population left) yield
+    the mean contrast with an insignificant test (p = 1) instead of raising,
+    so per-wave instrumentation never aborts a rollout.
+    """
+    control = np.asarray(control, dtype=float)
+    treated = np.asarray(treated, dtype=float)
+    if control.size < 2 or treated.size < 2:
+        mean_c = float(control.mean()) if control.size else 0.0
+        mean_t = float(treated.mean()) if treated.size else 0.0
+        effect = mean_t - mean_c
+        base = abs(mean_c)
+        relative = effect / base if base > 0 else float("inf") if effect else 0.0
+        return TreatmentEffect(
+            effect=effect,
+            relative_effect=relative,
+            test=TTestResult(
+                t_value=0.0, df=0.0, p_value=1.0, mean_a=mean_c, mean_b=mean_t
+            ),
+        )
+    test = (
+        students_t_test(control, treated)
+        if equal_variance
+        else welch_t_test(control, treated)
+    )
+    return TreatmentEffect(
+        effect=test.diff, relative_effect=test.pct_change, test=test
+    )
 
 
 def difference_in_differences(

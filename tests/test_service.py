@@ -261,6 +261,95 @@ class TestRequestsAndCache:
         assert pool.run([]) == []
         assert not pool.parallel
 
+    def _poisoned_request(self):
+        """Valid to construct, fails inside the worker: the scenario drains
+        a SKU the fleet does not have."""
+        poison = Scenario(
+            name="poison",
+            description="decommissions a SKU that does not exist",
+            decommission_sku="Gen 99.9",
+            decommission_hour=1.0,
+        )
+        return SimulationRequest(
+            tenant="poison",
+            kind="observe",
+            spec=TenantSpec(name="poison", fleet_spec=small_fleet_spec(), seed=5),
+            scenario=poison,
+            config=default_yarn_config(),
+            workload_tag="poison/tag",
+            days=0.25,
+        )
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_one_failing_request_does_not_destroy_its_siblings(self, max_workers):
+        """Per-request futures: the whole batch runs to completion, the
+        failure is re-raised naming the request with the siblings' outcomes
+        attached, and the pool stays usable and deterministic."""
+        from repro.service import SimulationBatchError
+
+        siblings = [
+            self._observe_request(tag=f"sibling/{i}") for i in range(2)
+        ]
+        batch = [siblings[0], self._poisoned_request(), siblings[1]]
+        with SimulationPool(max_workers=max_workers) as pool:
+            with pytest.raises(
+                ServiceError, match=r"tenant='poison', kind='observe'"
+            ) as excinfo:
+                pool.run(batch)
+            # The batch error carries the completed siblings' outcomes in
+            # input order, with None at the failed slot.
+            error = excinfo.value
+            assert isinstance(error, SimulationBatchError)
+            assert [o is None for o in error.outcomes] == [False, True, False]
+            assert [req.tenant for req, _exc in error.failures] == ["poison"]
+            salvaged = [o for o in error.outcomes if o is not None]
+            # Every request in the batch was executed (not torn down at the
+            # failure), and the pool stays usable: the siblings' outcomes
+            # match a fresh pool's bit for bit.
+            assert pool.executed == len(batch)
+            after = pool.run(siblings)
+        with SimulationPool(max_workers=1) as reference_pool:
+            reference = reference_pool.run(siblings)
+        for got, want in zip(after, reference):
+            assert got.tenant == want.tenant
+            assert got.workload_tag == want.workload_tag
+            assert len(got.records) == len(want.records)
+            assert got.snapshot == want.snapshot
+        for got, want in zip(salvaged, reference):
+            assert got.snapshot == want.snapshot
+
+    def test_service_caches_salvaged_siblings_from_a_failed_beat(self):
+        """A poisoned batch fails the scheduling beat, but the siblings'
+        completed outcomes land in the cache — a retried beat re-simulates
+        only the failing request."""
+        registry = make_registry()
+        poison = Scenario(
+            name="poison",
+            description="decommissions a SKU that does not exist",
+            decommission_sku="Gen 99.9",
+            decommission_hour=1.0,
+        )
+        with ContinuousTuningService(
+            registry, pool=SimulationPool(max_workers=1)
+        ) as service:
+            service.catalog.register(poison)
+            healthy = service.launch(
+                scenario="diurnal-baseline", tenants=["east", "west"],
+                **CAMPAIGN_KW,
+            )
+            doomed = service.launch(
+                scenario="poison", tenants=["north"], **CAMPAIGN_KW
+            )
+            campaigns = {**healthy, **doomed}
+            with pytest.raises(ServiceError, match=r"tenant='north'"):
+                service.step(campaigns)
+            executed = service.pool.executed
+            # The healthy tenants' windows were salvaged into the cache:
+            # re-running just them simulates nothing new.
+            service.step(healthy)
+            assert service.pool.executed == executed
+            assert service.cache.stats.hits >= 2
+
 
 class TestCacheSizing:
     def test_bound_derives_from_footprints_not_a_constant(self):
@@ -317,6 +406,52 @@ class TestCacheSizing:
 
         with pytest.raises(ServiceError):
             derive_cache_entries(make_registry(), budget_mb=0.0)
+
+    def test_record_footprint_counts_container_contents(self):
+        """The shallow-sum bug, regressed: ``sys.getsizeof`` on the queue's
+        waits list reports the list shell only, so the six float samples
+        went uncounted and the derived bound over-promised how many records
+        fit the budget. The deep measure must exceed the old shallow sum by
+        exactly the waits' element payload (the probe's only container)."""
+        import sys
+
+        from repro.service.service import (
+            _deep_getsizeof,
+            _measured_record_bytes,
+        )
+        from repro.telemetry.records import MachineHourRecord, QueueStats
+
+        waits = [30.0] * 6
+        assert _deep_getsizeof(waits) == sys.getsizeof(waits) + sum(
+            sys.getsizeof(w) for w in waits
+        )
+        measured = _measured_record_bytes()
+        # Rebuild the pre-fix shallow sum over an identical probe record.
+        probe = MachineHourRecord(
+            machine_id=0, machine_name="m000000", sku="Gen 1.1",
+            software="SC1", rack=0, row=0, subcluster=0, hour=0,
+            cpu_utilization=0.5, avg_running_containers=4.0,
+            total_data_read_bytes=1.0e9, tasks_finished=12,
+            total_cpu_seconds=1800.0, total_task_seconds=3600.0,
+            avg_cores_in_use=8.0, avg_ram_gb_in_use=32.0,
+            avg_ssd_gb_in_use=100.0, avg_power_watts=300.0,
+            power_cap_watts=None, feature_enabled=False,
+            max_running_containers=8,
+            queue=QueueStats(avg_length=0.5, enqueued=6, dequeued=6,
+                             waits=[30.0] * 6),
+        )
+        shallow = sys.getsizeof(probe)
+        for name in MachineHourRecord.__slots__:
+            value = getattr(probe, name)
+            shallow += sys.getsizeof(value)
+            if isinstance(value, QueueStats):
+                shallow += sum(
+                    sys.getsizeof(getattr(value, n))
+                    for n in QueueStats.__slots__
+                )
+        wait_payload = sum(sys.getsizeof(w) for w in probe.queue.waits)
+        assert measured == shallow + wait_payload
+        assert wait_payload > 0
 
     def test_auto_cache_grows_to_fit_a_bigger_launch(self):
         registry = make_registry()
@@ -495,6 +630,8 @@ class TestEndToEnd:
             assert [w.wave for w in waves] == ["pilot", "10%", "50%", "fleet"]
             assert all(w.applied and not w.reverted for w in waves)
             assert all(w.gate is not None for w in waves[1:])
+            # Every deployed wave quantifies its widening step.
+            assert all(w.impact is not None for w in waves)
             fractions = [w.fraction for w in waves]
             assert fractions == sorted(fractions) and fractions[-1] == 1.0
 
@@ -509,6 +646,10 @@ class TestEndToEnd:
                 (e.round, e.phase, e.detail) for e in parallel_report.history
             ] == [(e.round, e.phase, e.detail) for e in serial_report.history]
             assert parallel_report.rollout_waves == serial_report.rollout_waves
+            assert (
+                parallel_report.rollout_checkpoint
+                == serial_report.rollout_checkpoint
+            )
             if serial_report.last_impact is not None:
                 assert parallel_report.last_impact is not None
                 for field in ("throughput", "latency"):
