@@ -4,13 +4,18 @@ Runs every registered :class:`~repro.core.application.TuningApplication`
 through ``Kea.run_application`` on one small fleet and records the observe /
 propose split per application, emitting ``BENCH_applications.json`` so later
 PRs can track per-application hot paths as the registry grows.
+
+Timings are sourced from the observability plane (:mod:`repro.obs`): each
+application runs under a :class:`~repro.obs.Tracer`, the published seconds are
+span durations, and the observe window decomposes into simulator phases via
+the profiling hooks — so the bench JSON and the exported trace cannot
+disagree. The full trace ships as ``out/BENCH_applications_trace.jsonl``.
 """
 
-import time
-
-from benchmarks.common import emit, emit_json
+from benchmarks.common import emit, emit_json, emit_trace
 from repro.cluster import small_application_fleet_spec
 from repro.core import APPLICATIONS, Kea
+from repro.obs import Tracer, activate
 from repro.utils.tables import TextTable
 
 BENCH_SEED = 20210620
@@ -32,33 +37,36 @@ APP_KWARGS = {
 }
 
 
-def _run_one(name: str) -> dict:
+def _run_one(name: str, tracer: Tracer) -> dict:
     kea = Kea(fleet_spec=small_application_fleet_spec(), seed=BENCH_SEED)
     app = kea.application(name, **APP_KWARGS.get(name, {}))
 
-    started = time.perf_counter()
-    observation = kea.observe(days=OBSERVE_DAYS, **app.observation_overrides())
-    observed = time.perf_counter()
-    engine = kea.calibrate(observation.monitor) if app.requires_engine else None
-    proposal = app.propose(observation, engine)
-    proposed = time.perf_counter()
+    with activate(tracer), tracer.span("bench.application", application=name):
+        with tracer.span("app.observe", application=name) as observe_span:
+            observation = kea.observe(days=OBSERVE_DAYS, **app.observation_overrides())
+        with tracer.span("app.propose", application=name) as propose_span:
+            engine = kea.calibrate(observation.monitor) if app.requires_engine else None
+            proposal = app.propose(observation, engine)
 
+    phases = observation.result.profile.as_phases()
     return {
         "application": name,
         "mode": app.mode,
-        "observe_seconds": round(observed - started, 3),
-        "propose_seconds": round(proposed - observed, 3),
-        "total_seconds": round(proposed - started, 3),
+        "observe_seconds": round(observe_span.duration, 3),
+        "observe_phases": {phase: round(secs, 3) for phase, secs in phases.items()},
+        "propose_seconds": round(propose_span.duration, 3),
+        "total_seconds": round(observe_span.duration + propose_span.duration, 3),
         "advisory": proposal.is_advisory,
         "summary": proposal.summary,
     }
 
 
 def test_bench_application_suite(benchmark):
-    rows = [_run_one(name) for name in APPLICATIONS.names()]
+    tracer = Tracer(trace_id="bench/applications")
+    rows = [_run_one(name, tracer) for name in APPLICATIONS.names()]
 
     table = TextTable(
-        ["application", "mode", "observe (s)", "propose (s)", "total (s)"],
+        ["application", "mode", "observe (s)", "placement (s)", "propose (s)", "total (s)"],
         title=f"Unified-API wall-clock per application "
         f"({OBSERVE_DAYS:g}-day observation, seed {BENCH_SEED})",
     )
@@ -68,6 +76,7 @@ def test_bench_application_suite(benchmark):
                 row["application"],
                 row["mode"],
                 f"{row['observe_seconds']:.2f}",
+                f"{row['observe_phases']['placement']:.2f}",
                 f"{row['propose_seconds']:.2f}",
                 f"{row['total_seconds']:.2f}",
             ]
@@ -81,6 +90,7 @@ def test_bench_application_suite(benchmark):
             "applications": {row["application"]: row for row in rows},
         },
     )
+    emit_trace("BENCH_applications", tracer)
 
     # The timed harness target: registry resolution + parameter-space
     # enumeration (the API overhead itself; simulations are measured once

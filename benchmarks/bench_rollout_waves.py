@@ -9,16 +9,22 @@ wave from its checkpoint (the timed window is the resume itself). Emits
 ``BENCH_rollout.json`` so ``check_bench_regression.py`` can gate the
 staged-deployment hot path against the committed baseline alongside the
 application suite.
+
+Timings are sourced from the observability plane (:mod:`repro.obs`): each
+rollout runs under a :class:`~repro.obs.Tracer`, ``total_seconds`` is the
+bench span's duration, and the baseline/rollout simulation windows are broken
+out from the ``window.*`` spans ``Kea.staged_rollout`` records — so the bench
+JSON and the exported trace cannot disagree. The full trace ships as
+``out/BENCH_rollout_trace.jsonl``.
 """
 
-import time
-
-from benchmarks.common import emit, emit_json
+from benchmarks.common import emit, emit_json, emit_trace
 from repro.core import Kea
 from repro.cluster import small_fleet_spec
 from repro.flighting.build import FlightPlan
 from repro.flighting.deployment import RolloutPolicy
 from repro.flighting.safety import GateVerdict, SafetyGate
+from repro.obs import Tracer, activate
 from repro.utils.tables import TextTable
 
 BENCH_SEED = 20260729
@@ -49,7 +55,16 @@ class _FailOnFirstGate(SafetyGate):
         return GateVerdict(passed=True, reason="rigged pass")
 
 
-def _run_resume(name: str) -> dict:
+def _window_seconds(tracer: Tracer, mark: int) -> dict:
+    """Per-window durations from the ``window.*`` spans recorded since *mark*."""
+    return {
+        record.name.removeprefix("window."): round(record.duration, 3)
+        for record in tracer.spans[mark:]
+        if record.name.startswith("window.")
+    }
+
+
+def _run_resume(name: str, tracer: Tracer) -> dict:
     """Halt the default schedule at wave 1, then time the resumed window."""
     kea = Kea(fleet_spec=small_fleet_spec(), seed=BENCH_SEED)
     cluster = kea.build_cluster()
@@ -69,54 +84,57 @@ def _run_resume(name: str) -> dict:
         resume_from_wave=halted.checkpoint.halted_before_wave,
     ).plan(flight_plan)
 
-    started = time.perf_counter()
-    rollout = kea.staged_rollout(
-        plan,
-        days=ROLLOUT_DAYS,
-        workload_tag=f"bench/rollout/{name}",
-        checkpoint=halted.checkpoint,
-    )
-    elapsed = time.perf_counter() - started
+    mark = len(tracer.spans)
+    with activate(tracer), tracer.span("bench.rollout", schedule=name) as bench_span:
+        rollout = kea.staged_rollout(
+            plan,
+            days=ROLLOUT_DAYS,
+            workload_tag=f"bench/rollout/{name}",
+            checkpoint=halted.checkpoint,
+        )
 
     return {
         "schedule": name,
         "waves": len(rollout.waves),
         "machines_touched": rollout.machines_touched,
         "completed": rollout.completed,
-        "total_seconds": round(elapsed, 3),
+        "window_seconds": _window_seconds(tracer, mark),
+        "total_seconds": round(bench_span.duration, 3),
     }
 
 
-def _run_one(name: str, policy: RolloutPolicy) -> dict:
+def _run_one(name: str, policy: RolloutPolicy, tracer: Tracer) -> dict:
     kea = Kea(fleet_spec=small_fleet_spec(), seed=BENCH_SEED)
     cluster = kea.build_cluster()
     groups = sorted(cluster.machines_by_group())
     flight_plan = FlightPlan.from_container_deltas({g: 1 for g in groups})
 
-    started = time.perf_counter()
-    rollout = kea.staged_rollout(
-        flight_plan,
-        policy=policy,
-        days=ROLLOUT_DAYS,
-        workload_tag=f"bench/rollout/{name}",
-    )
-    elapsed = time.perf_counter() - started
+    mark = len(tracer.spans)
+    with activate(tracer), tracer.span("bench.rollout", schedule=name) as bench_span:
+        rollout = kea.staged_rollout(
+            flight_plan,
+            policy=policy,
+            days=ROLLOUT_DAYS,
+            workload_tag=f"bench/rollout/{name}",
+        )
 
     return {
         "schedule": name,
         "waves": len(rollout.waves),
         "machines_touched": rollout.machines_touched,
         "completed": rollout.completed,
-        "total_seconds": round(elapsed, 3),
+        "window_seconds": _window_seconds(tracer, mark),
+        "total_seconds": round(bench_span.duration, 3),
     }
 
 
 def test_bench_rollout_waves(benchmark):
-    rows = [_run_one(name, policy) for name, policy in POLICIES.items()]
-    rows.append(_run_resume("waves-4-resume"))
+    tracer = Tracer(trace_id="bench/rollout")
+    rows = [_run_one(name, policy, tracer) for name, policy in POLICIES.items()]
+    rows.append(_run_resume("waves-4-resume", tracer))
 
     table = TextTable(
-        ["schedule", "waves", "machines", "completed", "total (s)"],
+        ["schedule", "waves", "machines", "completed", "rollout win (s)", "total (s)"],
         title=f"Staged rollout wall-clock per wave schedule "
         f"({ROLLOUT_DAYS:g}-day window, seed {BENCH_SEED})",
     )
@@ -127,6 +145,7 @@ def test_bench_rollout_waves(benchmark):
                 str(row["waves"]),
                 str(row["machines_touched"]),
                 str(row["completed"]),
+                f"{row['window_seconds'].get('rollout', 0.0):.2f}",
                 f"{row['total_seconds']:.2f}",
             ]
         )
@@ -139,6 +158,7 @@ def test_bench_rollout_waves(benchmark):
             "rollouts": {row["schedule"]: row for row in rows},
         },
     )
+    emit_trace("BENCH_rollout", tracer)
 
     # The timed harness target: plan construction + validation (the staging
     # overhead itself; the simulated windows are measured once above).

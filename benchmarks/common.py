@@ -29,3 +29,13 @@ def emit_json(name: str, payload: dict) -> Path:
     path = OUT_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def emit_trace(name: str, tracer) -> Path:
+    """Persist a bench run's span trace as ``benchmarks/out/<name>_trace.jsonl``.
+
+    CI uploads ``out/*_trace.jsonl`` alongside the benchmark JSON, so every
+    published timing row ships with the trace that decomposes it.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    return tracer.export_jsonl(OUT_DIR / f"{name}_trace.jsonl")

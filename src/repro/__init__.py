@@ -57,6 +57,15 @@ from repro.flighting import (
     RolloutWave,
     RolloutWaveRecord,
 )
+from repro.obs import (
+    OPS_METRICS,
+    MetricsRegistry,
+    SimulatorProfile,
+    SpanRecord,
+    Tracer,
+    TuningCostLedger,
+    read_trace_jsonl,
+)
 from repro.service import (
     Campaign,
     CampaignGuardrails,
@@ -94,6 +103,13 @@ __all__ = [
     "RolloutPolicy",
     "RolloutWave",
     "RolloutWaveRecord",
+    "OPS_METRICS",
+    "MetricsRegistry",
+    "SimulatorProfile",
+    "SpanRecord",
+    "Tracer",
+    "TuningCostLedger",
+    "read_trace_jsonl",
     "Campaign",
     "CampaignGuardrails",
     "CampaignPhase",

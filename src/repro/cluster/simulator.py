@@ -33,10 +33,12 @@ import itertools
 import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import Machine
 from repro.cluster.scheduler import YarnScheduler
+from repro.obs.profile import SimulatorProfile
 from repro.telemetry.records import (
     JobRecord,
     MachineHourRecord,
@@ -155,6 +157,9 @@ class SimulationResult:
     tasks_queued: int = 0
     tasks_deferred: int = 0  # tasks hit by cluster-wide backpressure (≥1 time)
     duration_hours: float = 0.0
+    # Wall-clock attribution of the run itself (placement / event processing
+    # / telemetry rollup). Out-of-band: never read by simulation logic.
+    profile: SimulatorProfile = field(default_factory=SimulatorProfile)
 
     @property
     def tasks_per_day(self) -> float:
@@ -274,11 +279,13 @@ class ClusterSimulator:
             self._push(arrivals[0].time, _ARRIVAL, arrivals[0].template)
 
         heap = self._heap
+        profile = self.result.profile
         while heap:
             time, kind, _seq, payload = heapq.heappop(heap)
             if time > horizon:
                 break
             self.now = time
+            tick = perf_counter()
             if kind == _FINISH:
                 self._handle_finish(payload)
             elif kind == _ARRIVAL:
@@ -302,6 +309,17 @@ class ClusterSimulator:
             elif kind == _RETRY:
                 job, task = payload
                 self._place(job, task, retried=True)
+            # Attribute the dispatch we just ran: hourly flushes and resource
+            # samples are telemetry rollup; everything else (arrivals,
+            # finishes, actions, retries) is event processing. Placement time
+            # nests inside event dispatches and is carved out by
+            # SimulatorProfile.as_phases().
+            if kind == _HOUR or kind == _SAMPLE:
+                profile.telemetry_seconds += perf_counter() - tick
+                profile.telemetry_events += 1
+            else:
+                profile.event_seconds += perf_counter() - tick
+                profile.events += 1
 
         self.now = horizon
         self.result.duration_hours = duration_hours
@@ -329,9 +347,13 @@ class ClusterSimulator:
             self._place(job, task)
 
     def _place(self, job: JobRuntime, task: Task, retried: bool = False) -> None:
+        profile = self.result.profile
+        tick = perf_counter()
         try:
             placement = self.scheduler.place(task, self.now)
         except SchedulingError:
+            profile.placement_seconds += perf_counter() - tick
+            profile.placements += 1
             # Every queue is full: back off and retry instead of failing —
             # finite tuned queue limits must be simulable under overload.
             # Each task counts once, however many retries it takes.
@@ -339,6 +361,8 @@ class ClusterSimulator:
                 self.result.tasks_deferred += 1
             self._push(self.now + self.config.placement_retry_s, _RETRY, (job, task))
             return
+        profile.placement_seconds += perf_counter() - tick
+        profile.placements += 1
         if placement.started:
             self._start_on(placement.machine, job, task, queue_wait=0.0)
             self.scheduler.note_started(placement.machine)

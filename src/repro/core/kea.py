@@ -59,6 +59,8 @@ from repro.flighting.flight import Flight
 from repro.flighting.tool import FlightingTool, FlightReport
 from repro.ml.huber import HuberRegressor
 from repro.ml.model import LinearModelBase
+from repro.obs.profile import attach_profile_spans
+from repro.obs.trace import current_tracer
 from repro.flighting.safety import GateVerdict, SafetyGate
 from repro.stats.treatment import TreatmentEffect, paired_effect
 from repro.telemetry.monitor import PerformanceMonitor
@@ -286,7 +288,14 @@ class Kea:
         )
         if actions is not None:
             actions(simulator)
-        result = simulator.run(days * 24.0)
+        tracer = current_tracer()
+        with tracer.span(
+            "kea.simulate", days=days, load_multiplier=load_multiplier
+        ) as sim_span:
+            result = simulator.run(days * 24.0)
+        # Decompose the window's wall-clock into simulator phases so the
+        # trace explains the same seconds the benchmarks report.
+        attach_profile_spans(tracer, sim_span, result.profile)
         return Observation(
             cluster=cluster,
             monitor=PerformanceMonitor(result.records),
@@ -374,13 +383,17 @@ class Kea:
     ) -> ApplicationRun:
         """The shared observe → calibrate → propose body of :meth:`tune` and
         :meth:`run_application`."""
+        tracer = current_tracer()
         if observation is None:
-            observation = self.observe(
-                days=observe_days, **app.observation_overrides()
-            )
+            with tracer.span("app.observe", application=app.name):
+                observation = self.observe(
+                    days=observe_days, **app.observation_overrides()
+                )
         if engine is None and app.requires_engine:
-            engine = self.calibrate(observation.monitor)
-        proposal = app.propose(observation, engine)
+            with tracer.span("app.calibrate", application=app.name):
+                engine = self.calibrate(observation.monitor)
+        with tracer.span("app.propose", application=app.name):
+            proposal = app.propose(observation, engine)
         return ApplicationRun(
             application=app.name,
             observation=observation,
@@ -507,7 +520,12 @@ class Kea:
         tool = FlightingTool(simulator)
         for flight in flights:
             tool.add_flight(flight)
-        result = simulator.run(hours)
+        tracer = current_tracer()
+        with tracer.span(
+            "kea.flight", hours=hours, flights=len(flights)
+        ) as flight_span:
+            result = simulator.run(hours)
+        attach_profile_spans(tracer, flight_span, result.profile)
         monitor = PerformanceMonitor(result.records)
         for flight in flights:
             reports.append(tool.evaluate(flight, monitor, metrics=metrics))
@@ -534,20 +552,24 @@ class Kea:
         silently replay the same workload.
         """
         tag = workload_tag if workload_tag is not None else self._fresh_tag("deploy")
-        before = self.simulate(
-            days,
-            config=self.current_config,
-            benchmark_period_hours=benchmark_period_hours,
-            workload_tag=tag,
-            load_multiplier=load_multiplier,
-        )
-        after = self.simulate(
-            days,
-            config=proposed,
-            benchmark_period_hours=benchmark_period_hours,
-            workload_tag=tag,
-            load_multiplier=load_multiplier,
-        )
+        tracer = current_tracer()
+        with tracer.span("kea.deployment_impact", days=days, workload_tag=tag):
+            with tracer.span("window.before"):
+                before = self.simulate(
+                    days,
+                    config=self.current_config,
+                    benchmark_period_hours=benchmark_period_hours,
+                    workload_tag=tag,
+                    load_multiplier=load_multiplier,
+                )
+            with tracer.span("window.after"):
+                after = self.simulate(
+                    days,
+                    config=proposed,
+                    benchmark_period_hours=benchmark_period_hours,
+                    workload_tag=tag,
+                    load_multiplier=load_multiplier,
+                )
         return _paired_impact(before, after)
 
     def staged_rollout(
@@ -605,31 +627,40 @@ class Kea:
         plan.validate(self.build_cluster())
         plan.policy.schedule(days * 24.0)
         tag = workload_tag if workload_tag is not None else self._fresh_tag("rollout")
-        before = self.simulate(
-            days,
-            config=self.current_config,
-            benchmark_period_hours=benchmark_period_hours,
+        tracer = current_tracer()
+        with tracer.span(
+            "kea.staged_rollout",
+            days=days,
             workload_tag=tag,
-            load_multiplier=load_multiplier,
-        )
-        executions: list = []
-
-        def stage_waves(sim: ClusterSimulator) -> None:
-            module = DeploymentModule(sim.cluster)
-            executions.append(
-                module.schedule(
-                    sim, plan, days * 24.0, gate=gate, checkpoint=checkpoint
+            resuming=checkpoint is not None,
+        ):
+            with tracer.span("window.baseline"):
+                before = self.simulate(
+                    days,
+                    config=self.current_config,
+                    benchmark_period_hours=benchmark_period_hours,
+                    workload_tag=tag,
+                    load_multiplier=load_multiplier,
                 )
-            )
+            executions: list = []
 
-        after = self.simulate(
-            days,
-            config=self.current_config,
-            benchmark_period_hours=benchmark_period_hours,
-            workload_tag=tag,
-            load_multiplier=load_multiplier,
-            actions=stage_waves,
-        )
+            def stage_waves(sim: ClusterSimulator) -> None:
+                module = DeploymentModule(sim.cluster)
+                executions.append(
+                    module.schedule(
+                        sim, plan, days * 24.0, gate=gate, checkpoint=checkpoint
+                    )
+                )
+
+            with tracer.span("window.rollout"):
+                after = self.simulate(
+                    days,
+                    config=self.current_config,
+                    benchmark_period_hours=benchmark_period_hours,
+                    workload_tag=tag,
+                    load_multiplier=load_multiplier,
+                    actions=stage_waves,
+                )
         execution = executions[0]
         DeploymentModule.attach_wave_impacts(after.result.records, execution)
         return StagedRollout(

@@ -39,6 +39,7 @@ from __future__ import annotations
 import copy
 import math
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import GroupLimits, YarnConfig
@@ -51,6 +52,8 @@ from repro.flighting.build import (
     YarnLimitsBuild,
 )
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
+from repro.obs.metrics import OPS_METRICS
+from repro.obs.trace import current_tracer
 from repro.stats.treatment import TreatmentEffect, population_effect
 from repro.telemetry.records import MachineHourRecord
 from repro.utils.errors import ConfigurationError
@@ -703,9 +706,15 @@ class DeploymentModule:
                     )
                     return
                 verdict = None
+                tracer = current_tracer()
                 if index > 0:
                     wave_gate = gate if gate is not None else plan.policy.gate_for(index)
-                    verdict = wave_gate.evaluate(sim)
+                    with tracer.span("rollout.gate", wave=wave.name):
+                        tick = perf_counter()
+                        verdict = wave_gate.evaluate(sim)
+                        OPS_METRICS.histogram("deploy.gate_seconds").observe(
+                            perf_counter() - tick
+                        )
                     if not verdict.passed:
                         execution.checkpoint = RolloutCheckpoint(
                             plan_fingerprint=plan.waves_fingerprint(),
@@ -727,7 +736,14 @@ class DeploymentModule:
                             )
                         )
                         return
-                machines, new_ids = self._apply_wave(sim, wave, execution, populations)
+                with tracer.span("rollout.apply", wave=wave.name):
+                    tick = perf_counter()
+                    machines, new_ids = self._apply_wave(
+                        sim, wave, execution, populations
+                    )
+                    OPS_METRICS.histogram("deploy.apply_seconds").observe(
+                        perf_counter() - tick
+                    )
                 execution.records.append(
                     RolloutWaveRecord(
                         wave=wave.name,
@@ -740,6 +756,9 @@ class DeploymentModule:
                     )
                 )
                 boundary = starts[index + 1] if index + 1 < len(starts) else window_hours
+                # Soak is *simulated* hours — how long the wave bakes before
+                # the next gate — not service wall-clock.
+                OPS_METRICS.histogram("deploy.soak_hours").observe(boundary - start)
                 execution._impact_meta.append(
                     _WaveImpactWindow(
                         record_index=len(execution.records) - 1,

@@ -1,0 +1,46 @@
+"""Runtime observability plane for the tuning service.
+
+The reproduction's other telemetry modules watch the *fleet*; this package
+watches the *service*: span tracing across campaign beats and pool workers
+(:mod:`repro.obs.trace`), ops counters/gauges/histograms
+(:mod:`repro.obs.metrics`), simulator phase profiling
+(:mod:`repro.obs.profile`), and per-campaign cost-of-tuning accounting
+(:mod:`repro.obs.ledger`). Everything here is out-of-band: tracing a run
+never changes what the tuner decides.
+"""
+
+from repro.obs.ledger import PhaseCost, TuningCostLedger
+from repro.obs.metrics import OPS_METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import SimulatorProfile, attach_profile_spans
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanHandle,
+    SpanRecord,
+    Tracer,
+    activate,
+    current_tracer,
+    read_trace_jsonl,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OPS_METRICS",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseCost",
+    "SimulatorProfile",
+    "SpanHandle",
+    "SpanRecord",
+    "Tracer",
+    "TuningCostLedger",
+    "activate",
+    "attach_profile_spans",
+    "current_tracer",
+    "read_trace_jsonl",
+    "span",
+]

@@ -1,0 +1,102 @@
+"""The cost-of-tuning ledger.
+
+Tuneful's critique (PAPERS.md) is that offline tuners ignore what the tuning
+itself costs. KEA's what-if engine makes that cost concrete: every campaign
+phase *spends* simulated machine-hours (the fleet time a real flight or
+observation window would occupy) and wall-clock (the service time the
+simulation burned). :class:`TuningCostLedger` accrues both per phase, rides
+on ``CampaignReport``, and rolls up across a fleet in
+``FleetCampaignReport.ops_report()`` — the accounting ROADMAP item 3's
+cost-aware tuning needs in place before it can trade exploration against
+spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import TextTable
+
+__all__ = ["PhaseCost", "TuningCostLedger"]
+
+
+@dataclass(slots=True)
+class PhaseCost:
+    """Accrued cost of one campaign phase."""
+
+    phase: str
+    simulated_machine_hours: float = 0.0
+    wall_seconds: float = 0.0
+    charges: int = 0
+
+    def add(self, machine_hours: float, wall_seconds: float) -> None:
+        """Accrue one charge against this phase."""
+        self.simulated_machine_hours += machine_hours
+        self.wall_seconds += wall_seconds
+        self.charges += 1
+
+
+@dataclass(slots=True)
+class TuningCostLedger:
+    """Per-phase cost accounting for one campaign.
+
+    ``simulated_machine_hours`` counts fleet time the phase's windows covered
+    (machines × window-hours; paired before/after designs count both
+    windows); ``wall_seconds`` counts service wall-clock actually spent
+    simulating. Plain data: picklable, mergeable, and comparable.
+    """
+
+    tenant: str = ""
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+
+    def charge(self, phase: str, machine_hours: float, wall_seconds: float) -> None:
+        """Accrue ``machine_hours`` + ``wall_seconds`` against ``phase``."""
+        cost = self.phases.get(phase)
+        if cost is None:
+            cost = self.phases[phase] = PhaseCost(phase=phase)
+        cost.add(machine_hours, wall_seconds)
+
+    @property
+    def total_machine_hours(self) -> float:
+        """Simulated machine-hours across all phases."""
+        return sum(cost.simulated_machine_hours for cost in self.phases.values())
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Service wall-clock across all phases."""
+        return sum(cost.wall_seconds for cost in self.phases.values())
+
+    def merge(self, other: "TuningCostLedger") -> None:
+        """Fold another ledger's charges into this one (fleet rollups)."""
+        for phase, cost in other.phases.items():
+            mine = self.phases.get(phase)
+            if mine is None:
+                mine = self.phases[phase] = PhaseCost(phase=phase)
+            mine.simulated_machine_hours += cost.simulated_machine_hours
+            mine.wall_seconds += cost.wall_seconds
+            mine.charges += cost.charges
+
+    def rows(self) -> list[tuple[str, int, float, float]]:
+        """``(phase, charges, machine_hours, wall_seconds)`` in charge order."""
+        return [
+            (cost.phase, cost.charges, cost.simulated_machine_hours, cost.wall_seconds)
+            for cost in self.phases.values()
+        ]
+
+    def summary(self) -> str:
+        """Operator-readable per-phase cost table with a totals row."""
+        title = f"tuning cost — {self.tenant}" if self.tenant else "tuning cost"
+        table = TextTable(
+            ("phase", "charges", "sim machine-hours", "wall seconds"), title=title
+        )
+        for phase, charges, machine_hours, wall in self.rows():
+            table.add_row((phase, charges, f"{machine_hours:,.1f}", f"{wall:.3f}"))
+        table.add_row(
+            (
+                "TOTAL",
+                sum(cost.charges for cost in self.phases.values()),
+                f"{self.total_machine_hours:,.1f}",
+                f"{self.total_wall_seconds:.3f}",
+            )
+        )
+        return table.render()

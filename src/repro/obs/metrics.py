@@ -1,0 +1,177 @@
+"""Ops metrics for the tuning service itself.
+
+Distinct from :mod:`repro.telemetry.metrics`, which defines *fleet* metric
+extractors over machine-hour records (the paper's observation plane). This
+registry counts what the *service* does at runtime — cache hits, pool
+requests, campaign phase durations, rollout wave timings — as conventional
+counters, gauges, and histograms.
+
+Histograms are bounded: they keep ``count/total/min/max`` rather than raw
+samples, so a long-running service cannot grow memory with traffic. The
+module-global :data:`OPS_METRICS` registry is what the instrumented modules
+write to; tests and dashboards either read it or swap in a private
+:class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import TextTable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "OPS_METRICS"]
+
+
+def _labeled(name: str, labels: dict[str, str]) -> str:
+    """Canonical registry key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass(slots=True)
+class Counter:
+    """Monotonically increasing count of events."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+@dataclass(slots=True)
+class Gauge:
+    """Point-in-time value that can move in either direction."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Bounded distribution summary: count, total, min, max.
+
+    Deliberately keeps no raw samples — the summary is O(1) memory however
+    many observations arrive, which is what a per-request hot path needs.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 before any arrive)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Label-aware get-or-create store of service metrics.
+
+    ``counter("pool.requests", kind="observe")`` returns the same
+    :class:`Counter` on every call with the same name and labels; asking for
+    an existing name with a different metric type is an error rather than a
+    silent shadow.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, str]):
+        key = _labeled(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=key)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``name`` + labels, created on first use."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``name`` + labels, created on first use."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram for ``name`` + labels, created on first use."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def get(self, name: str, **labels: str) -> Counter | Gauge | Histogram | None:
+        """The metric under ``name`` + labels, or None if never touched."""
+        return self._metrics.get(_labeled(name, labels))
+
+    def names(self) -> list[str]:
+        """Sorted registry keys (``name{labels}`` form)."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict dump of every metric, keyed by registry key."""
+        out: dict[str, dict[str, float]] = {}
+        for key in self.names():
+            metric = self._metrics[key]
+            if isinstance(metric, Histogram):
+                out[key] = {
+                    "count": float(metric.count),
+                    "total": metric.total,
+                    "mean": metric.mean,
+                    "min": metric.min if metric.count else 0.0,
+                    "max": metric.max if metric.count else 0.0,
+                }
+            else:
+                out[key] = {"value": metric.value}
+        return out
+
+    def summary(self) -> str:
+        """Operator-readable table of every metric in the registry."""
+        table = TextTable(("metric", "type", "value"))
+        for key in self.names():
+            metric = self._metrics[key]
+            if isinstance(metric, Histogram):
+                value = (
+                    f"n={metric.count} mean={metric.mean:.4f} "
+                    f"min={metric.min if metric.count else 0.0:.4f} "
+                    f"max={metric.max if metric.count else 0.0:.4f}"
+                )
+            else:
+                value = f"{metric.value:g}"
+            table.add_row((key, type(metric).__name__.lower(), value))
+        return table.render()
+
+    def clear(self) -> None:
+        """Drop every metric (tests; a fresh service run)."""
+        self._metrics.clear()
+
+
+#: The process-wide registry instrumented service modules write to.
+OPS_METRICS = MetricsRegistry()

@@ -29,6 +29,7 @@ from repro.service.campaign import (
     CampaignReport,
 )
 from repro.service.pool import (
+    OutcomeTiming,
     SimulationBatchError,
     SimulationOutcome,
     SimulationPool,
@@ -59,6 +60,7 @@ __all__ = [
     "CampaignGuardrails",
     "CampaignPhase",
     "CampaignReport",
+    "OutcomeTiming",
     "SimulationBatchError",
     "SimulationOutcome",
     "SimulationPool",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.metrics import OPS_METRICS
 from repro.service.pool import SimulationOutcome, SimulationRequest
 from repro.utils.errors import ServiceError
 
@@ -42,6 +43,16 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """This snapshot's counters minus an earlier one's (``size`` stays
+        absolute — it is a level, not a counter)."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            size=self.size,
+            evictions=self.evictions - since.evictions,
+        )
+
 
 class SimulationCache:
     """In-memory LRU memo of simulation outcomes, keyed by request identity.
@@ -60,6 +71,7 @@ class SimulationCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._beat_mark = self.stats
 
     def lookup(self, request: SimulationRequest) -> SimulationOutcome | None:
         """The cached outcome for ``request``, or None (counts hit/miss).
@@ -71,8 +83,10 @@ class SimulationCache:
         outcome = self._store.get(key)
         if outcome is None:
             self._misses += 1
+            OPS_METRICS.counter("cache.misses").inc()
         else:
             self._hits += 1
+            OPS_METRICS.counter("cache.hits").inc()
             self._store.move_to_end(key)
         return outcome
 
@@ -86,6 +100,8 @@ class SimulationCache:
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
                 self._evictions += 1
+                OPS_METRICS.counter("cache.evictions").inc()
+        OPS_METRICS.gauge("cache.size").set(len(self._store))
 
     @property
     def stats(self) -> CacheStats:
@@ -97,12 +113,25 @@ class SimulationCache:
             evictions=self._evictions,
         )
 
+    def delta_snapshot(self) -> CacheStats:
+        """Counters accrued since the previous ``delta_snapshot`` call.
+
+        The per-beat readout the tuning service logs: each call advances the
+        beat mark, so consecutive calls partition the cumulative counters
+        into disjoint per-beat deltas (``size`` stays absolute).
+        """
+        now = self.stats
+        delta = now.delta(self._beat_mark)
+        self._beat_mark = now
+        return delta
+
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._store.clear()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._beat_mark = self.stats
 
     def __len__(self) -> int:
         return len(self._store)

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 
 from repro.cluster.cluster import build_cluster, default_yarn_config
 from repro.cluster.config import YarnConfig
@@ -73,6 +74,9 @@ from repro.flighting.deployment import (
     RolloutWaveRecord,
 )
 from repro.flighting.safety import DeploymentGuardrail
+from repro.obs.ledger import TuningCostLedger
+from repro.obs.metrics import OPS_METRICS
+from repro.obs.trace import span as trace_span
 from repro.service.pool import SimulationOutcome, SimulationRequest
 from repro.service.registry import TenantSpec
 from repro.service.scenarios import Scenario
@@ -195,6 +199,10 @@ class CampaignReport:
     #: resumed: the coverage checkpoint a later round (or a follow-up
     #: campaign) can re-enter the rollout from.
     rollout_checkpoint: RolloutCheckpoint | None = None
+    #: What the campaign itself cost: simulated machine-hours the tuning
+    #: windows occupied plus the service wall-clock spent simulating them,
+    #: accrued per phase (out-of-band — never consulted by tuning logic).
+    cost_ledger: TuningCostLedger = field(default_factory=TuningCostLedger)
 
     @property
     def capacity_gain(self) -> float:
@@ -278,6 +286,8 @@ class Campaign:
 
         self.round = 1
         self.phase = CampaignPhase.OBSERVE
+        #: Per-phase cost accounting (simulated machine-hours + wall-clock).
+        self.cost_ledger = TuningCostLedger(tenant=spec.name)
         self.history: list[CampaignEvent] = []
         self.deployments = 0
         self.rollbacks = 0
@@ -444,6 +454,7 @@ class Campaign:
                 f"campaign {self.spec.name!r} expected a {expected!r} outcome, "
                 f"got {outcome.kind!r} for tenant {outcome.tenant!r}"
             )
+        self._charge(outcome)
         if self.phase is CampaignPhase.OBSERVE:
             self._after_observe(outcome)
         elif self.phase is CampaignPhase.FLIGHT:
@@ -456,6 +467,29 @@ class Campaign:
     # ------------------------------------------------------------------
     def _log(self, phase: CampaignPhase, detail: str) -> None:
         self.history.append(CampaignEvent(round=self.round, phase=phase, detail=detail))
+
+    def _charge(self, outcome: SimulationOutcome) -> None:
+        """Accrue one consumed window's cost against the ledger and metrics.
+
+        Machine-hours are the *simulated* fleet time the window covered —
+        what the paper's production observation would actually occupy — so a
+        cached replay charges the same machine-hours (the decision still
+        rests on that much fleet time) while its wall-clock stays the
+        original run's. Paired before/after evaluations cover two windows.
+        """
+        machines = self.spec.fleet_spec.total_machines
+        if outcome.kind == "observe":
+            window_hours = self.observe_days * 24.0
+        elif outcome.kind == "flight":
+            window_hours = self.flight_hours
+        else:  # rollout / resume / impact: a baseline window plus the change
+            window_hours = self.impact_days * 24.0 * 2
+        self.cost_ledger.charge(
+            outcome.kind, machines * window_hours, outcome.elapsed_seconds
+        )
+        OPS_METRICS.histogram("campaign.phase_seconds", phase=outcome.kind).observe(
+            outcome.elapsed_seconds
+        )
 
     def _after_observe(self, outcome: SimulationOutcome) -> None:
         monitor = PerformanceMonitor(outcome.records)
@@ -470,23 +504,31 @@ class Campaign:
         # rounds here through the bound host environment.
         app = self.application
         self.phase = CampaignPhase.CALIBRATE
-        if app.requires_engine:
-            engine = WhatIfEngine()
-            engine.calibrate(monitor)
-            self.engine = engine
-            self._log(
-                CampaignPhase.CALIBRATE,
-                f"what-if engine calibrated on {len(engine.groups())} machine groups",
-            )
-        else:
-            engine = None
-            self.engine = None
-            self._log(
-                CampaignPhase.CALIBRATE,
-                f"skipped: {app.name!r} does not use the what-if engine",
-            )
+        tick = perf_counter()
+        with trace_span("campaign.calibrate", tenant=self.spec.name):
+            if app.requires_engine:
+                engine = WhatIfEngine()
+                engine.calibrate(monitor)
+                self.engine = engine
+                self._log(
+                    CampaignPhase.CALIBRATE,
+                    f"what-if engine calibrated on {len(engine.groups())} machine groups",
+                )
+            else:
+                engine = None
+                self.engine = None
+                self._log(
+                    CampaignPhase.CALIBRATE,
+                    f"skipped: {app.name!r} does not use the what-if engine",
+                )
+        calibrate_seconds = perf_counter() - tick
+        self.cost_ledger.charge("calibrate", 0.0, calibrate_seconds)
+        OPS_METRICS.histogram("campaign.phase_seconds", phase="calibrate").observe(
+            calibrate_seconds
+        )
 
         self.phase = CampaignPhase.TUNE
+        tick = perf_counter()
         cluster = build_cluster(self.spec.fleet_spec, self.config.copy())
         # The outcome's telemetry — including any per-application extras the
         # observation spec requested (resource samples) — is the whole
@@ -507,8 +549,16 @@ class Campaign:
         app.bind_deferred(
             lambda: self.spec.build(config=config, scenario=self.scenario)
         )
-        self.tuning = app.propose(observation, engine)
-        self._flight_plan = app.flight_plan(self.tuning)
+        with trace_span(
+            "campaign.tune", tenant=self.spec.name, application=app.name
+        ):
+            self.tuning = app.propose(observation, engine)
+            self._flight_plan = app.flight_plan(self.tuning)
+        tune_seconds = perf_counter() - tick
+        self.cost_ledger.charge("tune", 0.0, tune_seconds)
+        OPS_METRICS.histogram("campaign.phase_seconds", phase="tune").observe(
+            tune_seconds
+        )
 
         if self.tuning.is_advisory and not self._flight_plan:
             # Decision-only output with nothing to pilot (a SKU to buy):
@@ -657,6 +707,7 @@ class Campaign:
                 None,
             )
             if failed is not None:
+                OPS_METRICS.counter("campaign.rollout_halts").inc()
                 if (
                     self.resume_halted_rollouts
                     and outcome.rollout_checkpoint is not None
@@ -716,10 +767,13 @@ class Campaign:
 
     def _end_round(self, result: CampaignPhase, detail: str) -> None:
         self._log(result, detail)
+        OPS_METRICS.counter("campaign.rounds").inc()
         if result is CampaignPhase.DEPLOYED:
             self.deployments += 1
+            OPS_METRICS.counter("campaign.deployments").inc()
         elif result is CampaignPhase.ROLLED_BACK:
             self.rollbacks += 1
+            OPS_METRICS.counter("campaign.rollbacks").inc()
         if self.round >= self.rounds:
             self.phase = result
             return
@@ -740,6 +794,7 @@ class Campaign:
                 self._halted.plan, checkpoint
             )
             self.phase = CampaignPhase.DEPLOY
+            OPS_METRICS.counter("campaign.rollout_resumes").inc()
             self._log(
                 CampaignPhase.DEPLOY,
                 f"resuming halted rollout at wave {checkpoint.halted_wave!r} "
@@ -778,4 +833,5 @@ class Campaign:
             flight_validations=tuple(self.flight_validations),
             rollout_waves=tuple(self.rollout_waves),
             rollout_checkpoint=self.rollout_checkpoint,
+            cost_ledger=self.cost_ledger,
         )

@@ -31,6 +31,8 @@ from repro.flighting.deployment import (
 )
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate
 from repro.flighting.tool import FlightReport
+from repro.obs.metrics import OPS_METRICS
+from repro.obs.trace import SpanRecord, Tracer, activate
 from repro.service.registry import TenantSpec
 from repro.service.scenarios import Scenario
 from repro.telemetry.monitor import MonitorSnapshot
@@ -40,6 +42,7 @@ from repro.utils.errors import ServiceError
 __all__ = [
     "SimulationRequest",
     "SimulationOutcome",
+    "OutcomeTiming",
     "SimulationBatchError",
     "SimulationPool",
     "execute_request",
@@ -166,6 +169,22 @@ class SimulationRequest:
         return (self.tenant, digest, self.workload_tag)
 
 
+@dataclass(frozen=True, slots=True)
+class OutcomeTiming:
+    """Out-of-band execution timing of one request, fixed at construction.
+
+    ``trace`` is the worker-side span tree (picklable
+    :class:`~repro.obs.trace.SpanRecord` tuples) that the orchestrator merges
+    into its own trace; ``elapsed_seconds`` is the request's wall-clock in
+    its worker. Neither enters :meth:`SimulationRequest.cache_key` or any
+    tuning decision — a cached replay keeps the timing of the run that
+    produced it.
+    """
+
+    elapsed_seconds: float = 0.0
+    trace: tuple[SpanRecord, ...] = ()
+
+
 @dataclass
 class SimulationOutcome:
     """What one executed request produced (only the ``kind``'s fields set)."""
@@ -183,76 +202,98 @@ class SimulationOutcome:
     #: Set when a rollout/resume window halted mid-rollout: the coverage
     #: checkpoint a later ``resume`` request re-enters from.
     rollout_checkpoint: RolloutCheckpoint | None = None
-    elapsed_seconds: float = 0.0
+    timing: OutcomeTiming = field(default_factory=OutcomeTiming)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Worker wall-clock of the request (delegates to :attr:`timing`)."""
+        return self.timing.elapsed_seconds
 
 
 def execute_request(request: SimulationRequest) -> SimulationOutcome:
     """Run one request to completion (worker-process entry point).
 
     Builds the tenant's KEA instance from the declarative spec, so execution
-    is independent of which process — or how many — run the batch.
+    is independent of which process — or how many — run the batch. The whole
+    request runs under a local tracer whose finished spans ride back on
+    ``outcome.timing`` (elapsed included, populated at construction — never
+    mutated afterwards), so the orchestrator can merge a worker's span tree
+    into the beat's trace.
     """
     started = time.perf_counter()
     scenario = request.scenario
-    kea = request.spec.build(config=request.config, scenario=scenario)
-    outcome = SimulationOutcome(
-        tenant=request.tenant, kind=request.kind, workload_tag=request.workload_tag
+    tracer = Tracer(trace_id=f"{request.tenant}/{request.workload_tag}")
+    produced: dict[str, object] = {}
+    with activate(tracer), tracer.span(
+        f"request.{request.kind}",
+        tenant=request.tenant,
+        workload_tag=request.workload_tag,
+        days=request.days,
+    ):
+        kea = request.spec.build(config=request.config, scenario=scenario)
+        if request.kind == "observe":
+            spec = request.observation
+            benchmark_period = (
+                spec.benchmark_period_hours
+                if spec.benchmark_period_hours is not None
+                else scenario.benchmark_period_hours
+            )
+            observation = kea.simulate(
+                request.days,
+                sim_config=spec.to_sim_config(),
+                benchmark_period_hours=benchmark_period,
+                workload_tag=request.workload_tag,
+                load_multiplier=scenario.load_multiplier,
+                actions=scenario.actions(),
+            )
+            produced["records"] = observation.monitor.records
+            produced["snapshot"] = observation.monitor.snapshot()
+            produced["resource_samples"] = observation.result.resource_samples
+        elif request.kind == "flight":
+            validation = kea.flight_campaign(
+                request.flights,
+                hours=request.flight_hours,
+                machines_per_group=request.machines_per_group,
+                metrics=request.flight_metrics,
+                load_multiplier=scenario.stress_load_multiplier,
+                workload_tag=request.workload_tag,
+                safety_gate=LatencyRegressionGate(
+                    window_hours=request.gate_window_hours,
+                    allowance=request.gate_allowance,
+                ),
+            )
+            produced["flight_reports"] = validation.reports
+            produced["gate"] = validation.gate
+        elif request.kind in ("rollout", "resume"):
+            staged = kea.staged_rollout(
+                request.rollout,
+                days=request.days,
+                benchmark_period_hours=scenario.benchmark_period_hours,
+                load_multiplier=scenario.stress_load_multiplier,
+                workload_tag=request.workload_tag,
+                checkpoint=request.checkpoint,
+            )
+            produced["rollout_waves"] = list(staged.waves)
+            produced["rollout_checkpoint"] = staged.checkpoint
+            produced["impact"] = staged.impact
+        else:  # impact
+            produced["impact"] = kea.deployment_impact(
+                request.proposed,
+                days=request.days,
+                benchmark_period_hours=scenario.benchmark_period_hours,
+                load_multiplier=scenario.stress_load_multiplier,
+                workload_tag=request.workload_tag,
+            )
+    return SimulationOutcome(
+        tenant=request.tenant,
+        kind=request.kind,
+        workload_tag=request.workload_tag,
+        timing=OutcomeTiming(
+            elapsed_seconds=time.perf_counter() - started,
+            trace=tuple(tracer.spans),
+        ),
+        **produced,
     )
-    if request.kind == "observe":
-        spec = request.observation
-        benchmark_period = (
-            spec.benchmark_period_hours
-            if spec.benchmark_period_hours is not None
-            else scenario.benchmark_period_hours
-        )
-        observation = kea.simulate(
-            request.days,
-            sim_config=spec.to_sim_config(),
-            benchmark_period_hours=benchmark_period,
-            workload_tag=request.workload_tag,
-            load_multiplier=scenario.load_multiplier,
-            actions=scenario.actions(),
-        )
-        outcome.records = observation.monitor.records
-        outcome.snapshot = observation.monitor.snapshot()
-        outcome.resource_samples = observation.result.resource_samples
-    elif request.kind == "flight":
-        validation = kea.flight_campaign(
-            request.flights,
-            hours=request.flight_hours,
-            machines_per_group=request.machines_per_group,
-            metrics=request.flight_metrics,
-            load_multiplier=scenario.stress_load_multiplier,
-            workload_tag=request.workload_tag,
-            safety_gate=LatencyRegressionGate(
-                window_hours=request.gate_window_hours,
-                allowance=request.gate_allowance,
-            ),
-        )
-        outcome.flight_reports = validation.reports
-        outcome.gate = validation.gate
-    elif request.kind in ("rollout", "resume"):
-        staged = kea.staged_rollout(
-            request.rollout,
-            days=request.days,
-            benchmark_period_hours=scenario.benchmark_period_hours,
-            load_multiplier=scenario.stress_load_multiplier,
-            workload_tag=request.workload_tag,
-            checkpoint=request.checkpoint,
-        )
-        outcome.rollout_waves = list(staged.waves)
-        outcome.rollout_checkpoint = staged.checkpoint
-        outcome.impact = staged.impact
-    else:  # impact
-        outcome.impact = kea.deployment_impact(
-            request.proposed,
-            days=request.days,
-            benchmark_period_hours=scenario.benchmark_period_hours,
-            load_multiplier=scenario.stress_load_multiplier,
-            workload_tag=request.workload_tag,
-        )
-    outcome.elapsed_seconds = time.perf_counter() - started
-    return outcome
 
 
 class SimulationPool:
@@ -293,6 +334,8 @@ class SimulationPool:
         if not requests:
             return []
         self.executed += len(requests)
+        OPS_METRICS.counter("pool.batches").inc()
+        OPS_METRICS.histogram("pool.batch_fanout").observe(len(requests))
         failures: list[tuple[SimulationRequest, Exception]] = []
         outcomes: list[SimulationOutcome | None] = []
         if not self.parallel or len(requests) == 1:
@@ -315,7 +358,14 @@ class SimulationPool:
                 except Exception as exc:  # re-raised below, naming the request
                     outcomes.append(None)
                     failures.append((request, exc))
+        for outcome in outcomes:
+            if outcome is not None:
+                OPS_METRICS.histogram(
+                    "pool.request_seconds", kind=outcome.kind
+                ).observe(outcome.timing.elapsed_seconds)
         if failures:
+            for request, _exc in failures:
+                OPS_METRICS.counter("pool.failures", kind=request.kind).inc()
             request, exc = failures[0]
             raise SimulationBatchError(
                 f"simulation request failed (tenant={request.tenant!r}, "

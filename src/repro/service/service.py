@@ -22,6 +22,9 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass
 
+from repro.obs.ledger import TuningCostLedger
+from repro.obs.metrics import OPS_METRICS
+from repro.obs.trace import NULL_TRACER, Tracer, activate
 from repro.service.cache import CacheStats, SimulationCache
 from repro.service.campaign import Campaign, CampaignGuardrails, CampaignReport
 from repro.service.pool import (
@@ -169,6 +172,9 @@ class FleetCampaignReport:
     reports: dict[str, CampaignReport]
     cache_stats: CacheStats
     simulations_executed: int
+    #: Per-beat cache traffic in beat order (one
+    #: :class:`~repro.service.cache.CacheStats` delta per scheduling beat).
+    beat_cache_deltas: tuple[CacheStats, ...] = ()
 
     @property
     def deployments(self) -> int:
@@ -209,6 +215,48 @@ class FleetCampaignReport:
         )
         return table.render() + footer
 
+    def fleet_cost_ledger(self) -> TuningCostLedger:
+        """Every tenant's tuning cost merged into one fleet-wide ledger."""
+        fleet = TuningCostLedger(tenant=f"fleet/{self.scenario}")
+        for name in sorted(self.reports):
+            fleet.merge(self.reports[name].cost_ledger)
+        return fleet
+
+    def ops_report(self) -> str:
+        """Operator dashboard: what tuning the fleet *cost* this run.
+
+        Per-tenant simulated machine-hours and service wall-clock, the
+        merged per-phase fleet ledger, and per-beat cache traffic — the
+        cost-of-tuning readout Tuneful argues a tuner must account for.
+        """
+        table = TextTable(
+            ["tenant", "sim machine-hours", "wall seconds", "dominant phase"],
+            title=f"Tuning cost over scenario {self.scenario!r}",
+        )
+        for name in sorted(self.reports):
+            ledger = self.reports[name].cost_ledger
+            dominant = max(
+                ledger.phases.values(),
+                key=lambda cost: cost.wall_seconds,
+                default=None,
+            )
+            table.add_row(
+                [
+                    name,
+                    f"{ledger.total_machine_hours:,.1f}",
+                    f"{ledger.total_wall_seconds:.3f}",
+                    dominant.phase if dominant is not None else "-",
+                ]
+            )
+        beats = "; ".join(
+            f"beat {i}: {d.hits}h/{d.misses}m/{d.evictions}e"
+            for i, d in enumerate(self.beat_cache_deltas, start=1)
+        )
+        parts = [table.render(), self.fleet_cost_ledger().summary()]
+        if beats:
+            parts.append(f"cache per beat (hits/misses/evictions): {beats}")
+        return "\n\n".join(parts)
+
 
 class ContinuousTuningService:
     """Long-running orchestrator of tuning campaigns across tenants."""
@@ -221,8 +269,17 @@ class ContinuousTuningService:
         cache: SimulationCache | None = None,
         guardrails: CampaignGuardrails | None = None,
         cache_budget_mb: float = DEFAULT_CACHE_BUDGET_MB,
+        tracer: Tracer | None = None,
     ):
         self.registry = registry
+        #: The observability tracer every beat records to. The default
+        #: NULL_TRACER disables tracing at near-zero cost; pass a
+        #: :class:`~repro.obs.trace.Tracer` to capture the run as a trace.
+        #: Out-of-band either way: traced and untraced runs are bit-identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Per-beat cache-traffic deltas (one entry per step() call).
+        self.beat_cache_deltas: list[CacheStats] = []
+        self._beats = 0
         # A fresh catalog per service: ScenarioCatalog is mutable, and two
         # services must not see each other's registered scenarios.
         self.catalog = catalog if catalog is not None else default_catalog()
@@ -307,31 +364,74 @@ class ContinuousTuningService:
         if not waiting:
             return 0
 
-        outcomes: dict[int, SimulationOutcome] = {}
-        to_execute: list[tuple[int, SimulationRequest]] = []
-        for index, (_campaign, request) in enumerate(waiting):
-            cached = self.cache.lookup(request)
-            if cached is not None:
-                outcomes[index] = cached
-            else:
-                to_execute.append((index, request))
+        self._beats += 1
+        tracer = self.tracer
+        with activate(tracer), tracer.span(
+            "service.beat", beat=self._beats, waiting=len(waiting)
+        ):
+            outcomes: dict[int, SimulationOutcome] = {}
+            to_execute: list[tuple[int, SimulationRequest]] = []
+            for index, (_campaign, request) in enumerate(waiting):
+                cached = self.cache.lookup(request)
+                if cached is not None:
+                    outcomes[index] = cached
+                    # A hit replays the stored outcome; its original worker
+                    # trace is NOT re-merged (those seconds were not spent
+                    # this beat) — the event marks the short-circuit instead.
+                    tracer.event(
+                        "cache.hit", tenant=request.tenant, kind=request.kind
+                    )
+                else:
+                    to_execute.append((index, request))
 
-        try:
-            fresh = self.pool.run([request for _, request in to_execute])
-        except SimulationBatchError as error:
-            # The whole batch ran; keep what completed so a retry only pays
-            # for the request that actually failed.
-            for (_index, request), outcome in zip(to_execute, error.outcomes):
-                if outcome is not None:
+            with tracer.span("pool.batch", requests=len(to_execute)) as batch_span:
+                try:
+                    fresh = self.pool.run([request for _, request in to_execute])
+                except SimulationBatchError as error:
+                    # The whole batch ran; keep what completed so a retry only
+                    # pays for the request that actually failed. Salvaged
+                    # siblings carry their worker traces and timings too.
+                    for (_index, request), outcome in zip(
+                        to_execute, error.outcomes
+                    ):
+                        if outcome is not None:
+                            self.cache.store(request, outcome)
+                            tracer.merge(
+                                outcome.timing.trace, align_to=batch_span.start
+                            )
+                    self._log_beat_cache_delta(tracer)
+                    raise
+                for (index, request), outcome in zip(to_execute, fresh):
                     self.cache.store(request, outcome)
-            raise
-        for (index, request), outcome in zip(to_execute, fresh):
-            self.cache.store(request, outcome)
-            outcomes[index] = outcome
+                    outcomes[index] = outcome
+                    # Graft the worker's span tree into this beat's trace,
+                    # time-aligned to the batch (worker clocks are
+                    # process-local).
+                    tracer.merge(outcome.timing.trace, align_to=batch_span.start)
 
-        for index, (campaign, _request) in enumerate(waiting):
-            campaign.advance(outcomes[index])
+            for index, (campaign, _request) in enumerate(waiting):
+                with tracer.span(
+                    "campaign.advance",
+                    tenant=campaign.spec.name,
+                    phase=campaign.phase.value,
+                ):
+                    campaign.advance(outcomes[index])
+            self._log_beat_cache_delta(tracer)
         return len(waiting)
+
+    def _log_beat_cache_delta(self, tracer: Tracer) -> None:
+        """Record this beat's cache traffic (delta, not lifetime totals)."""
+        delta = self.cache.delta_snapshot()
+        self.beat_cache_deltas.append(delta)
+        OPS_METRICS.histogram("cache.beat_hits").observe(delta.hits)
+        OPS_METRICS.histogram("cache.beat_misses").observe(delta.misses)
+        tracer.event(
+            "cache.beat_delta",
+            hits=delta.hits,
+            misses=delta.misses,
+            evictions=delta.evictions,
+            size=delta.size,
+        )
 
     def run_campaigns(
         self,
@@ -346,21 +446,23 @@ class ContinuousTuningService:
         )
         executed_before = self.pool.executed
         stats_before = self.cache.stats
-        while self.step(campaigns):
-            pass
+        deltas_before = len(self.beat_cache_deltas)
         resolved = self.resolve_scenario(scenario)
-        stats_after = self.cache.stats
+        with activate(self.tracer), self.tracer.span(
+            "service.run_campaigns",
+            scenario=resolved.name,
+            tenants=len(campaigns),
+            rounds=rounds,
+        ):
+            while self.step(campaigns):
+                pass
         return FleetCampaignReport(
             scenario=resolved.name,
             reports={name: c.report() for name, c in campaigns.items()},
             # This run's cache traffic, not the service's lifetime totals.
-            cache_stats=CacheStats(
-                hits=stats_after.hits - stats_before.hits,
-                misses=stats_after.misses - stats_before.misses,
-                size=stats_after.size,
-                evictions=stats_after.evictions - stats_before.evictions,
-            ),
+            cache_stats=self.cache.stats.delta(stats_before),
             simulations_executed=self.pool.executed - executed_before,
+            beat_cache_deltas=tuple(self.beat_cache_deltas[deltas_before:]),
         )
 
     def close(self) -> None:
