@@ -1,15 +1,22 @@
-"""Service bench: multi-tenant campaign wall-clock, serial vs parallel.
+"""Service bench: multi-tenant campaign wall-clock across execution backends.
 
-Runs the same four-tenant campaign twice — once on an inline (serial)
-:class:`~repro.service.SimulationPool`, once on a process pool — and reports
-the wall-clock ratio. Tenant simulations are independent, so on a machine
+Runs the same four-tenant campaign three times — once on an inline (serial)
+:class:`~repro.service.SimulationPool`, once on a process pool, and once on
+the file-spooled :class:`~repro.service.LocalQueueBackend` — and reports the
+wall-clock of each mode. Tenant simulations are independent, so on a machine
 with N ≥ 2 cores the parallel run approaches the slowest tenant's time
-rather than the sum; the JSON payload records the measured speedup together
-with the core count it was measured on. Results are asserted bit-identical
-between the two runs (the pool must never change outcomes, only timing).
+rather than the sum; the queue mode pays the same fan-out plus the spool's
+pickle round-trips (its durability tax, which this bench quantifies). The
+JSON payload records per-mode wall-clock (gated by
+``check_bench_regression.py`` against ``baselines/BENCH_service.json``) and
+the measured speedup with the core count it was measured on. Results are
+asserted bit-identical across all modes (a backend must never change
+outcomes, only timing and durability).
 """
 
 import os
+import shutil
+import tempfile
 import time
 
 from benchmarks.common import emit, emit_json
@@ -17,6 +24,7 @@ from repro.cluster import small_fleet_spec
 from repro.service import (
     ContinuousTuningService,
     FleetRegistry,
+    LocalQueueBackend,
     SimulationPool,
     TenantSpec,
 )
@@ -48,6 +56,27 @@ def _run(max_workers: int):
     return result, elapsed
 
 
+def _run_queue(workers: int):
+    spool = tempfile.mkdtemp(prefix="bench-spool-")
+    try:
+        with ContinuousTuningService(
+            _registry(), backend=LocalQueueBackend(spool, workers=workers)
+        ) as service:
+            started = time.perf_counter()
+            result = service.run_campaigns(scenario=SCENARIO, **CAMPAIGN_KW)
+            elapsed = time.perf_counter() - started
+    finally:
+        shutil.rmtree(spool, ignore_errors=True)
+    return result, elapsed
+
+
+def _histories(result):
+    return {
+        name: [(e.round, e.phase, e.detail) for e in report.history]
+        for name, report in result.reports.items()
+    }
+
+
 def test_bench_service_campaign(benchmark):
     cpu_count = os.cpu_count() or 1
     workers = max(2, min(N_TENANTS, cpu_count))
@@ -65,19 +94,18 @@ def test_bench_service_campaign(benchmark):
 
     serial_result, serial_s = _run(max_workers=1)
     parallel_result, parallel_s = _run(max_workers=workers)
+    queue_result, queue_s = _run_queue(workers=workers)
 
-    # The pool must change timing only, never outcomes.
-    identical = all(
-        [
-            (e.round, e.phase, e.detail)
-            for e in parallel_result.reports[name].history
-        ]
-        == [(e.round, e.phase, e.detail) for e in serial_result.reports[name].history]
-        for name in serial_result.reports
+    # A backend must change timing only, never outcomes.
+    reference = _histories(serial_result)
+    identical = (
+        _histories(parallel_result) == reference
+        and _histories(queue_result) == reference
     )
-    assert identical, "parallel campaign diverged from the serial reference"
+    assert identical, "a backend's campaign diverged from the serial reference"
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    queue_speedup = serial_s / queue_s if queue_s > 0 else float("inf")
     if cpu_count >= 2:
         # With real cores available, fanning independent tenants out must
         # beat the serial loop by a sane margin.
@@ -89,10 +117,13 @@ def test_bench_service_campaign(benchmark):
     )
     table.add_row(["serial", "1", f"{serial_s:.2f}", "1.00x"])
     table.add_row(["parallel", str(workers), f"{parallel_s:.2f}", f"{speedup:.2f}x"])
+    table.add_row(
+        ["queue-backend", str(workers), f"{queue_s:.2f}", f"{queue_speedup:.2f}x"]
+    )
     note = (
         f"cpu cores available: {cpu_count}; outcomes bit-identical: {identical}"
         + (
-            "\nNOTE: <2 cores — a process pool cannot beat serial on this host;"
+            "\nNOTE: <2 cores — worker processes cannot beat serial on this host;"
             " the speedup criterion needs a multi-core machine."
             if cpu_count < 2
             else ""
@@ -110,10 +141,34 @@ def test_bench_service_campaign(benchmark):
             "parallel_workers": workers,
             "serial_seconds": round(serial_s, 3),
             "parallel_seconds": round(parallel_s, 3),
+            "queue_seconds": round(queue_s, 3),
             "speedup": round(speedup, 3),
+            "queue_speedup": round(queue_speedup, 3),
             "outcomes_identical": identical,
             "deployments": serial_result.deployments,
             "rollbacks": serial_result.rollbacks,
+        },
+    )
+    # The regression-gated rows: one wall-clock row per execution mode,
+    # compared against baselines/BENCH_service.json by
+    # check_bench_regression.py.
+    emit_json(
+        "BENCH_service",
+        {
+            "n_tenants": N_TENANTS,
+            "scenario": SCENARIO,
+            "cpu_count": cpu_count,
+            "service": {
+                "serial": {"total_seconds": round(serial_s, 3)},
+                "parallel": {
+                    "total_seconds": round(parallel_s, 3),
+                    "workers": workers,
+                },
+                "queue-backend": {
+                    "total_seconds": round(queue_s, 3),
+                    "workers": workers,
+                },
+            },
         },
     )
 

@@ -2,10 +2,12 @@
 
 Compares freshly produced benchmark JSON under ``benchmarks/out/`` against
 the committed baselines in ``benchmarks/baselines/`` and fails (exit code 1)
-when any row's wall-clock regresses beyond the tolerance band. Two gates are
-wired in: the application suite (``BENCH_applications.json``, rows under
-``"applications"``) and the staged-rollout suite (``BENCH_rollout.json``,
-rows under ``"rollouts"``). Wall-clock on shared CI runners is noisy, so the
+when any row's wall-clock regresses beyond the tolerance band. Three gates
+are wired in: the application suite (``BENCH_applications.json``, rows under
+``"applications"``), the staged-rollout suite (``BENCH_rollout.json``, rows
+under ``"rollouts"``), and the execution-backend service suite
+(``BENCH_service.json``, rows under ``"service"``: serial / parallel /
+queue-backend wall-clock). Wall-clock on shared CI runners is noisy, so the
 gate is deliberately two-sided-generous: a regression only fails when the
 current time exceeds ``tolerance`` × baseline *and* the absolute slowdown
 exceeds ``min_seconds`` (sub-second jitter on a fast path never trips it).
@@ -46,6 +48,12 @@ GATES = (
         HERE / "out" / "BENCH_rollout.json",
         HERE / "baselines" / "BENCH_rollout.json",
         "rollouts",
+    ),
+    (
+        "service",
+        HERE / "out" / "BENCH_service.json",
+        HERE / "baselines" / "BENCH_service.json",
+        "service",
     ),
 )
 

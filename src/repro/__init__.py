@@ -71,18 +71,23 @@ from repro.service import (
     CampaignGuardrails,
     CampaignPhase,
     CampaignReport,
+    CampaignStore,
     ContinuousTuningService,
+    ExecutionBackend,
     FleetCampaignReport,
     FleetRegistry,
+    LocalQueueBackend,
+    ProcessPoolBackend,
     Scenario,
     ScenarioCatalog,
+    SerialBackend,
     SimulationCache,
     SimulationPool,
     TenantSpec,
     default_catalog,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "APPLICATIONS",
@@ -114,7 +119,12 @@ __all__ = [
     "CampaignGuardrails",
     "CampaignPhase",
     "CampaignReport",
+    "CampaignStore",
     "ContinuousTuningService",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "LocalQueueBackend",
     "FleetCampaignReport",
     "FleetRegistry",
     "Scenario",

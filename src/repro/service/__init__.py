@@ -15,11 +15,26 @@ KEA's value comes from running observe → calibrate → tune → flight → dep
   tenant's/scenario's choice; YARN config tuning by default);
 * :class:`SimulationPool` — process-parallel execution of independent
   tenant simulations, bit-identical to serial execution;
+* :class:`ExecutionBackend` — where batches run: strictly inline
+  (:class:`SerialBackend`), over the pool (:class:`ProcessPoolBackend`,
+  the default), or through a durable file-spooled queue drained by
+  restartable workers (:class:`LocalQueueBackend`) — all bit-identical;
 * :class:`SimulationCache` — memoizes outcomes by (tenant, config hash,
   workload tag) so repeated what-if questions never re-simulate;
-* :class:`ContinuousTuningService` — the orchestrator tying them together.
+* :class:`CampaignStore` — versioned, atomically-written campaign records,
+  so a restarted service reconstructs every tenant mid-round and resumes
+  bit-identically;
+* :class:`ContinuousTuningService` — the orchestrator tying them together,
+  with a non-blocking tenant-sharded front-end (submit / poll / drain).
 """
 
+from repro.service.backend import (
+    ExecutionBackend,
+    LocalQueueBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    queue_task_id,
+)
 from repro.service.cache import CacheStats, SimulationCache
 from repro.service.campaign import (
     Campaign,
@@ -51,10 +66,25 @@ from repro.service.service import (
     FleetCampaignReport,
     derive_cache_entries,
 )
+from repro.service.store import (
+    CAMPAIGN_STATE_VERSION,
+    CampaignStore,
+    restore_campaign,
+    snapshot_campaign,
+)
 
 __all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "LocalQueueBackend",
+    "queue_task_id",
     "CacheStats",
     "SimulationCache",
+    "CAMPAIGN_STATE_VERSION",
+    "CampaignStore",
+    "snapshot_campaign",
+    "restore_campaign",
     "Campaign",
     "CampaignEvent",
     "CampaignGuardrails",

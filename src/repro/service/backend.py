@@ -1,0 +1,452 @@
+"""Pluggable execution backends: where a beat's simulation batch runs.
+
+The tuning service used to hard-code one :class:`~repro.service.pool.
+SimulationPool`. Production KEA dispatches the same work to whatever
+substrate the deployment offers — an in-process loop, a process pool, a
+durable task queue drained by restartable workers — so the service now
+schedules through an :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — strictly inline execution in the calling
+  process: the bit-identity reference and the zero-dependency fallback;
+* :class:`ProcessPoolBackend` — wraps :class:`~repro.service.pool.
+  SimulationPool`, fanning batches over worker processes (the default);
+* :class:`LocalQueueBackend` — persists every
+  :class:`~repro.service.pool.SimulationRequest` as a file in a spool
+  directory and drains it with restartable worker *processes* that claim
+  tasks by atomic rename. A worker (or the whole service) can die
+  mid-batch; re-running the batch reuses every result that already landed
+  in ``done/`` and re-executes only what is missing.
+
+All three honour the pool's salvage contract: a failing request never
+destroys its siblings — the batch runs to completion, then a
+:class:`~repro.service.pool.SimulationBatchError` carries the completed
+outcomes (None at failed slots) and the (request, exception) pairs.
+Because every request is a self-contained picklable recipe executed by
+:func:`~repro.service.pool.execute_request`, the three backends are
+bit-identical: same requests in, same outcomes out, wherever they ran.
+Worker-side span trees ride back on ``outcome.timing.trace`` exactly as
+they do from the pool, so the orchestrator's beat trace is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from hashlib import sha256
+from pathlib import Path
+
+from repro.obs.metrics import OPS_METRICS
+from repro.service.pool import (
+    SimulationBatchError,
+    SimulationOutcome,
+    SimulationPool,
+    SimulationRequest,
+    execute_request,
+)
+from repro.utils.errors import ServiceError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "LocalQueueBackend",
+    "queue_task_id",
+]
+
+
+class ExecutionBackend(abc.ABC):
+    """Where the service's simulation batches execute.
+
+    The contract mirrors :meth:`SimulationPool.run`: preserve input order,
+    run a poisoned batch to completion, then raise
+    :class:`~repro.service.pool.SimulationBatchError` with the siblings'
+    outcomes attached. ``executed`` counts requests actually simulated
+    (cache hits never reach a backend; a queue backend reusing a spooled
+    result does not re-count it).
+    """
+
+    #: Stable identifier ("serial", "process-pool", "queue") used as the
+    #: ``backend`` metric label and surfaced on fleet reports.
+    name: str = "backend"
+
+    @property
+    @abc.abstractmethod
+    def executed(self) -> int:
+        """Requests this backend actually simulated (lifetime total)."""
+
+    @abc.abstractmethod
+    def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
+        """Execute a batch, preserving input order in the outcomes."""
+
+    def shutdown(self) -> None:
+        """Release any workers/resources (idempotent)."""
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (file-like convention)."""
+        self.shutdown()
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _record_batch(self, requests: list[SimulationRequest]) -> None:
+        """Per-backend ops counters for one dispatched batch."""
+        OPS_METRICS.counter("backend.batches", backend=self.name).inc()
+        OPS_METRICS.histogram("backend.batch_fanout", backend=self.name).observe(
+            len(requests)
+        )
+
+    def _finish_batch(
+        self,
+        outcomes: list[SimulationOutcome | None],
+        failures: list[tuple[SimulationRequest, Exception]],
+    ) -> list[SimulationOutcome]:
+        """Record timings, then return or raise per the salvage contract."""
+        for outcome in outcomes:
+            if outcome is not None:
+                OPS_METRICS.histogram(
+                    "backend.request_seconds", backend=self.name, kind=outcome.kind
+                ).observe(outcome.timing.elapsed_seconds)
+        if failures:
+            for request, _exc in failures:
+                OPS_METRICS.counter(
+                    "backend.failures", backend=self.name, kind=request.kind
+                ).inc()
+            request, exc = failures[0]
+            raise SimulationBatchError(
+                f"simulation request failed (tenant={request.tenant!r}, "
+                f"kind={request.kind!r}): {exc}",
+                outcomes=outcomes,
+                failures=failures,
+            ) from exc
+        return outcomes  # type: ignore[return-value]
+
+
+class SerialBackend(ExecutionBackend):
+    """Strictly inline execution in the calling process.
+
+    The reference backend: no worker processes, no executor state, nothing
+    to shut down. Every other backend is required to match its outcomes
+    bit-for-bit.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._executed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def executed(self) -> int:
+        return self._executed
+
+    def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
+        if not requests:
+            return []
+        with self._lock:
+            self._executed += len(requests)
+        self._record_batch(requests)
+        outcomes: list[SimulationOutcome | None] = []
+        failures: list[tuple[SimulationRequest, Exception]] = []
+        for request in requests:
+            try:
+                outcomes.append(execute_request(request))
+            except Exception as exc:  # re-raised by _finish_batch
+                outcomes.append(None)
+                failures.append((request, exc))
+        return self._finish_batch(outcomes, failures)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Delegates batches to a :class:`~repro.service.pool.SimulationPool`.
+
+    The default backend — today's behaviour, behind the protocol. Accepts
+    an existing pool (the service's historical ``pool=`` argument threads
+    through here) or builds one from ``max_workers``.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        pool: SimulationPool | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if pool is not None and max_workers is not None:
+            raise ServiceError("pass either an existing pool or max_workers, not both")
+        self.pool = pool if pool is not None else SimulationPool(max_workers=max_workers)
+
+    @property
+    def executed(self) -> int:
+        return self.pool.executed
+
+    def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
+        if requests:
+            self._record_batch(requests)
+        return self.pool.run(requests)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+
+def queue_task_id(request: SimulationRequest) -> str:
+    """Deterministic spool filename stem for one request.
+
+    Derived from the request's complete cache key, so a re-enqueued request
+    (a retried batch, a restarted service) lands on the same task file and
+    can reuse a result an earlier drain already produced.
+    """
+    tenant, digest, tag = request.cache_key()
+    return sha256(f"{tenant}|{digest}|{tag}".encode("utf-8")).hexdigest()[:24]
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Write-then-rename so readers only ever see complete files."""
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+def _drain_worker(spool: str) -> None:
+    """Worker-process entry point: claim and execute spooled tasks.
+
+    Claims by atomically renaming ``pending/<id>.pkl`` to
+    ``claimed/<id>.pkl`` (the rename either succeeds for exactly one worker
+    or raises), executes the request, and lands the pickled outcome in
+    ``done/<id>.out.pkl`` — or the pickled exception in ``done/<id>.err.pkl``
+    — via write-then-rename. Exits when the pending directory is empty.
+    A worker killed mid-task leaves its claim file behind; the collector
+    requeues the task and a fresh worker re-executes it (execution is
+    deterministic, so a replay is indistinguishable from the first run).
+    """
+    spool_dir = Path(spool)
+    pending = spool_dir / "pending"
+    claimed = spool_dir / "claimed"
+    done = spool_dir / "done"
+    while True:
+        entries = sorted(p for p in pending.iterdir() if p.suffix == ".pkl")
+        if not entries:
+            return
+        progressed = False
+        for entry in entries:
+            claim = claimed / entry.name
+            try:
+                os.rename(entry, claim)
+            except OSError:
+                continue  # a sibling worker claimed it first
+            progressed = True
+            task_id = entry.stem
+            try:
+                request = pickle.loads(claim.read_bytes())
+                outcome = execute_request(request)
+                blob = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+                _atomic_write(done / f"{task_id}.out.pkl", blob)
+            except Exception as exc:
+                try:
+                    blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    blob = pickle.dumps(ServiceError(repr(exc)))
+                _atomic_write(done / f"{task_id}.err.pkl", blob)
+            finally:
+                claim.unlink(missing_ok=True)
+        if not progressed:
+            # Everything visible was claimed by siblings; nothing left here.
+            return
+
+
+class LocalQueueBackend(ExecutionBackend):
+    """File-spooled task queue drained by restartable worker processes.
+
+    Every request is persisted to ``<spool>/pending/<task_id>.pkl`` before
+    any worker starts, so the batch survives the orchestrator: a service
+    killed mid-drain leaves the spool behind, and the re-run of the same
+    batch (task ids are deterministic — :func:`queue_task_id`) reuses every
+    ``done/`` result and re-executes only what is missing. Workers claim
+    tasks by atomic rename, so any number of them can drain one spool
+    without coordination; a worker that dies mid-task is detected by the
+    collector, its task requeued, and a replacement spawned (bounded by
+    ``max_attempts``).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        spool_dir: str | Path,
+        workers: int = 1,
+        poll_interval: float = 0.02,
+        max_attempts: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.spool = Path(spool_dir)
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self._executed = 0
+        self._lock = threading.Lock()
+        # Live workers across all in-flight batches (a sharded front-end
+        # may drain several batches concurrently); each run() manages its
+        # own workers and deregisters them here when they finish.
+        self._procs: list[multiprocessing.Process] = []
+        for sub in ("pending", "claimed", "done"):
+            (self.spool / sub).mkdir(parents=True, exist_ok=True)
+
+    @property
+    def executed(self) -> int:
+        return self._executed
+
+    # ------------------------------------------------------------------
+    # Spool paths
+    # ------------------------------------------------------------------
+    def _pending_path(self, task_id: str) -> Path:
+        return self.spool / "pending" / f"{task_id}.pkl"
+
+    def _claimed_path(self, task_id: str) -> Path:
+        return self.spool / "claimed" / f"{task_id}.pkl"
+
+    def _done_path(self, task_id: str) -> Path:
+        return self.spool / "done" / f"{task_id}.out.pkl"
+
+    def _error_path(self, task_id: str) -> Path:
+        return self.spool / "done" / f"{task_id}.err.pkl"
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _spawn_workers(
+        self, count: int, procs: list[multiprocessing.Process]
+    ) -> None:
+        """Start ``count`` drain workers, tracking them in ``procs``."""
+        count = max(1, count)
+        for _ in range(count):
+            proc = multiprocessing.Process(
+                target=_drain_worker, args=(str(self.spool),), daemon=True
+            )
+            proc.start()
+            procs.append(proc)
+        with self._lock:
+            self._procs.extend(procs[-count:])
+        OPS_METRICS.counter("queue.workers_spawned").inc(count)
+
+    def _release_workers(self, procs: list[multiprocessing.Process]) -> None:
+        """Join (then force-stop) one batch's workers and deregister them."""
+        for proc in procs:
+            proc.join(timeout=5.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        with self._lock:
+            self._procs = [p for p in self._procs if p not in procs]
+
+    def shutdown(self) -> None:
+        """Stop any workers still draining (idempotent and thread-safe)."""
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run(self, requests: list[SimulationRequest]) -> list[SimulationOutcome]:
+        if not requests:
+            return []
+        self._record_batch(requests)
+        ids = [queue_task_id(request) for request in requests]
+
+        # Enqueue: spool every request not already satisfied by a prior
+        # drain. A stale claim (a dead run's half-executed task) or error
+        # file is cleared so this run retries it fresh.
+        fresh: dict[str, bytes] = {}
+        reused: set[str] = set()
+        for request, task_id in zip(requests, ids):
+            if task_id in fresh or task_id in reused:
+                continue  # duplicate request within the batch
+            if self._done_path(task_id).exists():
+                reused.add(task_id)
+                OPS_METRICS.counter("queue.reused").inc()
+                continue
+            self._error_path(task_id).unlink(missing_ok=True)
+            self._claimed_path(task_id).unlink(missing_ok=True)
+            blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+            fresh[task_id] = blob
+            _atomic_write(self._pending_path(task_id), blob)
+        procs: list[multiprocessing.Process] = []
+        if fresh:
+            with self._lock:
+                self._executed += len(fresh)
+            OPS_METRICS.counter("queue.enqueued").inc(len(fresh))
+            self._spawn_workers(min(self.workers, len(fresh)), procs)
+
+        # Collect: poll for each task's result file; if every worker died
+        # with results still missing, requeue the stragglers and respawn.
+        results: dict[str, SimulationOutcome] = {}
+        errors: dict[str, Exception] = {}
+        unresolved = set(fresh) | reused
+        attempts = 1
+        while unresolved:
+            for task_id in sorted(unresolved):
+                out_path = self._done_path(task_id)
+                err_path = self._error_path(task_id)
+                if out_path.exists():
+                    results[task_id] = pickle.loads(out_path.read_bytes())
+                    unresolved.discard(task_id)
+                elif err_path.exists():
+                    errors[task_id] = pickle.loads(err_path.read_bytes())
+                    unresolved.discard(task_id)
+            if not unresolved:
+                break
+            if not any(proc.is_alive() for proc in procs):
+                # This batch's workers are gone but tasks remain: a crash
+                # mid-task (or a kill between spawn and claim). Requeue the
+                # stragglers and retry, bounded by max_attempts.
+                attempts += 1
+                if attempts > self.max_attempts:
+                    self._release_workers(procs)
+                    raise ServiceError(
+                        f"queue backend gave up on {len(unresolved)} task(s) "
+                        f"after {self.max_attempts} drain attempt(s); spool "
+                        f"kept at {self.spool}"
+                    )
+                OPS_METRICS.counter("queue.redrains").inc()
+                for task_id in sorted(unresolved):
+                    self._claimed_path(task_id).unlink(missing_ok=True)
+                    if task_id in fresh and not self._pending_path(task_id).exists():
+                        _atomic_write(self._pending_path(task_id), fresh[task_id])
+                self._spawn_workers(min(self.workers, len(unresolved)), procs)
+            time.sleep(self.poll_interval)
+
+        # Workers exit on their own once the pending directory drains.
+        self._release_workers(procs)
+
+        # Assemble outcomes in input order, then clear the batch's result
+        # files — collected outcomes now live with the caller (cache,
+        # campaign state), and a future retry of a *failed* request must
+        # re-execute it rather than replay its pickled exception.
+        outcomes: list[SimulationOutcome | None] = []
+        failures: list[tuple[SimulationRequest, Exception]] = []
+        for request, task_id in zip(requests, ids):
+            if task_id in errors:
+                outcomes.append(None)
+                failures.append((request, errors[task_id]))
+            else:
+                outcomes.append(results[task_id])
+        for task_id in set(ids):
+            self._done_path(task_id).unlink(missing_ok=True)
+            self._error_path(task_id).unlink(missing_ok=True)
+        return self._finish_batch(outcomes, failures)

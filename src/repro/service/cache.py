@@ -18,6 +18,7 @@ one-off what-ifs age out.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -68,6 +69,9 @@ class SimulationCache:
         self._store: OrderedDict[tuple[str, str, str], SimulationOutcome] = (
             OrderedDict()
         )
+        # One cache serves every shard thread of a sharded front-end, so
+        # lookups/stores and the LRU reordering they imply are serialized.
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -80,28 +84,36 @@ class SimulationCache:
         eviction ahead of colder entries.
         """
         key = request.cache_key()
-        outcome = self._store.get(key)
+        with self._lock:
+            outcome = self._store.get(key)
+            if outcome is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._store.move_to_end(key)
         if outcome is None:
-            self._misses += 1
             OPS_METRICS.counter("cache.misses").inc()
         else:
-            self._hits += 1
             OPS_METRICS.counter("cache.hits").inc()
-            self._store.move_to_end(key)
         return outcome
 
     def store(self, request: SimulationRequest, outcome: SimulationOutcome) -> None:
         """Memoize ``outcome`` under ``request``'s key, evicting LRU entries
         beyond ``max_entries``."""
         key = request.cache_key()
-        self._store[key] = outcome
-        self._store.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._store) > self.max_entries:
-                self._store.popitem(last=False)
-                self._evictions += 1
-                OPS_METRICS.counter("cache.evictions").inc()
-        OPS_METRICS.gauge("cache.size").set(len(self._store))
+        evicted = 0
+        with self._lock:
+            self._store[key] = outcome
+            self._store.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._store) > self.max_entries:
+                    self._store.popitem(last=False)
+                    self._evictions += 1
+                    evicted += 1
+            size = len(self._store)
+        if evicted:
+            OPS_METRICS.counter("cache.evictions").inc(evicted)
+        OPS_METRICS.gauge("cache.size").set(size)
 
     @property
     def stats(self) -> CacheStats:
@@ -120,18 +132,20 @@ class SimulationCache:
         beat mark, so consecutive calls partition the cumulative counters
         into disjoint per-beat deltas (``size`` stays absolute).
         """
-        now = self.stats
-        delta = now.delta(self._beat_mark)
-        self._beat_mark = now
+        with self._lock:
+            now = self.stats
+            delta = now.delta(self._beat_mark)
+            self._beat_mark = now
         return delta
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._store.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._beat_mark = self.stats
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._beat_mark = self.stats
 
     def __len__(self) -> int:
         return len(self._store)

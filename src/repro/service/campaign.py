@@ -256,6 +256,7 @@ class Campaign:
         rollout_policy: RolloutPolicy | None = None,
         require_flight_validation: bool = False,
         resume_halted_rollouts: bool = True,
+        resume_checkpoint: RolloutCheckpoint | None = None,
     ):
         if rounds < 1:
             raise ServiceError("a campaign needs at least one round")
@@ -302,6 +303,13 @@ class Campaign:
         #: Pending resume state: the halted rollout's checkpoint together
         #: with the plan/proposal it belongs to (None once resumed).
         self._halted: _HaltedRollout | None = None
+        #: Cross-campaign resume seed: a checkpoint harvested from an
+        #: *earlier* campaign (same tenant, same knobs — e.g. pulled from a
+        #: :class:`~repro.service.store.CampaignStore` after a service was
+        #: retired). Consumed by the first DEPLOY entry: instead of staging
+        #: the rollout from the pilot, the campaign re-enters at the
+        #: checkpoint's halted wave, exactly as an in-campaign halt would.
+        self._seed_checkpoint = resume_checkpoint
 
     @property
     def rollout_checkpoint(self) -> RolloutCheckpoint | None:
@@ -594,7 +602,7 @@ class Campaign:
                 f"skipped: {app.name!r} plans no pilot builds for this "
                 "proposal",
             )
-            self.phase = CampaignPhase.DEPLOY
+            self._enter_deploy()
 
     def _judge_flight(
         self, outcome: SimulationOutcome, gate_metric: str
@@ -651,7 +659,56 @@ class Campaign:
             CampaignPhase.FLIGHT,
             f"{len(outcome.flight_reports)} pilot flight(s) validated{gate_note}",
         )
+        self._enter_deploy()
+
+    def _enter_deploy(self) -> None:
+        """Move into DEPLOY, consuming a cross-campaign seed checkpoint.
+
+        The single entry point to the DEPLOY phase (flight-validated and
+        flight-skipped paths both land here). When the campaign was
+        launched with ``resume_checkpoint=``, the first entry validates the
+        seed against this round's staged plan — a checkpoint's covered
+        counts are only meaningful against the exact waves that produced
+        it — and re-stages the rollout to re-enter at the halted wave,
+        identically to how an in-campaign halt resumes.
+        """
         self.phase = CampaignPhase.DEPLOY
+        if self._seed_checkpoint is None:
+            return
+        checkpoint = self._seed_checkpoint
+        self._seed_checkpoint = None
+        plan = self._deploy_plan()
+        if plan is None:
+            raise ServiceError(
+                f"campaign {self.spec.name!r} was launched with a resume "
+                "checkpoint, but this round's proposal stages no rollout "
+                "plan to resume into"
+            )
+        if checkpoint.plan_fingerprint != plan.waves_fingerprint():
+            raise ServiceError(
+                f"campaign {self.spec.name!r}: seeded checkpoint was taken "
+                f"against different rollout waves "
+                f"(checkpoint {checkpoint.plan_fingerprint!r} != staged "
+                f"{plan.waves_fingerprint()!r}); a checkpoint only seeds a "
+                "campaign that stages the same plan"
+            )
+        assert self.tuning is not None
+        self._halted = _HaltedRollout(
+            checkpoint=checkpoint,
+            plan=plan,
+            flight_plan=self._flight_plan,
+            tuning=self.tuning,
+        )
+        self._staged_plan = self.application.resume_rollout_plan(plan, checkpoint)
+        OPS_METRICS.counter("campaign.rollout_resumes").inc()
+        self._log(
+            CampaignPhase.DEPLOY,
+            f"resuming seeded rollout at wave {checkpoint.halted_wave!r} "
+            f"(wave {checkpoint.halted_before_wave + 1}/"
+            f"{len(self._staged_plan)}; "
+            f"{checkpoint.machines_deployed} machine(s) restored from a "
+            "prior campaign's checkpoint)",
+        )
 
     def _converge_advisory(
         self,

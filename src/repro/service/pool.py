@@ -15,6 +15,7 @@ same outputs), which ``tests/test_service.py`` asserts.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -313,6 +314,10 @@ class SimulationPool:
         self.max_workers = max_workers
         self.executed = 0  # requests actually simulated (cache bypasses this)
         self._executor: ProcessPoolExecutor | None = None
+        # Guards lazy executor creation and release: sharded front-ends may
+        # drive one pool from several threads, and shutdown must be safe to
+        # call twice even if the first call raised mid-release.
+        self._lock = threading.Lock()
 
     @property
     def parallel(self) -> bool:
@@ -333,7 +338,8 @@ class SimulationPool:
         """
         if not requests:
             return []
-        self.executed += len(requests)
+        with self._lock:
+            self.executed += len(requests)
         OPS_METRICS.counter("pool.batches").inc()
         OPS_METRICS.histogram("pool.batch_fanout").observe(len(requests))
         failures: list[tuple[SimulationRequest, Exception]] = []
@@ -346,10 +352,14 @@ class SimulationPool:
                     outcomes.append(None)
                     failures.append((request, exc))
         else:
-            if self._executor is None:
-                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            with self._lock:
+                if self._executor is None:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+                executor = self._executor
             futures = [
-                self._executor.submit(execute_request, request)
+                executor.submit(execute_request, request)
                 for request in requests
             ]
             for request, future in zip(requests, futures):
@@ -376,10 +386,22 @@ class SimulationPool:
         return outcomes
 
     def shutdown(self) -> None:
-        """Release the worker processes (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Release the worker processes (idempotent and thread-safe).
+
+        The executor reference is detached *before* its release runs, so a
+        second call — from another thread, an ``__exit__`` after an explicit
+        ``close()``, or a retry after a failed batch left the pool in an
+        odd state — is a guaranteed no-op even if the first release raised
+        partway through.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (file-like convention)."""
+        self.shutdown()
 
     def __enter__(self) -> "SimulationPool":
         return self

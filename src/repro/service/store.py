@@ -1,0 +1,252 @@
+"""Durable campaign state: the service's restart story.
+
+A production tuning service outlives any single process — KEA's campaigns
+run for days while services redeploy underneath them. :class:`CampaignStore`
+persists each :class:`~repro.service.campaign.Campaign`'s complete mutable
+state (phase, round, adopted baseline, audit history, cost ledger, pending
+flight/rollout plans, halted-rollout checkpoint) to one versioned record
+per tenant, written atomically (write-then-rename), so a restarted service
+reconstructs every tenant exactly mid-round and resumes **bit-identically**
+to a run that was never interrupted — campaigns are deterministic functions
+of their state, so replaying from the last persisted beat reproduces the
+uninterrupted trajectory.
+
+Records are a pickle envelope (``{"version", "state"}``) plus a small JSON
+sidecar (tenant, scenario, application, phase, round) that operators and
+:meth:`CampaignStore.tenants` can read without unpickling anything. The
+envelope version is checked loudly on load: a record written by an
+incompatible schema raises rather than resurrecting a half-wrong campaign.
+
+One deliberate non-goal: live :class:`~repro.core.application.
+TuningApplication` instances are *not* pickled (they may hold a bound
+``Kea`` host or a deferred factory closure). The record stores the
+application's registry name and restore recreates it via
+:data:`~repro.core.application.APPLICATIONS` — campaigns never consume
+application-instance state across beats, so the swap is invisible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+from hashlib import sha256
+from pathlib import Path
+
+from repro.flighting.deployment import RolloutCheckpoint
+from repro.obs.metrics import OPS_METRICS
+from repro.service.campaign import Campaign, CampaignPhase
+from repro.utils.errors import ServiceError
+
+__all__ = [
+    "CAMPAIGN_STATE_VERSION",
+    "CampaignStore",
+    "snapshot_campaign",
+    "restore_campaign",
+]
+
+#: Schema version of persisted campaign records. Bump whenever
+#: :func:`snapshot_campaign`'s field set changes shape; loads reject
+#: records from any other version instead of guessing.
+CAMPAIGN_STATE_VERSION = 1
+
+
+def snapshot_campaign(campaign: Campaign) -> dict:
+    """Everything needed to reconstruct ``campaign`` exactly, as plain data.
+
+    Captures both the launch recipe (spec, scenario, guardrails, window
+    sizes, application *name*) and the full mutable trajectory (phase,
+    round, config, history, plans, halt state). The what-if engine is
+    deliberately dropped: it is calibrated and consumed inside a single
+    ``advance()`` call and never crosses a beat boundary.
+    """
+    return {
+        "spec": campaign.spec,
+        "scenario": campaign.scenario,
+        "guardrails": campaign.guardrails,
+        "rounds": campaign.rounds,
+        "observe_days": campaign.observe_days,
+        "impact_days": campaign.impact_days,
+        "flight_hours": campaign.flight_hours,
+        "machines_per_group": campaign.machines_per_group,
+        "initial_config": campaign._initial_config.copy(),
+        "config": campaign.config.copy(),
+        "application": campaign.application.name,
+        "rollout_policy": campaign.rollout_policy,
+        "require_flight_validation": campaign.require_flight_validation,
+        "resume_halted_rollouts": campaign.resume_halted_rollouts,
+        "round": campaign.round,
+        "phase": campaign.phase.value,
+        "cost_ledger": campaign.cost_ledger,
+        "history": list(campaign.history),
+        "deployments": campaign.deployments,
+        "rollbacks": campaign.rollbacks,
+        "snapshots": list(campaign.snapshots),
+        "tuning": campaign.tuning,
+        "last_impact": campaign.last_impact,
+        "flight_validations": list(campaign.flight_validations),
+        "rollout_waves": list(campaign.rollout_waves),
+        "flight_plan": campaign._flight_plan,
+        "staged_plan": campaign._staged_plan,
+        "halted": campaign._halted,
+        "seed_checkpoint": campaign._seed_checkpoint,
+    }
+
+
+def restore_campaign(state: dict) -> Campaign:
+    """Rebuild a live :class:`Campaign` from a :func:`snapshot_campaign` dict."""
+    campaign = Campaign(
+        spec=state["spec"],
+        scenario=state["scenario"],
+        guardrails=state["guardrails"],
+        rounds=state["rounds"],
+        observe_days=state["observe_days"],
+        impact_days=state["impact_days"],
+        flight_hours=state["flight_hours"],
+        machines_per_group=state["machines_per_group"],
+        initial_config=state["initial_config"],
+        application=state["application"],
+        rollout_policy=state["rollout_policy"],
+        require_flight_validation=state["require_flight_validation"],
+        resume_halted_rollouts=state["resume_halted_rollouts"],
+    )
+    campaign.config = state["config"].copy()
+    campaign.round = state["round"]
+    campaign.phase = CampaignPhase(state["phase"])
+    campaign.cost_ledger = state["cost_ledger"]
+    campaign.history = list(state["history"])
+    campaign.deployments = state["deployments"]
+    campaign.rollbacks = state["rollbacks"]
+    campaign.snapshots = list(state["snapshots"])
+    campaign.engine = None
+    campaign.tuning = state["tuning"]
+    campaign.last_impact = state["last_impact"]
+    campaign.flight_validations = list(state["flight_validations"])
+    campaign.rollout_waves = list(state["rollout_waves"])
+    campaign._flight_plan = state["flight_plan"]
+    campaign._staged_plan = state["staged_plan"]
+    campaign._halted = state["halted"]
+    campaign._seed_checkpoint = state["seed_checkpoint"]
+    return campaign
+
+
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class CampaignStore:
+    """One atomic, versioned record per tenant under a root directory.
+
+    Writes never leave a partial record behind: the pickle payload and its
+    JSON sidecar are each written to a temp file and ``os.replace``d into
+    place, so a crash mid-save leaves the *previous* complete record (or
+    nothing) — never garbage a restart would trip over.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _slug(self, tenant: str) -> str:
+        """Filesystem-safe stem for a tenant name (collision-proofed)."""
+        safe = _SLUG_UNSAFE.sub("_", tenant)
+        if safe != tenant or not safe:
+            safe = f"{safe or 'tenant'}-{sha256(tenant.encode('utf-8')).hexdigest()[:8]}"
+        return safe
+
+    def record_path(self, tenant: str) -> Path:
+        """Where ``tenant``'s pickle record lives."""
+        return self.root / f"{self._slug(tenant)}.campaign.pkl"
+
+    def meta_path(self, tenant: str) -> Path:
+        """Where ``tenant``'s JSON sidecar lives."""
+        return self.root / f"{self._slug(tenant)}.campaign.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, blob: bytes) -> None:
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, campaign: Campaign) -> Path:
+        """Persist one campaign's current state (atomic; overwrites)."""
+        tenant = campaign.spec.name
+        state = snapshot_campaign(campaign)
+        blob = pickle.dumps(
+            {"version": CAMPAIGN_STATE_VERSION, "state": state},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        meta = {
+            "version": CAMPAIGN_STATE_VERSION,
+            "tenant": tenant,
+            "scenario": campaign.scenario.name,
+            "application": campaign.application.name,
+            "phase": campaign.phase.value,
+            "round": campaign.round,
+        }
+        path = self.record_path(tenant)
+        self._atomic_write(path, blob)
+        self._atomic_write(
+            self.meta_path(tenant),
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        OPS_METRICS.counter("store.saves").inc()
+        OPS_METRICS.histogram("store.record_bytes").observe(len(blob))
+        OPS_METRICS.gauge("store.campaigns").set(len(self.tenants()))
+        return path
+
+    def load(self, tenant: str) -> Campaign:
+        """Reconstruct ``tenant``'s campaign; loud on missing/foreign records."""
+        path = self.record_path(tenant)
+        if not path.exists():
+            raise ServiceError(
+                f"no persisted campaign for tenant {tenant!r} under {self.root}"
+            )
+        envelope = pickle.loads(path.read_bytes())
+        version = envelope.get("version") if isinstance(envelope, dict) else None
+        if version != CAMPAIGN_STATE_VERSION:
+            raise ServiceError(
+                f"campaign record for {tenant!r} has version {version!r}; "
+                f"this build reads version {CAMPAIGN_STATE_VERSION}"
+            )
+        OPS_METRICS.counter("store.loads").inc()
+        return restore_campaign(envelope["state"])
+
+    def load_all(self) -> dict[str, Campaign]:
+        """Every persisted campaign, keyed and sorted by tenant name."""
+        return {tenant: self.load(tenant) for tenant in self.tenants()}
+
+    def tenants(self) -> list[str]:
+        """Tenant names with a persisted record, sorted."""
+        names = []
+        for meta_file in self.root.glob("*.campaign.json"):
+            try:
+                names.append(json.loads(meta_file.read_text())["tenant"])
+            except (json.JSONDecodeError, KeyError):
+                continue  # a foreign or torn sidecar is not a campaign
+        return sorted(names)
+
+    def checkpoint(self, tenant: str) -> RolloutCheckpoint | None:
+        """Harvest ``tenant``'s pending rollout checkpoint (None if none).
+
+        The cross-service resume hook: a checkpoint pulled from one
+        service's store can seed a fresh campaign elsewhere via
+        ``Campaign(resume_checkpoint=...)``.
+        """
+        return self.load(tenant).rollout_checkpoint
+
+    def discard(self, tenant: str) -> None:
+        """Delete one tenant's record (no-op if absent)."""
+        self.record_path(tenant).unlink(missing_ok=True)
+        self.meta_path(tenant).unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        """Delete every record in the store."""
+        for tenant in self.tenants():
+            self.discard(tenant)

@@ -21,7 +21,10 @@ from repro.service import (
     CampaignPhase,
     ContinuousTuningService,
     FleetRegistry,
+    LocalQueueBackend,
+    ProcessPoolBackend,
     Scenario,
+    SerialBackend,
     SimulationCache,
     SimulationOutcome,
     SimulationPool,
@@ -73,6 +76,32 @@ def make_impact(
     )
 
 
+def assert_fleet_reports_identical(got, want):
+    """Field-wise bit-identity of two fleet campaign runs.
+
+    Deliberately field-wise rather than whole-object equality: report
+    metadata such as ``backend`` and wall-clock ledger seconds are
+    out-of-band and legitimately differ between equivalent runs.
+    """
+    assert set(got.reports) == set(want.reports)
+    for name, want_report in want.reports.items():
+        got_report = got.reports[name]
+        assert got_report.final_phase == want_report.final_phase
+        assert got_report.capacity_after == want_report.capacity_after
+        assert [
+            (e.round, e.phase, e.detail) for e in got_report.history
+        ] == [(e.round, e.phase, e.detail) for e in want_report.history]
+        assert got_report.rollout_waves == want_report.rollout_waves
+        assert got_report.rollout_checkpoint == want_report.rollout_checkpoint
+        if want_report.last_impact is not None:
+            assert got_report.last_impact is not None
+            for field in ("throughput", "latency"):
+                g = getattr(got_report.last_impact, field)
+                w = getattr(want_report.last_impact, field)
+                assert g.effect == w.effect
+                assert g.test.p_value == w.test.p_value
+
+
 # ----------------------------------------------------------------------
 # Expensive fixtures: one serial and one parallel multi-tenant campaign
 # ----------------------------------------------------------------------
@@ -97,6 +126,23 @@ def parallel_run():
     ) as service:
         assert service.pool.parallel
         yield service.run_campaigns(scenario="diurnal-baseline", **CAMPAIGN_KW)
+
+
+@pytest.fixture(scope="module", params=["serial", "pool", "queue"])
+def backend_run(request, tmp_path_factory):
+    """The same fleet campaign executed once per execution backend."""
+    if request.param == "serial":
+        backend = SerialBackend()
+    elif request.param == "pool":
+        backend = ProcessPoolBackend(max_workers=2)
+    else:
+        backend = LocalQueueBackend(
+            tmp_path_factory.mktemp("spool"), workers=2
+        )
+    with ContinuousTuningService(make_registry(), backend=backend) as service:
+        report = service.run_campaigns(scenario="diurnal-baseline", **CAMPAIGN_KW)
+        assert report.backend == backend.name
+        yield report
 
 
 # ----------------------------------------------------------------------
@@ -637,26 +683,14 @@ class TestEndToEnd:
 
     def test_parallel_run_matches_serial_exactly(self, serial_run, parallel_run):
         """Same seeds and tags → bit-identical results, pool or no pool."""
-        assert set(parallel_run.reports) == set(serial_run.reports)
-        for name, serial_report in serial_run.reports.items():
-            parallel_report = parallel_run.reports[name]
-            assert parallel_report.final_phase == serial_report.final_phase
-            assert parallel_report.capacity_after == serial_report.capacity_after
-            assert [
-                (e.round, e.phase, e.detail) for e in parallel_report.history
-            ] == [(e.round, e.phase, e.detail) for e in serial_report.history]
-            assert parallel_report.rollout_waves == serial_report.rollout_waves
-            assert (
-                parallel_report.rollout_checkpoint
-                == serial_report.rollout_checkpoint
-            )
-            if serial_report.last_impact is not None:
-                assert parallel_report.last_impact is not None
-                for field in ("throughput", "latency"):
-                    s = getattr(serial_report.last_impact, field)
-                    p = getattr(parallel_report.last_impact, field)
-                    assert p.effect == s.effect
-                    assert p.test.p_value == s.test.p_value
+        assert_fleet_reports_identical(parallel_run, serial_run)
+
+    def test_every_backend_matches_the_serial_reference(
+        self, serial_run, backend_run
+    ):
+        """Inline, process-pooled, and file-queued execution all produce
+        the same fleet report bit for bit."""
+        assert_fleet_reports_identical(backend_run, serial_run)
 
     def test_cache_absorbs_a_repeated_campaign(self, serial_service, serial_run):
         executed_before = serial_service.pool.executed
