@@ -5,9 +5,11 @@ the committed baselines in ``benchmarks/baselines/`` and fails (exit code 1)
 when any row's wall-clock regresses beyond the tolerance band. Three gates
 are wired in: the application suite (``BENCH_applications.json``, rows under
 ``"applications"``), the staged-rollout suite (``BENCH_rollout.json``, rows
-under ``"rollouts"``), and the execution-backend service suite
+under ``"rollouts"``), the execution-backend service suite
 (``BENCH_service.json``, rows under ``"service"``: serial / parallel /
-queue-backend wall-clock). Wall-clock on shared CI runners is noisy, so the
+queue-backend wall-clock), and the fleet-scale simulator sweep
+(``BENCH_simulator.json``, rows under ``"sweep"``: per-fleet-size simulator
+wall-clock). Wall-clock on shared CI runners is noisy, so the
 gate is deliberately two-sided-generous: a regression only fails when the
 current time exceeds ``tolerance`` × baseline *and* the absolute slowdown
 exceeds ``min_seconds`` (sub-second jitter on a fast path never trips it).
@@ -54,6 +56,12 @@ GATES = (
         HERE / "out" / "BENCH_service.json",
         HERE / "baselines" / "BENCH_service.json",
         "service",
+    ),
+    (
+        "simulator",
+        HERE / "out" / "BENCH_simulator.json",
+        HERE / "baselines" / "BENCH_simulator.json",
+        "sweep",
     ),
 )
 

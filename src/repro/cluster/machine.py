@@ -261,8 +261,17 @@ class Machine:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
-    def flush_hour(self, now: float, hour: int) -> MachineHourRecord:
-        """Emit the machine-hour record ending at ``now`` and reset integrals."""
+    def _finish_hour(self, now: float) -> tuple:
+        """Close the hour's integrals and return the computed hour values.
+
+        Shared between the columnar and record-level flush paths so the two
+        can never drift. Returns the value tuple *before* resetting, in
+        record-field order: (cpu_utilization, avg_running_containers,
+        total_data_read_bytes, tasks_finished, total_cpu_seconds,
+        total_task_seconds, avg_cores_in_use, avg_ram_gb_in_use,
+        avg_ssd_gb_in_use, avg_power_watts, queue_avg_length,
+        queue_enqueued, queue_dequeued, queue_waits).
+        """
         self.advance(now)
         seconds = 3600.0
         if self._uncapped_seconds > 0.0:
@@ -273,7 +282,96 @@ class Machine:
                 self.sku.power_idle_watts * self._uncapped_seconds
                 + dynamic * self._uncapped_util_pow_seconds
             )
-        record = MachineHourRecord(
+        values = (
+            self._int_active_cores / (self.sku.cores * seconds),
+            self._int_containers / seconds,
+            self._int_io_bytes,
+            self._tasks_finished,
+            self._cpu_seconds,
+            self._task_seconds,
+            self._int_active_cores / seconds,
+            self._int_ram / seconds,
+            self._int_ssd / seconds,
+            self._int_power / seconds,
+            self._int_queue_len / seconds,
+            self._queue_enqueued,
+            self._queue_dequeued,
+            self._queue_waits,
+        )
+        self._reset_accumulators()
+        return values
+
+    def flush_hour_into(self, now: float, hour: int, frame) -> None:
+        """Append the machine-hour ending at ``now`` straight into ``frame``.
+
+        The simulator hot path: no per-record dataclass is allocated — the
+        hour's values land directly in the frame's column buffers.
+        """
+        (
+            cpu_utilization,
+            avg_running_containers,
+            total_data_read_bytes,
+            tasks_finished,
+            total_cpu_seconds,
+            total_task_seconds,
+            avg_cores_in_use,
+            avg_ram_gb_in_use,
+            avg_ssd_gb_in_use,
+            avg_power_watts,
+            queue_avg_length,
+            queue_enqueued,
+            queue_dequeued,
+            queue_waits,
+        ) = self._finish_hour(now)
+        # Positional call in append_hour's declared order: this runs once
+        # per machine-hour, and keyword packing is measurable at fleet scale.
+        frame.append_hour(
+            self.machine_id,
+            self.name,
+            self.sku.name,
+            self.software.name,
+            self.rack,
+            self.row,
+            self.subcluster,
+            hour,
+            cpu_utilization,
+            avg_running_containers,
+            total_data_read_bytes,
+            tasks_finished,
+            total_cpu_seconds,
+            total_task_seconds,
+            avg_cores_in_use,
+            avg_ram_gb_in_use,
+            avg_ssd_gb_in_use,
+            avg_power_watts,
+            self.cap_watts,
+            self.feature_enabled,
+            self.max_running_containers,
+            queue_avg_length,
+            queue_enqueued,
+            queue_dequeued,
+            queue_waits,
+        )
+
+    def flush_hour(self, now: float, hour: int) -> MachineHourRecord:
+        """Emit the machine-hour record ending at ``now`` and reset integrals."""
+        (
+            cpu_utilization,
+            avg_running_containers,
+            total_data_read_bytes,
+            tasks_finished,
+            total_cpu_seconds,
+            total_task_seconds,
+            avg_cores_in_use,
+            avg_ram_gb_in_use,
+            avg_ssd_gb_in_use,
+            avg_power_watts,
+            queue_avg_length,
+            queue_enqueued,
+            queue_dequeued,
+            queue_waits,
+        ) = self._finish_hour(now)
+        return MachineHourRecord(
             machine_id=self.machine_id,
             machine_name=self.name,
             sku=self.sku.name,
@@ -282,28 +380,26 @@ class Machine:
             row=self.row,
             subcluster=self.subcluster,
             hour=hour,
-            cpu_utilization=self._int_active_cores / (self.sku.cores * seconds),
-            avg_running_containers=self._int_containers / seconds,
-            total_data_read_bytes=self._int_io_bytes,
-            tasks_finished=self._tasks_finished,
-            total_cpu_seconds=self._cpu_seconds,
-            total_task_seconds=self._task_seconds,
-            avg_cores_in_use=self._int_active_cores / seconds,
-            avg_ram_gb_in_use=self._int_ram / seconds,
-            avg_ssd_gb_in_use=self._int_ssd / seconds,
-            avg_power_watts=self._int_power / seconds,
+            cpu_utilization=cpu_utilization,
+            avg_running_containers=avg_running_containers,
+            total_data_read_bytes=total_data_read_bytes,
+            tasks_finished=tasks_finished,
+            total_cpu_seconds=total_cpu_seconds,
+            total_task_seconds=total_task_seconds,
+            avg_cores_in_use=avg_cores_in_use,
+            avg_ram_gb_in_use=avg_ram_gb_in_use,
+            avg_ssd_gb_in_use=avg_ssd_gb_in_use,
+            avg_power_watts=avg_power_watts,
             power_cap_watts=self.cap_watts,
             feature_enabled=self.feature_enabled,
             max_running_containers=self.max_running_containers,
             queue=QueueStats(
-                avg_length=self._int_queue_len / seconds,
-                enqueued=self._queue_enqueued,
-                dequeued=self._queue_dequeued,
-                waits=self._queue_waits,
+                avg_length=queue_avg_length,
+                enqueued=queue_enqueued,
+                dequeued=queue_dequeued,
+                waits=queue_waits,
             ),
         )
-        self._reset_accumulators()
-        return record
 
     def apply_limits(self, limits: GroupLimits) -> None:
         """Apply new YARN limits (running tasks are never killed)."""

@@ -13,8 +13,10 @@ scheduler reproduces that contract:
   number of running containers"). Faster machines free slots more often and
   therefore drain their queues faster — the asymmetry behind Figure 12.
 
-The free-slot set uses a swap-pop list + position map so placement is O(1)
-even with hundreds of thousands of placements per simulated day.
+Both the free-slot set and the queue-space set use a swap-pop list +
+position map so placement — started *or* queued — is O(1) even with
+hundreds of thousands of placements per simulated day and fleets of
+thousands of machines.
 """
 
 from __future__ import annotations
@@ -43,25 +45,34 @@ class PlacementResult:
 class YarnScheduler:
     """Uniform-random placement with per-machine low-priority queues."""
 
-    # How many random probes to try before scanning for queue space.
+    # How many random probes to try before the queue-space-set fallback.
     _QUEUE_PROBES = 8
 
     def __init__(self, cluster: Cluster, seed: int = 0):
         self.cluster = cluster
         self._rng = random.Random(seed)
+        # The queue-space fallback draws from its own stream: the legacy
+        # fallback was a deterministic scan that consumed nothing from the
+        # placement stream, so the O(1) replacement must not perturb it
+        # either — every simulation keeps its exact placement sequence.
+        self._fallback_rng = random.Random(seed ^ 0x5EED5EED)
         self._available: list[Machine] = []
         self._pos: dict[int, int] = {}
+        self._queue_space: list[Machine] = []
+        self._queue_pos: dict[int, int] = {}
         self.placements = 0
         self.queued_placements = 0
         self.rebuild()
 
     # ------------------------------------------------------------------
-    # Free-slot set maintenance
+    # Free-slot / queue-space set maintenance
     # ------------------------------------------------------------------
     def rebuild(self) -> None:
-        """Recompute the free-slot set from machine state (after config changes)."""
+        """Recompute both membership sets from machine state (after config changes)."""
         self._available = [m for m in self.cluster.machines if m.has_free_slot]
         self._pos = {m.machine_id: i for i, m in enumerate(self._available)}
+        self._queue_space = [m for m in self.cluster.machines if m.has_queue_space]
+        self._queue_pos = {m.machine_id: i for i, m in enumerate(self._queue_space)}
 
     def _add_available(self, machine: Machine) -> None:
         if machine.machine_id in self._pos:
@@ -78,17 +89,41 @@ class YarnScheduler:
             self._available[index] = last
             self._pos[last.machine_id] = index
 
+    def _add_queue_space(self, machine: Machine) -> None:
+        if machine.machine_id in self._queue_pos:
+            return
+        self._queue_pos[machine.machine_id] = len(self._queue_space)
+        self._queue_space.append(machine)
+
+    def _remove_queue_space(self, machine: Machine) -> None:
+        index = self._queue_pos.pop(machine.machine_id, None)
+        if index is None:
+            return
+        last = self._queue_space.pop()
+        if last.machine_id != machine.machine_id:
+            self._queue_space[index] = last
+            self._queue_pos[last.machine_id] = index
+
     def refresh_machine(self, machine: Machine) -> None:
-        """Re-evaluate one machine's free-slot membership (after limit change)."""
+        """Re-evaluate one machine's set memberships (after limit/queue change)."""
         if machine.has_free_slot:
             self._add_available(machine)
         else:
             self._remove_available(machine)
+        if machine.has_queue_space:
+            self._add_queue_space(machine)
+        else:
+            self._remove_queue_space(machine)
 
     @property
     def free_slot_machines(self) -> int:
         """How many machines currently have at least one free slot."""
         return len(self._available)
+
+    @property
+    def queue_space_machines(self) -> int:
+        """How many machines currently have container-queue space."""
+        return len(self._queue_space)
 
     # ------------------------------------------------------------------
     # Placement
@@ -101,6 +136,8 @@ class YarnScheduler:
             return PlacementResult(machine=machine, started=True, queued=False)
         machine = self._pick_queue_machine()
         machine.enqueue(now, task)
+        if not machine.has_queue_space:
+            self._remove_queue_space(machine)
         self.queued_placements += 1
         return PlacementResult(machine=machine, started=False, queued=True)
 
@@ -110,21 +147,20 @@ class YarnScheduler:
             candidate = machines[self._rng.randrange(len(machines))]
             if candidate.has_queue_space:
                 return candidate
-        # Queues are nearly everywhere full: take the shortest queue we can find.
-        best = min(machines, key=lambda m: len(m.queue))
-        if not best.has_queue_space:
+        # Queues are nearly everywhere full: pick uniformly among the
+        # machines that still have space — O(1) via the queue-space set,
+        # where the old fallback was an O(n) min() scan per queued
+        # placement under overload.
+        if not self._queue_space:
             raise SchedulingError(
                 "every machine's container queue is full; the cluster is "
                 "overloaded beyond its configured queueing capacity"
             )
-        return best
+        return self._queue_space[
+            self._fallback_rng.randrange(len(self._queue_space))
+        ]
 
     def note_started(self, machine: Machine) -> None:
         """Bookkeeping after a container actually starts on ``machine``."""
         if not machine.has_free_slot:
             self._remove_available(machine)
-
-    def note_finished(self, machine: Machine) -> None:
-        """Bookkeeping after a container finishes on ``machine``."""
-        if machine.has_free_slot and not machine.queue:
-            self._add_available(machine)

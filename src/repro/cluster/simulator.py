@@ -39,6 +39,8 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.machine import Machine
 from repro.cluster.scheduler import YarnScheduler
 from repro.obs.profile import SimulatorProfile
+from repro.obs.trace import current_tracer
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.records import (
     JobRecord,
     MachineHourRecord,
@@ -145,9 +147,15 @@ class ObservationSpec:
 
 @dataclass
 class SimulationResult:
-    """Everything a simulation run produced."""
+    """Everything a simulation run produced.
 
-    records: list[MachineHourRecord] = field(default_factory=list)
+    Machine-hour telemetry lives in a columnar
+    :class:`~repro.telemetry.frame.MachineHourFrame`; :attr:`records` stays
+    available as the frame's lazy, cached record materialization so
+    record-level consumers keep working unchanged.
+    """
+
+    frame: MachineHourFrame = field(default_factory=MachineHourFrame)
     jobs: list[JobRecord] = field(default_factory=list)
     task_log: TaskLog = field(default_factory=TaskLog)
     resource_samples: list[ResourceSample] = field(default_factory=list)
@@ -160,6 +168,11 @@ class SimulationResult:
     # Wall-clock attribution of the run itself (placement / event processing
     # / telemetry rollup). Out-of-band: never read by simulation logic.
     profile: SimulatorProfile = field(default_factory=SimulatorProfile)
+
+    @property
+    def records(self) -> list[MachineHourRecord]:
+        """Record-level view of the telemetry frame (lazy, cached)."""
+        return self.frame.to_records()
 
     @property
     def tasks_per_day(self) -> float:
@@ -200,9 +213,15 @@ class ClusterSimulator:
         streams: RngStreams | None = None,
         config: SimulationConfig | None = None,
         run_token: str | None = None,
+        profile: bool | None = None,
     ):
         self.cluster = cluster
         self.workload = workload
+        # Wall-clock profiling gate. None means auto: profile exactly when a
+        # recording tracer is active at run start, so traced runs keep full
+        # phase attribution while plain runs pay zero perf_counter() calls.
+        self._profile = profile
+        self._profiling = bool(profile)
         self.streams = streams if streams is not None else RngStreams(0)
         self.config = config if config is not None else SimulationConfig()
         # The run-scoped task-identity token. Derived from the stream seed
@@ -280,12 +299,16 @@ class ClusterSimulator:
 
         heap = self._heap
         profile = self.result.profile
+        profiling = (
+            current_tracer().enabled if self._profile is None else self._profile
+        )
+        self._profiling = profiling
         while heap:
             time, kind, _seq, payload = heapq.heappop(heap)
             if time > horizon:
                 break
             self.now = time
-            tick = perf_counter()
+            tick = perf_counter() if profiling else 0.0
             if kind == _FINISH:
                 self._handle_finish(payload)
             elif kind == _ARRIVAL:
@@ -314,12 +337,13 @@ class ClusterSimulator:
             # finishes, actions, retries) is event processing. Placement time
             # nests inside event dispatches and is carved out by
             # SimulatorProfile.as_phases().
-            if kind == _HOUR or kind == _SAMPLE:
-                profile.telemetry_seconds += perf_counter() - tick
-                profile.telemetry_events += 1
-            else:
-                profile.event_seconds += perf_counter() - tick
-                profile.events += 1
+            if profiling:
+                if kind == _HOUR or kind == _SAMPLE:
+                    profile.telemetry_seconds += perf_counter() - tick
+                    profile.telemetry_events += 1
+                else:
+                    profile.event_seconds += perf_counter() - tick
+                    profile.events += 1
 
         self.now = horizon
         self.result.duration_hours = duration_hours
@@ -347,13 +371,16 @@ class ClusterSimulator:
             self._place(job, task)
 
     def _place(self, job: JobRuntime, task: Task, retried: bool = False) -> None:
-        profile = self.result.profile
-        tick = perf_counter()
+        profiling = self._profiling
+        if profiling:
+            profile = self.result.profile
+            tick = perf_counter()
         try:
             placement = self.scheduler.place(task, self.now)
         except SchedulingError:
-            profile.placement_seconds += perf_counter() - tick
-            profile.placements += 1
+            if profiling:
+                profile.placement_seconds += perf_counter() - tick
+                profile.placements += 1
             # Every queue is full: back off and retry instead of failing —
             # finite tuned queue limits must be simulable under overload.
             # Each task counts once, however many retries it takes.
@@ -361,8 +388,9 @@ class ClusterSimulator:
                 self.result.tasks_deferred += 1
             self._push(self.now + self.config.placement_retry_s, _RETRY, (job, task))
             return
-        profile.placement_seconds += perf_counter() - tick
-        profile.placements += 1
+        if profiling:
+            profile.placement_seconds += perf_counter() - tick
+            profile.placements += 1
         if placement.started:
             self._start_on(placement.machine, job, task, queue_wait=0.0)
             self.scheduler.note_started(placement.machine)
@@ -443,9 +471,9 @@ class ClusterSimulator:
 
     def _flush_hour(self, hour: int) -> None:
         end = (hour + 1) * SECONDS_PER_HOUR
-        records = self.result.records
+        frame = self.result.frame
         for machine in self.cluster.machines:
-            records.append(machine.flush_hour(end, hour))
+            machine.flush_hour_into(end, hour, frame)
 
     # ------------------------------------------------------------------
     # Resource sampling (Figure 13 data)

@@ -131,7 +131,7 @@ class PowerCappingStudy:
             builds = apply_power_capping_groups(cluster, assignment)
             simulator = self.simulator_factory(cluster)
             sim_result = simulator.run(hours_per_round)
-            monitor = PerformanceMonitor(sim_result.records)
+            monitor = PerformanceMonitor(sim_result.frame)
             result.outcomes.extend(
                 analyze_power_capping(monitor, assignment, metrics=metrics)
             )

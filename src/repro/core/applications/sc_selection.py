@@ -148,7 +148,7 @@ class ScSelectionExperiment:
         """Prepare arms, simulate ``days`` workdays, and analyze."""
         assignment = self.prepare(n_racks=n_racks)
         result = simulator.run(days * 24.0)
-        return self.analyze(result.records, assignment, n_days=days)
+        return self.analyze(result.frame, assignment, n_days=days)
 
 
 @register_application

@@ -298,7 +298,7 @@ class Kea:
         attach_profile_spans(tracer, sim_span, result.profile)
         return Observation(
             cluster=cluster,
-            monitor=PerformanceMonitor(result.records),
+            monitor=PerformanceMonitor(result.frame),
             result=result,
             days=days,
         )
@@ -526,7 +526,7 @@ class Kea:
         ) as flight_span:
             result = simulator.run(hours)
         attach_profile_spans(tracer, flight_span, result.profile)
-        monitor = PerformanceMonitor(result.records)
+        monitor = PerformanceMonitor(result.frame)
         for flight in flights:
             reports.append(tool.evaluate(flight, monitor, metrics=metrics))
         verdict = safety_gate.evaluate(simulator) if safety_gate is not None else None
@@ -662,7 +662,7 @@ class Kea:
                     actions=stage_waves,
                 )
         execution = executions[0]
-        DeploymentModule.attach_wave_impacts(after.result.records, execution)
+        DeploymentModule.attach_wave_impacts(after.result.frame, execution)
         return StagedRollout(
             waves=tuple(execution.records),
             impact=_paired_impact(before, after),

@@ -54,7 +54,10 @@ from repro.flighting.build import (
 from repro.flighting.safety import GateVerdict, LatencyRegressionGate, SafetyGate
 from repro.obs.metrics import OPS_METRICS
 from repro.obs.trace import current_tracer
+import numpy as np
+
 from repro.stats.treatment import TreatmentEffect, population_effect
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.records import MachineHourRecord
 from repro.utils.errors import ConfigurationError
 from repro.utils.units import hours
@@ -890,7 +893,7 @@ class DeploymentModule:
             simulator, plan, window_hours, gate=gate, checkpoint=checkpoint
         )
         simulator.run(window_hours)
-        self.attach_wave_impacts(simulator.result.records, execution)
+        self.attach_wave_impacts(simulator.result.frame, execution)
         return execution
 
     # ------------------------------------------------------------------
@@ -979,7 +982,8 @@ class DeploymentModule:
     # ------------------------------------------------------------------
     @staticmethod
     def attach_wave_impacts(
-        records: list[MachineHourRecord], execution: RolloutExecution
+        telemetry: MachineHourFrame | list[MachineHourRecord],
+        execution: RolloutExecution,
     ) -> None:
         """Fill every deployed wave record's ``impact`` from run telemetry.
 
@@ -1005,23 +1009,32 @@ class DeploymentModule:
         once the simulation finishes.
         """
 
-        # One pass over the telemetry, bucketed by hour: each window then
-        # reads only its own hours instead of rescanning the full run per
-        # arm. Bucket order preserves record order (hour-major), so the
-        # contrast arms stay bit-identical to a linear scan.
-        by_hour: dict[int, list[tuple[int, float]]] = {}
-        for r in records:
-            by_hour.setdefault(r.hour, []).append(
-                (r.machine_id, r.total_data_read_bytes)
-            )
+        # One stable sort of the telemetry columns by hour: each window then
+        # slices its own hour span with searchsorted and masks by membership
+        # instead of rescanning records per arm. The stable sort preserves
+        # within-hour record order (and matches the old hour-bucketing even
+        # for out-of-order input), so the contrast arms see exactly the
+        # value sequences a linear record scan produced.
+        frame = (
+            telemetry
+            if isinstance(telemetry, MachineHourFrame)
+            else MachineHourFrame.from_records(telemetry)
+        )
+        order = np.argsort(frame.column("hour"), kind="stable")
+        hours_sorted = frame.column("hour")[order]
+        machine_ids = frame.column("machine_id")[order]
+        values = frame.column("total_data_read_bytes")[order]
 
-        def window_values(ids: frozenset[int], lo: int, hi: int) -> list[float]:
-            return [
-                value
-                for hour in range(lo, hi)
-                for machine_id, value in by_hour.get(hour, ())
-                if machine_id in ids
-            ]
+        def window_values(ids: frozenset[int], lo: int, hi: int) -> np.ndarray:
+            if hi <= lo or not ids:
+                return np.empty(0)
+            lo_i = np.searchsorted(hours_sorted, lo, side="left")
+            hi_i = np.searchsorted(hours_sorted, hi, side="left")
+            if hi_i <= lo_i:
+                return np.empty(0)
+            wanted = np.fromiter(ids, dtype=np.int64, count=len(ids))
+            selected = np.isin(machine_ids[lo_i:hi_i], wanted)
+            return values[lo_i:hi_i][selected]
 
         for window in execution._impact_meta:
             hour_lo, hour_hi = _full_hours(window.start, window.end)

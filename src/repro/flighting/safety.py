@@ -54,7 +54,7 @@ class LatencyRegressionGate(SafetyGate):
         self.allowance = allowance
 
     def evaluate(self, simulator: ClusterSimulator) -> GateVerdict:
-        monitor = PerformanceMonitor(simulator.result.records)
+        monitor = PerformanceMonitor(simulator.result.frame)
         if not monitor.records:
             return GateVerdict(passed=True, reason="no telemetry yet")
         hours_seen = sorted({r.hour for r in monitor.records})

@@ -500,7 +500,7 @@ class Campaign:
         )
 
     def _after_observe(self, outcome: SimulationOutcome) -> None:
-        monitor = PerformanceMonitor(outcome.records)
+        monitor = PerformanceMonitor(outcome.frame)
         snapshot = outcome.snapshot if outcome.snapshot is not None else monitor.snapshot()
         self.snapshots.append(snapshot)
         self._log(CampaignPhase.OBSERVE, snapshot.summary())
@@ -545,7 +545,7 @@ class Campaign:
             cluster=cluster,
             monitor=monitor,
             result=SimulationResult(
-                records=outcome.records,
+                frame=outcome.frame,
                 resource_samples=outcome.resource_samples,
             ),
             days=self.observe_days,

@@ -37,6 +37,7 @@ from repro.obs.trace import SpanRecord, Tracer, activate
 from repro.service.registry import TenantSpec
 from repro.service.scenarios import Scenario
 from repro.telemetry.monitor import MonitorSnapshot
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.records import MachineHourRecord, ResourceSample
 from repro.utils.errors import ServiceError
 
@@ -193,7 +194,9 @@ class SimulationOutcome:
     tenant: str
     kind: str
     workload_tag: str
-    records: list[MachineHourRecord] = field(default_factory=list)
+    #: Machine-hour telemetry, columnar. Pickles compactly across the pool
+    #: boundary; :attr:`records` materializes the record view on demand.
+    frame: MachineHourFrame = field(default_factory=MachineHourFrame)
     snapshot: MonitorSnapshot | None = None
     resource_samples: list[ResourceSample] = field(default_factory=list)
     flight_reports: list[FlightReport] = field(default_factory=list)
@@ -204,6 +207,11 @@ class SimulationOutcome:
     #: checkpoint a later ``resume`` request re-enters from.
     rollout_checkpoint: RolloutCheckpoint | None = None
     timing: OutcomeTiming = field(default_factory=OutcomeTiming)
+
+    @property
+    def records(self) -> list[MachineHourRecord]:
+        """Record-level view of the telemetry frame (lazy, cached)."""
+        return self.frame.to_records()
 
     @property
     def elapsed_seconds(self) -> float:
@@ -247,7 +255,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
                 load_multiplier=scenario.load_multiplier,
                 actions=scenario.actions(),
             )
-            produced["records"] = observation.monitor.records
+            produced["frame"] = observation.monitor.frame
             produced["snapshot"] = observation.monitor.snapshot()
             produced["resource_samples"] = observation.result.resource_samples
         elif request.kind == "flight":

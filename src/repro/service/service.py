@@ -54,6 +54,7 @@ from repro.service.pool import (
 from repro.service.registry import FleetRegistry
 from repro.service.scenarios import Scenario, ScenarioCatalog, default_catalog
 from repro.service.store import CampaignStore
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.records import MachineHourRecord, QueueStats
 from repro.utils.errors import ServiceError
 from repro.utils.tables import TextTable
@@ -152,6 +153,50 @@ def _measured_record_bytes() -> int:
     return total
 
 
+def _measured_frame_row_bytes() -> int:
+    """Measured columnar footprint of one cached machine-hour row.
+
+    Cached outcomes now carry a :class:`MachineHourFrame`, not a record
+    list: one row is a handful of fixed-width column slots plus its queue
+    waits, not a 30-field dataclass with per-field boxed objects. The
+    estimate probes a representative frame (same field values as the legacy
+    record probe) and divides its :attr:`MachineHourFrame.nbytes` across its
+    rows, so cache sizing tracks the real columnar layout — roughly an
+    order of magnitude smaller per row than the dataclass measurement,
+    which would starve the cache bound for no reason.
+    """
+    frame = MachineHourFrame()
+    for machine_id in range(16):
+        frame.append_hour(
+            machine_id=machine_id,
+            machine_name=f"m{machine_id:06d}",
+            sku="Gen 1.1",
+            software="SC1",
+            rack=0,
+            row=0,
+            subcluster=0,
+            hour=0,
+            cpu_utilization=0.5,
+            avg_running_containers=4.0,
+            total_data_read_bytes=1.0e9,
+            tasks_finished=12,
+            total_cpu_seconds=1800.0,
+            total_task_seconds=3600.0,
+            avg_cores_in_use=8.0,
+            avg_ram_gb_in_use=32.0,
+            avg_ssd_gb_in_use=100.0,
+            avg_power_watts=300.0,
+            power_cap_watts=None,
+            feature_enabled=False,
+            max_running_containers=8,
+            queue_avg_length=0.5,
+            queue_enqueued=6,
+            queue_dequeued=6,
+            queue_waits=[30.0] * 6,
+        )
+    return max(1, frame.nbytes // len(frame))
+
+
 def derive_cache_entries(
     registry: FleetRegistry,
     observe_days: float = 1.0,
@@ -160,9 +205,10 @@ def derive_cache_entries(
 ) -> int:
     """Cache bound from measured outcome footprints, not a fixed constant.
 
-    One cached outcome holds roughly *machines × hours* machine-hour records
-    (:func:`_measured_record_bytes` each), so the bound is however many
-    outcomes fit in ``budget_mb`` — floored at the working set one campaign
+    One cached outcome holds roughly *machines × hours* machine-hour rows of
+    columnar frame storage (:func:`_measured_frame_row_bytes` each), so the
+    bound is however many outcomes fit in ``budget_mb`` — floored at the
+    working set one campaign
     sweep needs (tenants × ``rounds`` × requests per round; evicting inside
     a sweep would collapse the hit rate of an immediate re-run) and capped
     at :data:`MAX_CACHE_ENTRIES`. The ceiling wins over the floor: a
@@ -177,7 +223,7 @@ def derive_cache_entries(
     if machines == 0:
         return DEFAULT_CACHE_ENTRIES
     records_per_window = machines * max(1, round(observe_days * 24.0))
-    outcome_bytes = records_per_window * _measured_record_bytes()
+    outcome_bytes = records_per_window * _measured_frame_row_bytes()
     fits_budget = int((budget_mb * 1024 * 1024) // max(outcome_bytes, 1))
     working_set = len(registry) * rounds * _REQUESTS_PER_ROUND
     return min(max(working_set, fits_budget), MAX_CACHE_ENTRIES)

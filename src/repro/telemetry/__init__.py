@@ -6,6 +6,7 @@ from repro.telemetry.export import (
     write_jobs_csv,
     write_machine_hours_csv,
 )
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.metrics import (
     DEFAULT_REGISTRY,
     Metric,
@@ -36,6 +37,7 @@ __all__ = [
     "read_machine_hours_csv",
     "write_jobs_csv",
     "write_machine_hours_csv",
+    "MachineHourFrame",
     "DEFAULT_REGISTRY",
     "Metric",
     "MetricRegistry",

@@ -1,0 +1,592 @@
+"""Columnar (struct-of-arrays) storage for machine-hour telemetry.
+
+Every KEA consumer ultimately loops over machine-hour observations, and at
+fleet scale (thousands of machines × days of hours) per-record Python
+dataclasses dominate both the simulator's telemetry-rollup phase and every
+downstream pass (filters, metric extraction, percentile views). A
+:class:`MachineHourFrame` stores the same observations as one buffer per
+field — numeric fields as flat arrays, string fields as categorical codes,
+and the ragged per-hour queue-wait samples as one flat array plus offsets —
+so that:
+
+* the simulator's hourly flush appends scalars into column buffers instead
+  of allocating a 30-field dataclass per machine-hour;
+* monitors filter with boolean masks and extract metrics as single numpy
+  expressions instead of re-looping in Python;
+* the record-level API stays intact: :meth:`to_records` materializes the
+  exact :class:`~repro.telemetry.records.MachineHourRecord` list (cached,
+  bit-identical floats and queue waits), so existing per-record consumers
+  keep working unchanged.
+
+Append buffers are plain Python lists (O(1) appends on the simulator hot
+path); numpy views are materialized lazily per column and cached until the
+next append invalidates them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.telemetry.records import MachineHourRecord, QueueStats
+
+__all__ = ["MachineHourFrame"]
+
+#: Integer-valued columns, in record-field order.
+INT_COLUMNS = (
+    "machine_id",
+    "rack",
+    "row",
+    "subcluster",
+    "hour",
+    "tasks_finished",
+    "max_running_containers",
+    "queue_enqueued",
+    "queue_dequeued",
+)
+
+#: Float-valued columns (``power_cap_watts`` stores NaN for "no cap").
+FLOAT_COLUMNS = (
+    "cpu_utilization",
+    "avg_running_containers",
+    "total_data_read_bytes",
+    "total_cpu_seconds",
+    "total_task_seconds",
+    "avg_cores_in_use",
+    "avg_ram_gb_in_use",
+    "avg_ssd_gb_in_use",
+    "avg_power_watts",
+    "power_cap_watts",
+    "queue_avg_length",
+)
+
+#: Boolean columns.
+BOOL_COLUMNS = ("feature_enabled",)
+
+#: String columns, stored as categorical codes + a per-frame category list.
+CATEGORICAL_COLUMNS = ("machine_name", "sku", "software")
+
+_ALL_COLUMNS = INT_COLUMNS + FLOAT_COLUMNS + BOOL_COLUMNS
+
+_DTYPES = (
+    {name: np.int64 for name in INT_COLUMNS}
+    | {name: np.float64 for name in FLOAT_COLUMNS}
+    | {name: np.bool_ for name in BOOL_COLUMNS}
+)
+
+#: NaN encodes ``power_cap_watts is None`` in the float column.
+_NAN = float("nan")
+
+
+def ratio_columns(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Elementwise ``num / den`` with 0.0 where ``den <= 0``.
+
+    Matches the per-record derived-metric convention exactly (the guarded
+    properties on :class:`MachineHourRecord` return 0.0 on a non-positive
+    denominator); IEEE-754 double division is bitwise identical between
+    Python floats and numpy float64, so the vectorized path reproduces the
+    scalar one bit for bit.
+    """
+    num = np.asarray(num, dtype=np.float64)
+    den = np.asarray(den, dtype=np.float64)
+    out = np.zeros(num.shape, dtype=np.float64)
+    np.divide(num, den, out=out, where=den > 0)
+    return out
+
+
+class MachineHourFrame:
+    """Struct-of-arrays machine-hour telemetry with an exact record view."""
+
+    __slots__ = (
+        "_columns",
+        "_codes",
+        "_categories",
+        "_category_index",
+        "_waits",
+        "_wait_offsets",
+        "_arrays",
+        "_records",
+        "_appenders",
+    )
+
+    def __init__(self) -> None:
+        self._columns: dict[str, list] = {name: [] for name in _ALL_COLUMNS}
+        self._codes: dict[str, list[int]] = {
+            name: [] for name in CATEGORICAL_COLUMNS
+        }
+        self._categories: dict[str, list[str]] = {
+            name: [] for name in CATEGORICAL_COLUMNS
+        }
+        self._category_index: dict[str, dict[str, int]] = {
+            name: {} for name in CATEGORICAL_COLUMNS
+        }
+        # Ragged queue waits: one flat buffer plus per-row offsets.
+        self._waits: list[float] = []
+        self._wait_offsets: list[int] = [0]
+        # Lazy caches, invalidated by any append.
+        self._arrays: dict[str, np.ndarray] = {}
+        self._records: list[MachineHourRecord] | None = None
+        # Bound-method fast path for append_hour, built lazily so that
+        # anything replacing the buffer lists (take, unpickling) can just
+        # drop it.
+        self._appenders: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Construction / append (the simulator hot path)
+    # ------------------------------------------------------------------
+    def append_hour(
+        self,
+        machine_id: int,
+        machine_name: str,
+        sku: str,
+        software: str,
+        rack: int,
+        row: int,
+        subcluster: int,
+        hour: int,
+        cpu_utilization: float,
+        avg_running_containers: float,
+        total_data_read_bytes: float,
+        tasks_finished: int,
+        total_cpu_seconds: float,
+        total_task_seconds: float,
+        avg_cores_in_use: float,
+        avg_ram_gb_in_use: float,
+        avg_ssd_gb_in_use: float,
+        avg_power_watts: float,
+        power_cap_watts: float | None,
+        feature_enabled: bool,
+        max_running_containers: int,
+        queue_avg_length: float,
+        queue_enqueued: int,
+        queue_dequeued: int,
+        queue_waits: list[float],
+    ) -> None:
+        """Append one machine-hour row straight into the column buffers."""
+        self._invalidate()
+        appenders = self._appenders
+        if appenders is None:
+            appenders = self._bind_appenders()
+        # One attribute load + unpack replaces 21 dict subscripts and three
+        # helper calls per row — this is the per-machine-hour simulator path.
+        (
+            ap_machine_id, ap_rack, ap_row, ap_subcluster, ap_hour,
+            ap_tasks_finished, ap_max_running, ap_queue_enqueued,
+            ap_queue_dequeued, ap_cpu, ap_avg_running, ap_data_read,
+            ap_cpu_seconds, ap_task_seconds, ap_cores, ap_ram, ap_ssd,
+            ap_power, ap_power_cap, ap_queue_len, ap_feature,
+            name_index, name_cats, ap_name_code,
+            sku_index, sku_cats, ap_sku_code,
+            sw_index, sw_cats, ap_sw_code,
+            extend_waits, ap_offset, waits,
+        ) = appenders
+        ap_machine_id(machine_id)
+        ap_rack(rack)
+        ap_row(row)
+        ap_subcluster(subcluster)
+        ap_hour(hour)
+        ap_tasks_finished(tasks_finished)
+        ap_max_running(max_running_containers)
+        ap_queue_enqueued(queue_enqueued)
+        ap_queue_dequeued(queue_dequeued)
+        ap_cpu(cpu_utilization)
+        ap_avg_running(avg_running_containers)
+        ap_data_read(total_data_read_bytes)
+        ap_cpu_seconds(total_cpu_seconds)
+        ap_task_seconds(total_task_seconds)
+        ap_cores(avg_cores_in_use)
+        ap_ram(avg_ram_gb_in_use)
+        ap_ssd(avg_ssd_gb_in_use)
+        ap_power(avg_power_watts)
+        ap_power_cap(_NAN if power_cap_watts is None else power_cap_watts)
+        ap_queue_len(queue_avg_length)
+        ap_feature(feature_enabled)
+        code = name_index.get(machine_name)
+        if code is None:
+            code = len(name_cats)
+            name_cats.append(machine_name)
+            name_index[machine_name] = code
+        ap_name_code(code)
+        code = sku_index.get(sku)
+        if code is None:
+            code = len(sku_cats)
+            sku_cats.append(sku)
+            sku_index[sku] = code
+        ap_sku_code(code)
+        code = sw_index.get(software)
+        if code is None:
+            code = len(sw_cats)
+            sw_cats.append(software)
+            sw_index[software] = code
+        ap_sw_code(code)
+        extend_waits(queue_waits)
+        ap_offset(len(waits))
+
+    def _bind_appenders(self) -> tuple:
+        """Bind the per-row append targets once (dropped when buffers are
+        replaced by :meth:`take` or unpickling)."""
+        cols = self._columns
+        self._appenders = (
+            cols["machine_id"].append,
+            cols["rack"].append,
+            cols["row"].append,
+            cols["subcluster"].append,
+            cols["hour"].append,
+            cols["tasks_finished"].append,
+            cols["max_running_containers"].append,
+            cols["queue_enqueued"].append,
+            cols["queue_dequeued"].append,
+            cols["cpu_utilization"].append,
+            cols["avg_running_containers"].append,
+            cols["total_data_read_bytes"].append,
+            cols["total_cpu_seconds"].append,
+            cols["total_task_seconds"].append,
+            cols["avg_cores_in_use"].append,
+            cols["avg_ram_gb_in_use"].append,
+            cols["avg_ssd_gb_in_use"].append,
+            cols["avg_power_watts"].append,
+            cols["power_cap_watts"].append,
+            cols["queue_avg_length"].append,
+            cols["feature_enabled"].append,
+            self._category_index["machine_name"],
+            self._categories["machine_name"],
+            self._codes["machine_name"].append,
+            self._category_index["sku"],
+            self._categories["sku"],
+            self._codes["sku"].append,
+            self._category_index["software"],
+            self._categories["software"],
+            self._codes["software"].append,
+            self._waits.extend,
+            self._wait_offsets.append,
+            self._waits,
+        )
+        return self._appenders
+
+    def append_record(self, record: MachineHourRecord) -> None:
+        """Append one existing record (the record-list ingestion path)."""
+        queue = record.queue
+        self.append_hour(
+            machine_id=record.machine_id,
+            machine_name=record.machine_name,
+            sku=record.sku,
+            software=record.software,
+            rack=record.rack,
+            row=record.row,
+            subcluster=record.subcluster,
+            hour=record.hour,
+            cpu_utilization=record.cpu_utilization,
+            avg_running_containers=record.avg_running_containers,
+            total_data_read_bytes=record.total_data_read_bytes,
+            tasks_finished=record.tasks_finished,
+            total_cpu_seconds=record.total_cpu_seconds,
+            total_task_seconds=record.total_task_seconds,
+            avg_cores_in_use=record.avg_cores_in_use,
+            avg_ram_gb_in_use=record.avg_ram_gb_in_use,
+            avg_ssd_gb_in_use=record.avg_ssd_gb_in_use,
+            avg_power_watts=record.avg_power_watts,
+            power_cap_watts=record.power_cap_watts,
+            feature_enabled=record.feature_enabled,
+            max_running_containers=record.max_running_containers,
+            queue_avg_length=queue.avg_length,
+            queue_enqueued=queue.enqueued,
+            queue_dequeued=queue.dequeued,
+            queue_waits=queue.waits,
+        )
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[MachineHourRecord]
+    ) -> "MachineHourFrame":
+        """Build a frame from an existing record list."""
+        frame = cls()
+        for record in records:
+            frame.append_record(record)
+        return frame
+
+    def _invalidate(self) -> None:
+        if self._arrays:
+            self._arrays.clear()
+        if self._records is not None:
+            self._records = None
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._wait_offsets) - 1
+
+    def column(self, name: str) -> np.ndarray:
+        """One numeric/bool column as a cached numpy array.
+
+        The returned array is the frame's cache — treat it as read-only.
+        """
+        array = self._arrays.get(name)
+        if array is None:
+            array = np.asarray(self._columns[name], dtype=_DTYPES[name])
+            self._arrays[name] = array
+        return array
+
+    def codes(self, name: str) -> np.ndarray:
+        """Categorical codes of a string column (``int32``)."""
+        key = f"codes:{name}"
+        array = self._arrays.get(key)
+        if array is None:
+            array = np.asarray(self._codes[name], dtype=np.int32)
+            self._arrays[key] = array
+        return array
+
+    def categories(self, name: str) -> list[str]:
+        """Category labels of a string column (code → label)."""
+        return self._categories[name]
+
+    def labels(self, name: str) -> np.ndarray:
+        """A string column materialized as a numpy string array."""
+        cats = self._categories[name]
+        lookup = np.asarray(cats if cats else [""], dtype=object)
+        return lookup[self.codes(name)] if len(self) else np.asarray([], dtype=object)
+
+    def group_codes(self) -> tuple[np.ndarray, list[str]]:
+        """Per-row machine-group codes plus the code → label mapping.
+
+        The group label is ``f"{software}_{sku}"`` exactly as on the record
+        property; codes are dense over the (software, sku) combinations that
+        could occur in this frame.
+        """
+        n_sku = max(1, len(self._categories["sku"]))
+        combined = self.codes("software").astype(np.int64) * n_sku + self.codes("sku")
+        labels = [
+            f"{software}_{sku}"
+            for software in self._categories["software"]
+            for sku in self._categories["sku"]
+        ]
+        return combined, labels
+
+    def group_labels(self) -> np.ndarray:
+        """Per-row machine-group labels (object array of strings)."""
+        combined, labels = self.group_codes()
+        if not len(self):
+            return np.asarray([], dtype=object)
+        return np.asarray(labels if labels else [""], dtype=object)[combined]
+
+    # ------------------------------------------------------------------
+    # Queue waits (ragged)
+    # ------------------------------------------------------------------
+    def wait_offsets(self) -> np.ndarray:
+        """Row offsets into :meth:`waits_flat` (length ``len(self) + 1``)."""
+        array = self._arrays.get("wait_offsets")
+        if array is None:
+            array = np.asarray(self._wait_offsets, dtype=np.int64)
+            self._arrays["wait_offsets"] = array
+        return array
+
+    def waits_flat(self) -> np.ndarray:
+        """All queue-wait samples, rows concatenated."""
+        array = self._arrays.get("waits_flat")
+        if array is None:
+            array = np.asarray(self._waits, dtype=np.float64)
+            self._arrays["waits_flat"] = array
+        return array
+
+    def queue_p99_wait(self) -> np.ndarray:
+        """Per-row ``QueueStats.p99_wait()`` without materializing records.
+
+        Rows with no waits yield 0.0, exactly like the record method. The
+        percentile itself is order-insensitive, so slicing the flat buffer
+        reproduces the per-record value bit for bit.
+        """
+        offsets = self.wait_offsets()
+        flat = self.waits_flat()
+        out = np.zeros(len(self), dtype=np.float64)
+        for i in range(len(self)):
+            lo, hi = offsets[i], offsets[i + 1]
+            if hi > lo:
+                out[i] = np.percentile(flat[lo:hi], 99)
+        return out
+
+    def queue_mean_wait(self) -> np.ndarray:
+        """Per-row ``QueueStats.mean_wait()`` (0.0 on empty rows)."""
+        offsets = self.wait_offsets()
+        flat = self.waits_flat()
+        out = np.zeros(len(self), dtype=np.float64)
+        for i in range(len(self)):
+            lo, hi = offsets[i], offsets[i + 1]
+            if hi > lo:
+                out[i] = np.mean(flat[lo:hi])
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived columns (the guarded record properties, vectorized)
+    # ------------------------------------------------------------------
+    def bytes_per_second(self) -> np.ndarray:
+        """Vectorized ``MachineHourRecord.bytes_per_second``."""
+        return ratio_columns(
+            self.column("total_data_read_bytes"), self.column("total_task_seconds")
+        )
+
+    def bytes_per_cpu_time(self) -> np.ndarray:
+        """Vectorized ``MachineHourRecord.bytes_per_cpu_time``."""
+        return ratio_columns(
+            self.column("total_data_read_bytes"), self.column("total_cpu_seconds")
+        )
+
+    def avg_task_seconds(self) -> np.ndarray:
+        """Vectorized ``MachineHourRecord.avg_task_seconds``."""
+        return ratio_columns(
+            self.column("total_task_seconds"), self.column("tasks_finished")
+        )
+
+    # ------------------------------------------------------------------
+    # Record materialization / slicing
+    # ------------------------------------------------------------------
+    def to_records(self) -> list[MachineHourRecord]:
+        """The exact record-level view (cached until the next append)."""
+        if self._records is None:
+            cols = self._columns
+            name_cats = self._categories["machine_name"]
+            sku_cats = self._categories["sku"]
+            sw_cats = self._categories["software"]
+            name_codes = self._codes["machine_name"]
+            sku_codes = self._codes["sku"]
+            sw_codes = self._codes["software"]
+            offsets = self._wait_offsets
+            waits = self._waits
+            self._records = [
+                MachineHourRecord(
+                    machine_id=cols["machine_id"][i],
+                    machine_name=name_cats[name_codes[i]],
+                    sku=sku_cats[sku_codes[i]],
+                    software=sw_cats[sw_codes[i]],
+                    rack=cols["rack"][i],
+                    row=cols["row"][i],
+                    subcluster=cols["subcluster"][i],
+                    hour=cols["hour"][i],
+                    cpu_utilization=cols["cpu_utilization"][i],
+                    avg_running_containers=cols["avg_running_containers"][i],
+                    total_data_read_bytes=cols["total_data_read_bytes"][i],
+                    tasks_finished=cols["tasks_finished"][i],
+                    total_cpu_seconds=cols["total_cpu_seconds"][i],
+                    total_task_seconds=cols["total_task_seconds"][i],
+                    avg_cores_in_use=cols["avg_cores_in_use"][i],
+                    avg_ram_gb_in_use=cols["avg_ram_gb_in_use"][i],
+                    avg_ssd_gb_in_use=cols["avg_ssd_gb_in_use"][i],
+                    avg_power_watts=cols["avg_power_watts"][i],
+                    power_cap_watts=(
+                        None
+                        if cols["power_cap_watts"][i] != cols["power_cap_watts"][i]
+                        else cols["power_cap_watts"][i]
+                    ),
+                    feature_enabled=cols["feature_enabled"][i],
+                    max_running_containers=cols["max_running_containers"][i],
+                    queue=QueueStats(
+                        avg_length=cols["queue_avg_length"][i],
+                        enqueued=cols["queue_enqueued"][i],
+                        dequeued=cols["queue_dequeued"][i],
+                        waits=waits[offsets[i] : offsets[i + 1]],
+                    ),
+                )
+                for i in range(len(self))
+            ]
+        return self._records
+
+    def take(self, selection) -> "MachineHourFrame":
+        """A new frame holding the selected rows (mask or index array).
+
+        Row order follows the selection (a boolean mask preserves frame
+        order), so downstream order-sensitive reductions (float means/sums)
+        see exactly the subsequence they would have seen record-wise.
+        """
+        indices = np.asarray(selection)
+        if indices.dtype == np.bool_:
+            indices = np.flatnonzero(indices)
+        out = MachineHourFrame()
+        for name in _ALL_COLUMNS:
+            out._columns[name] = self.column(name)[indices].tolist()
+        for name in CATEGORICAL_COLUMNS:
+            out._codes[name] = self.codes(name)[indices].tolist()
+            out._categories[name] = list(self._categories[name])
+            out._category_index[name] = dict(self._category_index[name])
+        offsets = self.wait_offsets()
+        waits = self._waits
+        flat: list[float] = []
+        new_offsets = [0]
+        for i in indices.tolist():
+            flat.extend(waits[offsets[i] : offsets[i + 1]])
+            new_offsets.append(len(flat))
+        out._waits = flat
+        out._wait_offsets = new_offsets
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / plumbing
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the columnar payload (array bytes).
+
+        Counts the numeric columns, categorical codes, wait samples and
+        offsets, plus the category label strings — the asymptotically
+        meaningful storage. Used by the service cache to size its entry
+        bound from measured frame footprints.
+        """
+        n = len(self)
+        total = 0
+        for name in _ALL_COLUMNS:
+            total += n * np.dtype(_DTYPES[name]).itemsize
+        total += n * len(CATEGORICAL_COLUMNS) * np.dtype(np.int32).itemsize
+        total += len(self._waits) * 8 + len(self._wait_offsets) * 8
+        for name in CATEGORICAL_COLUMNS:
+            total += sum(len(label) + 49 for label in self._categories[name])
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MachineHourFrame):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        for name in _ALL_COLUMNS:
+            if name == "power_cap_watts":
+                if not np.array_equal(
+                    self.column(name), other.column(name), equal_nan=True
+                ):
+                    return False
+            elif not np.array_equal(self.column(name), other.column(name)):
+                return False
+        for name in CATEGORICAL_COLUMNS:
+            if not np.array_equal(self.labels(name), other.labels(name)):
+                return False
+        return (
+            np.array_equal(self.wait_offsets(), other.wait_offsets())
+            and np.array_equal(self.waits_flat(), other.waits_flat())
+        )
+
+    def __getstate__(self) -> dict:
+        # Ship compact numpy buffers, never the lazy caches: a pickled frame
+        # crossing the pool boundary re-materializes records on demand.
+        return {
+            "columns": {name: self.column(name) for name in _ALL_COLUMNS},
+            "codes": {name: self.codes(name) for name in CATEGORICAL_COLUMNS},
+            "categories": {
+                name: list(self._categories[name]) for name in CATEGORICAL_COLUMNS
+            },
+            "waits": self.waits_flat(),
+            "wait_offsets": self.wait_offsets(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self._columns = {
+            name: array.tolist() for name, array in state["columns"].items()
+        }
+        self._codes = {name: array.tolist() for name, array in state["codes"].items()}
+        self._categories = state["categories"]
+        self._category_index = {
+            name: {label: code for code, label in enumerate(cats)}
+            for name, cats in self._categories.items()
+        }
+        self._waits = state["waits"].tolist()
+        self._wait_offsets = state["wait_offsets"].tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MachineHourFrame(rows={len(self)})"

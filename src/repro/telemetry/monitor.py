@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.frame import MachineHourFrame
 from repro.telemetry.metrics import DEFAULT_REGISTRY, MetricRegistry
 from repro.telemetry.records import MachineHourRecord
 from repro.utils.errors import TelemetryError
@@ -99,21 +100,40 @@ class MachineDayRecord:
 
 
 class PerformanceMonitor:
-    """A queryable collection of machine-hour records."""
+    """A queryable collection of machine-hour observations.
 
-    def __init__(self, records: Iterable[MachineHourRecord] = ()):
-        self.records: list[MachineHourRecord] = list(records)
+    Backed by a columnar :class:`~repro.telemetry.frame.MachineHourFrame`:
+    filtering and metric extraction are mask-based column operations, while
+    :attr:`records` exposes the frame's lazy, cached record materialization
+    for per-record consumers. Accepts either a frame (taken by reference —
+    the simulator's output is shared, not copied) or any iterable of
+    records (ingested into a fresh frame).
+    """
+
+    def __init__(
+        self, records: MachineHourFrame | Iterable[MachineHourRecord] = ()
+    ):
+        if isinstance(records, MachineHourFrame):
+            self.frame = records
+        else:
+            self.frame = MachineHourFrame.from_records(records)
+
+    @property
+    def records(self) -> list[MachineHourRecord]:
+        """Record-level view of the frame (lazy, cached until mutation)."""
+        return self.frame.to_records()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.frame)
 
     def add(self, record: MachineHourRecord) -> None:
         """Append one record."""
-        self.records.append(record)
+        self.frame.append_record(record)
 
     def extend(self, records: Iterable[MachineHourRecord]) -> None:
         """Append many records."""
-        self.records.extend(records)
+        for record in records:
+            self.frame.append_record(record)
 
     # ------------------------------------------------------------------
     # Filtering / grouping
@@ -129,50 +149,85 @@ class PerformanceMonitor:
     ) -> "PerformanceMonitor":
         """Return a new monitor restricted to matching records.
 
-        ``hour_range`` is half-open ``[start, end)``. All criteria AND together.
+        ``hour_range`` is half-open ``[start, end)``. All criteria AND
+        together into one boolean mask over the frame (row order preserved);
+        only ``predicate`` falls back to per-record evaluation.
         """
-        selected = self.records
+        frame = self.frame
+        mask = np.ones(len(frame), dtype=bool)
         if group is not None:
-            selected = [r for r in selected if r.group == group]
+            mask &= self._group_mask(group)
         if sku is not None:
-            selected = [r for r in selected if r.sku == sku]
+            mask &= self._label_mask("sku", sku)
         if software is not None:
-            selected = [r for r in selected if r.software == software]
+            mask &= self._label_mask("software", software)
         if hour_range is not None:
             start, end = hour_range
-            selected = [r for r in selected if start <= r.hour < end]
+            hours = frame.column("hour")
+            mask &= (hours >= start) & (hours < end)
         if machine_ids is not None:
-            selected = [r for r in selected if r.machine_id in machine_ids]
+            ids = np.fromiter(machine_ids, dtype=np.int64, count=len(machine_ids))
+            mask &= np.isin(frame.column("machine_id"), ids)
         if predicate is not None:
-            selected = [r for r in selected if predicate(r)]
-        return PerformanceMonitor(selected)
+            records = frame.to_records()
+            mask &= np.fromiter(
+                (predicate(r) for r in records), dtype=bool, count=len(records)
+            )
+        if mask.all():
+            return PerformanceMonitor(frame)
+        return PerformanceMonitor(frame.take(mask))
+
+    def _label_mask(self, column: str, value: str) -> np.ndarray:
+        code = self.frame.categories(column).index(value) if (
+            value in self.frame.categories(column)
+        ) else -1
+        return self.frame.codes(column) == code
+
+    def _group_mask(self, label: str) -> np.ndarray:
+        combined, labels = self.frame.group_codes()
+        try:
+            wanted = labels.index(label)
+        except ValueError:
+            return np.zeros(len(self.frame), dtype=bool)
+        return combined == wanted
 
     def groups(self) -> list[str]:
         """Sorted machine-group labels present in the data."""
-        return sorted({r.group for r in self.records})
+        combined, labels = self.frame.group_codes()
+        return sorted(labels[code] for code in np.unique(combined))
 
     def skus(self) -> list[str]:
         """Sorted SKU names present in the data."""
-        return sorted({r.sku for r in self.records})
+        cats = self.frame.categories("sku")
+        return sorted(cats[code] for code in np.unique(self.frame.codes("sku")))
 
     def by_group(self) -> dict[str, "PerformanceMonitor"]:
         """Split into one monitor per machine group."""
-        split: dict[str, list[MachineHourRecord]] = {}
-        for record in self.records:
-            split.setdefault(record.group, []).append(record)
-        return {label: PerformanceMonitor(rs) for label, rs in sorted(split.items())}
+        combined, labels = self.frame.group_codes()
+        return {
+            labels[code]: PerformanceMonitor(self.frame.take(combined == code))
+            for code in sorted(np.unique(combined), key=lambda c: labels[c])
+        }
 
     # ------------------------------------------------------------------
     # Metric extraction
     # ------------------------------------------------------------------
     def metric(self, name: str, registry: MetricRegistry = DEFAULT_REGISTRY) -> np.ndarray:
-        """One metric across all records, as a float array."""
-        extract = registry.get(name).extract
+        """One metric across all records, as a float array.
+
+        Metrics with a vectorized ``extract_columns`` read straight off the
+        frame; others fall back to the per-record lambda. Both paths produce
+        bit-identical values (enforced by the registry cross-check test).
+        """
+        metric = registry.get(name)
+        if metric.extract_columns is not None:
+            return metric.extract_columns(self.frame).astype(float)
+        extract = metric.extract
         return np.array([extract(r) for r in self.records], dtype=float)
 
     def hours(self) -> np.ndarray:
         """The ``hour`` field across all records."""
-        return np.array([r.hour for r in self.records], dtype=int)
+        return self.frame.column("hour").astype(int)
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -221,32 +276,34 @@ class PerformanceMonitor:
         return aggregates
 
     def cluster_average_task_latency(self) -> float:
-        """Cluster-wide mean task execution time (the paper's `W̄`)."""
-        total_seconds = sum(r.total_task_seconds for r in self.records)
-        total_tasks = sum(r.tasks_finished for r in self.records)
+        """Cluster-wide mean task execution time (the paper's `W̄`).
+
+        The float total uses Python's left-to-right ``sum`` over the column
+        (not numpy's pairwise reduction) so the value stays bit-identical to
+        the historical per-record accumulation.
+        """
+        total_seconds = sum(self.frame.column("total_task_seconds").tolist())
+        total_tasks = int(self.frame.column("tasks_finished").sum())
         if total_tasks <= 0:
             return 0.0
         return total_seconds / total_tasks
 
     def total_data_read_bytes(self) -> float:
         """Cluster-wide Total Data Read over all records."""
-        return float(sum(r.total_data_read_bytes for r in self.records))
+        return float(sum(self.frame.column("total_data_read_bytes").tolist()))
 
     def snapshot(self) -> MonitorSnapshot:
         """Headline numbers of this window as a :class:`MonitorSnapshot`."""
-        machines = {r.machine_id for r in self.records}
-        hours_seen = {r.hour for r in self.records}
+        frame = self.frame
         cpu = (
-            float(np.mean([r.cpu_utilization for r in self.records]))
-            if self.records
-            else 0.0
+            float(np.mean(frame.column("cpu_utilization"))) if len(frame) else 0.0
         )
         return MonitorSnapshot(
-            n_records=len(self.records),
-            n_machines=len(machines),
-            hours_observed=len(hours_seen),
+            n_records=len(frame),
+            n_machines=len(np.unique(frame.column("machine_id"))),
+            hours_observed=len(np.unique(frame.column("hour"))),
             mean_cpu_utilization=cpu,
             avg_task_seconds=self.cluster_average_task_latency(),
             total_data_read_bytes=self.total_data_read_bytes(),
-            tasks_finished=int(sum(r.tasks_finished for r in self.records)),
+            tasks_finished=int(frame.column("tasks_finished").sum()),
         )

@@ -324,16 +324,30 @@ class TestSimulatorProfile:
         with tracer.span("sim") as sim:
             assert attach_profile_spans(tracer, sim, None) == []
 
-    def test_simulator_fills_the_profile(self):
+    def test_simulator_fills_the_profile_when_traced(self):
         spec = TenantSpec(name="probe", fleet_spec=small_fleet_spec(), seed=5)
         kea = spec.build(scenario=DEFAULT_CATALOG.get("diurnal-baseline"))
-        observation = kea.observe(days=0.1, workload_tag="probe/profiled")
+        with activate(Tracer(trace_id="probe")):
+            observation = kea.observe(days=0.1, workload_tag="probe/profiled")
         profile = observation.result.profile
         assert profile.events > 0 and profile.placements > 0
         assert profile.telemetry_events > 0
         assert profile.event_seconds > 0.0
         phases = observation.result.profile.as_phases()
         assert all(seconds >= 0.0 for seconds in phases.values())
+
+    def test_untraced_run_skips_profiling_entirely(self):
+        # Zero-overhead gate: with no recording tracer active, the event
+        # loop must not touch perf_counter — the profile stays empty.
+        spec = TenantSpec(name="probe", fleet_spec=small_fleet_spec(), seed=5)
+        kea = spec.build(scenario=DEFAULT_CATALOG.get("diurnal-baseline"))
+        observation = kea.observe(days=0.1, workload_tag="probe/unprofiled")
+        profile = observation.result.profile
+        assert profile.events == 0 and profile.placements == 0
+        assert profile.telemetry_events == 0
+        assert profile.event_seconds == 0.0
+        assert profile.placement_seconds == 0.0
+        assert profile.telemetry_seconds == 0.0
 
 
 # ----------------------------------------------------------------------

@@ -1,5 +1,7 @@
 """Tests for the YARN-like scheduler: placement, slot tracking, queueing."""
 
+import random
+
 import pytest
 
 from repro.cluster import build_cluster, small_fleet_spec
@@ -112,3 +114,93 @@ class TestSlotSetMaintenance:
         picks_a = [sched_a.place(make_task(), 0.0).machine.machine_id for _ in range(20)]
         picks_b = [sched_b.place(make_task(), 0.0).machine.machine_id for _ in range(20)]
         assert picks_a == picks_b
+
+
+def saturate(cluster, scheduler):
+    """Start one task on every machine of a max_containers=1 cluster."""
+    for _ in range(len(cluster.machines)):
+        result = scheduler.place(make_task(), now=0.0)
+        assert result.started
+        result.machine.start_task(0.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.note_started(result.machine)
+
+
+class TestQueueSpaceSet:
+    def test_note_finished_dead_code_is_gone(self):
+        # _handle_finish always used refresh_machine; the stale
+        # note_finished path must not linger as a second, subtly different
+        # way to re-admit machines.
+        assert not hasattr(YarnScheduler, "note_finished")
+
+    def test_machine_draining_queue_rejoins_free_slot_set(self):
+        cluster = tiny_cluster(max_containers=1)
+        scheduler = YarnScheduler(cluster, seed=3)
+        saturate(cluster, scheduler)
+        queued = scheduler.place(make_task(), now=0.0)
+        machine = queued.machine
+        assert queued.queued and machine.queue
+        assert scheduler.free_slot_machines == 0
+        # The running task finishes; the simulator's finish path drains the
+        # queue (the queued task starts, refilling the slot) and refreshes.
+        machine.finish_task(10.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        task, _wait = machine.dequeue(10.0)
+        machine.start_task(10.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.refresh_machine(machine)
+        assert machine.machine_id not in scheduler._pos  # slot refilled
+        # The drained task finishes with an empty queue: one refresh — the
+        # exact call _handle_finish makes — puts the machine back in the
+        # free-slot set.
+        machine.finish_task(20.0, 0.8, 2.0, 10.0, 1e9, 100.0)
+        scheduler.refresh_machine(machine)
+        assert machine.machine_id in scheduler._pos
+        assert scheduler.free_slot_machines == 1
+
+    def test_queue_space_set_tracks_fills_and_drains(self):
+        cluster = tiny_cluster(max_containers=1, queue_limit=1)
+        scheduler = YarnScheduler(cluster, seed=2)
+        n = len(cluster.machines)
+        assert scheduler.queue_space_machines == n
+        saturate(cluster, scheduler)
+        # Queue one task everywhere: each placement consumes the target's
+        # only queue slot (probes or the O(1) fallback, never an O(n) scan).
+        for _ in range(n):
+            result = scheduler.place(make_task(), now=0.0)
+            assert result.queued
+        assert scheduler.queue_space_machines == 0
+        with pytest.raises(SchedulingError):
+            scheduler.place(make_task(), now=0.0)
+        # Draining one queue re-admits exactly that machine.
+        machine = cluster.machines[0]
+        machine.dequeue(5.0)
+        scheduler.refresh_machine(machine)
+        assert scheduler.queue_space_machines == 1
+        follow_up = scheduler.place(make_task(), now=5.0)
+        assert follow_up.queued and follow_up.machine is machine
+
+    def test_fallback_draw_leaves_placement_stream_untouched(self):
+        # The legacy fallback was a deterministic scan consuming nothing
+        # from the placement RNG; the O(1) replacement draws from its own
+        # stream. Snapshot the main RNG before each queued placement and
+        # replay only the probe draws on a clone: however the fallback
+        # fired, the main stream must have advanced by exactly the probes.
+        cluster = tiny_cluster(max_containers=1, queue_limit=1)
+        scheduler = YarnScheduler(cluster, seed=17)
+        saturate(cluster, scheduler)
+        machines = cluster.machines
+        fallback_fired = 0
+        for _ in range(len(machines)):
+            clone = random.Random()
+            clone.setstate(scheduler._rng.getstate())
+            result = scheduler.place(make_task(), now=0.0)
+            assert result.queued
+            for _probe in range(YarnScheduler._QUEUE_PROBES):
+                candidate = machines[clone.randrange(len(machines))]
+                # The chosen machine had space at probe time (its queue
+                # filled only after the pick); everyone else's state is
+                # unchanged since the probe.
+                if candidate is result.machine or candidate.has_queue_space:
+                    break
+            else:
+                fallback_fired += 1
+            assert scheduler._rng.getstate() == clone.getstate()
+        assert fallback_fired > 0  # the O(1) fallback was actually exercised

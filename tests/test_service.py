@@ -453,6 +453,40 @@ class TestCacheSizing:
         with pytest.raises(ServiceError):
             derive_cache_entries(make_registry(), budget_mb=0.0)
 
+    def test_columnar_sizing_beats_legacy_record_sizing(self):
+        """Cached outcomes now carry a columnar frame, not a record list.
+        Sizing the cache off the legacy dataclass measurement would starve
+        the bound: a frame row is a handful of fixed-width column slots, so
+        it must measure several times leaner than the boxed record, and the
+        derived bound must admit strictly more outcomes than the old
+        record-sized estimate for the same budget."""
+        from repro.service.service import (
+            _REQUESTS_PER_ROUND,
+            MAX_CACHE_ENTRIES,
+            _measured_frame_row_bytes,
+            _measured_record_bytes,
+        )
+        from repro.service import derive_cache_entries
+
+        frame_row = _measured_frame_row_bytes()
+        record_bytes = _measured_record_bytes()
+        assert frame_row * 3 < record_bytes
+
+        registry = make_registry()
+        machines = max(spec.fleet_spec.total_machines for spec in registry)
+        rows_per_window = machines * 24
+        budget_mb = 64.0
+        # The bound the old record-based measurement would have derived.
+        legacy_bound = min(
+            max(
+                len(registry) * 4 * _REQUESTS_PER_ROUND,
+                int((budget_mb * 1024 * 1024) // (rows_per_window * record_bytes)),
+            ),
+            MAX_CACHE_ENTRIES,
+        )
+        derived = derive_cache_entries(registry, budget_mb=budget_mb)
+        assert derived > legacy_bound
+
     def test_record_footprint_counts_container_contents(self):
         """The shallow-sum bug, regressed: ``sys.getsizeof`` on the queue's
         waits list reports the list shell only, so the six float samples
