@@ -1,0 +1,173 @@
+"""Fault-plane bench: no-fault hot-loop overhead and fault-scenario cost.
+
+The fault plane rides on the simulator's hottest loops (machine advance,
+placement gating, the FINISH handler), so this bench locks two things:
+
+* **overhead** — a run carrying an *armed but empty* :class:`FaultPlan`
+  must stay within 2% of the plain no-fault run (min-of-repeats, with a
+  small absolute slack so sub-100ms scheduler jitter cannot flake CI); the
+  committed ``BENCH_faults.json`` baseline additionally gates the absolute
+  no-fault wall-clock via ``check_bench_regression.py``;
+* **the fault scenarios themselves** — the catalog's ``az-outage`` and
+  ``straggler-tail`` plans run end-to-end on a ~200-machine fleet, with
+  their crash/requeue counters and the priced window cost (faulted hours
+  billed fractionally) recorded alongside the wall-clock.
+
+The timed harness target is :func:`repro.cost.frame_cost` — the vectorized
+dollar pass the campaign layer runs on every observation window.
+"""
+
+import time
+
+from benchmarks.common import emit, emit_json
+from repro.cluster import ClusterSimulator, build_cluster, default_fleet_spec
+from repro.cost import default_price_book, frame_cost
+from repro.faults import FaultInjector, FaultPlan, MachineSelector, OutageSpec, StragglerSpec
+from repro.utils.rng import RngStreams
+from repro.utils.tables import TextTable
+from repro.workload import WorkloadGenerator, default_templates, estimate_jobs_per_hour
+
+BENCH_SEED = 20210620
+OCCUPANCY = 0.7
+FLEET_SCALE = 0.5  # ~200 machines
+HOURS = 12.0
+REPEATS = 3  # min-of-N for the overhead contrast
+OVERHEAD_TOLERANCE = 0.02
+OVERHEAD_SLACK_SECONDS = 0.1
+
+# The default fleet is one subcluster, so model an availability zone as a
+# deterministic quarter of the machines rather than a full-fleet blackout.
+AZ_OUTAGE = FaultPlan(
+    outages=(
+        OutageSpec(
+            at_hour=6.0,
+            duration_hours=3.0,
+            selector=MachineSelector(fraction=0.25),
+            recovery_jitter_hours=0.5,
+            name="az0-outage",
+        ),
+    ),
+    seed=2021,
+)
+STRAGGLER_TAIL = FaultPlan(
+    stragglers=(
+        StragglerSpec(
+            at_hour=4.0,
+            duration_hours=8.0,
+            slowdown=2.5,
+            selector=MachineSelector(sku="Gen 1.1", fraction=0.5),
+            name="gen1-tail",
+        ),
+    ),
+    seed=2021,
+)
+
+
+def _run_once(plan: FaultPlan | None):
+    cluster = build_cluster(default_fleet_spec(FLEET_SCALE))
+    templates = default_templates()
+    rate = estimate_jobs_per_hour(
+        cluster.total_container_slots, OCCUPANCY, templates,
+        mean_task_duration_s=420.0,
+    )
+    workload = WorkloadGenerator(
+        templates, jobs_per_hour=rate, streams=RngStreams(BENCH_SEED)
+    ).generate(HOURS)
+    simulator = ClusterSimulator(
+        cluster, workload, streams=RngStreams(BENCH_SEED + 1)
+    )
+    if plan is not None:
+        FaultInjector(plan).schedule_on(simulator)
+    tick = time.perf_counter()
+    result = simulator.run(HOURS)
+    return result, time.perf_counter() - tick, len(cluster.machines)
+
+
+def _row(name: str, plan: FaultPlan | None, repeats: int = 1) -> dict:
+    best = None
+    for _ in range(repeats):
+        result, seconds, machines = _run_once(plan)
+        if best is None or seconds < best[1]:
+            best = (result, seconds, machines)
+    result, seconds, machines = best
+    cost = frame_cost(result.frame, default_price_book())
+    return {
+        "fleet": name,
+        "machines": machines,
+        "hours": HOURS,
+        "total_seconds": round(seconds, 3),
+        "machines_crashed": result.machines_crashed,
+        "machines_recovered": result.machines_recovered,
+        "tasks_requeued": result.tasks_requeued,
+        "billed_machine_hours": round(cost.machine_hours, 1),
+        "faulted_machine_hours": round(cost.faulted_machine_hours, 1),
+        "window_dollars": round(cost.total_dollars, 2),
+    }
+
+
+def test_bench_fault_scenarios(benchmark):
+    rows = [
+        _row("no-fault", None, repeats=REPEATS),
+        _row("no-fault-armed", FaultPlan(seed=BENCH_SEED), repeats=REPEATS),
+        _row("az-outage", AZ_OUTAGE),
+        _row("straggler-tail", STRAGGLER_TAIL),
+    ]
+    by_name = {row["fleet"]: row for row in rows}
+
+    # The ≤2% overhead lock: an armed-but-empty plan is the exact no-fault
+    # hot loop (zero events scheduled), so any excess is fault-path cost.
+    plain = by_name["no-fault"]["total_seconds"]
+    armed = by_name["no-fault-armed"]["total_seconds"]
+    assert armed <= plain * (1.0 + OVERHEAD_TOLERANCE) + OVERHEAD_SLACK_SECONDS, (
+        f"fault-path overhead on the no-fault hot loop: {armed:.3f}s vs "
+        f"{plain:.3f}s plain (> {OVERHEAD_TOLERANCE:.0%} + "
+        f"{OVERHEAD_SLACK_SECONDS}s slack)"
+    )
+
+    # The faults actually fired, and dead hours came off the bill.
+    assert by_name["az-outage"]["machines_crashed"] > 0
+    assert by_name["az-outage"]["faulted_machine_hours"] > 0.0
+    assert (
+        by_name["az-outage"]["window_dollars"]
+        < by_name["no-fault"]["window_dollars"]
+    )
+    assert by_name["straggler-tail"]["machines_crashed"] == 0
+
+    table = TextTable(
+        [
+            "scenario", "machines", "sim (s)", "crashed", "requeued",
+            "billed mach-h", "faulted mach-h", "window $",
+        ],
+        title=f"Fault scenarios on ~200 machines, {HOURS:g}h window "
+        f"(occupancy {OCCUPANCY:g}, seed {BENCH_SEED})",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["fleet"],
+                str(row["machines"]),
+                f"{row['total_seconds']:.2f}",
+                str(row["machines_crashed"]),
+                str(row["tasks_requeued"]),
+                f"{row['billed_machine_hours']:,.1f}",
+                f"{row['faulted_machine_hours']:,.1f}",
+                f"{row['window_dollars']:,.2f}",
+            ]
+        )
+    emit("BENCH_faults", table.render())
+    emit_json(
+        "BENCH_faults",
+        {
+            "seed": BENCH_SEED,
+            "occupancy": OCCUPANCY,
+            "hours": HOURS,
+            "repeats": REPEATS,
+            "overhead_tolerance": OVERHEAD_TOLERANCE,
+            "faults": by_name,
+        },
+    )
+
+    # Timed harness target: the vectorized dollar pass over the outage frame.
+    result, _, _ = _run_once(AZ_OUTAGE)
+    book = default_price_book()
+    benchmark(lambda: frame_cost(result.frame, book))

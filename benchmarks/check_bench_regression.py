@@ -7,9 +7,11 @@ are wired in: the application suite (``BENCH_applications.json``, rows under
 ``"applications"``), the staged-rollout suite (``BENCH_rollout.json``, rows
 under ``"rollouts"``), the execution-backend service suite
 (``BENCH_service.json``, rows under ``"service"``: serial / parallel /
-queue-backend wall-clock), and the fleet-scale simulator sweep
+queue-backend wall-clock), the fleet-scale simulator sweep
 (``BENCH_simulator.json``, rows under ``"sweep"``: per-fleet-size simulator
-wall-clock). Wall-clock on shared CI runners is noisy, so the
+wall-clock), and the fault-plane suite (``BENCH_faults.json``, rows under
+``"faults"``: no-fault vs armed vs outage/straggler simulator wall-clock).
+Wall-clock on shared CI runners is noisy, so the
 gate is deliberately two-sided-generous: a regression only fails when the
 current time exceeds ``tolerance`` × baseline *and* the absolute slowdown
 exceeds ``min_seconds`` (sub-second jitter on a fast path never trips it).
@@ -62,6 +64,12 @@ GATES = (
         HERE / "out" / "BENCH_simulator.json",
         HERE / "baselines" / "BENCH_simulator.json",
         "sweep",
+    ),
+    (
+        "faults",
+        HERE / "out" / "BENCH_faults.json",
+        HERE / "baselines" / "BENCH_faults.json",
+        "faults",
     ),
 )
 

@@ -35,6 +35,13 @@ Continuous tuning over many tenants (:mod:`repro.service`)::
         print(service.run_campaigns(scenario="diurnal-baseline").summary())
 """
 
+from repro.cost import (
+    CostReport,
+    PriceBook,
+    default_price_book,
+    frame_cost,
+    window_cost,
+)
 from repro.core import (
     APPLICATIONS,
     ApplicationRegistry,
@@ -49,6 +56,13 @@ from repro.core import (
     TuningOutcome,
     TuningProposal,
     register_application,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MachineSelector,
+    OutageSpec,
+    StragglerSpec,
 )
 from repro.flighting import (
     RolloutCheckpoint,
@@ -87,7 +101,7 @@ from repro.service import (
     default_catalog,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "APPLICATIONS",
@@ -103,6 +117,16 @@ __all__ = [
     "Kea",
     "Observation",
     "StagedRollout",
+    "FaultInjector",
+    "FaultPlan",
+    "MachineSelector",
+    "OutageSpec",
+    "StragglerSpec",
+    "CostReport",
+    "PriceBook",
+    "default_price_book",
+    "frame_cost",
+    "window_cost",
     "RolloutCheckpoint",
     "RolloutPlan",
     "RolloutPolicy",

@@ -63,6 +63,8 @@ class Machine:
         "max_queued_containers",
         "cap_watts",
         "feature_enabled",
+        "faulted",
+        "slowdown",
         "n_running",
         "active_cores",
         "io_rate_bytes_per_s",
@@ -85,6 +87,7 @@ class Machine:
         "_queue_dequeued",
         "_uncapped_seconds",
         "_uncapped_util_pow_seconds",
+        "_fault_seconds",
     )
 
     def __init__(
@@ -110,6 +113,10 @@ class Machine:
         self.max_queued_containers = limits.max_queued_containers
         self.cap_watts: float | None = None
         self.feature_enabled = False
+        # Fault-plane state: a faulted (crashed) machine accepts no work and
+        # draws no power; ``slowdown`` > 1 models a straggler (degraded node).
+        self.faulted = False
+        self.slowdown = 1.0
         # Runtime state.
         self.n_running = 0
         self.active_cores = 0.0
@@ -132,12 +139,12 @@ class Machine:
     @property
     def has_free_slot(self) -> bool:
         """True when another container may start right now."""
-        return self.n_running < self.max_running_containers
+        return self.n_running < self.max_running_containers and not self.faulted
 
     @property
     def has_queue_space(self) -> bool:
         """True when another container may be queued."""
-        return len(self.queue) < self.max_queued_containers
+        return len(self.queue) < self.max_queued_containers and not self.faulted
 
     @property
     def cpu_utilization(self) -> float:
@@ -176,7 +183,9 @@ class Machine:
         utilization = self.cpu_utilization
         speed = self.effective_speed()
         contention = 1.0 + self.sku.contention_beta * utilization
-        return work_seconds / speed * contention * self.io_penalty()
+        # ``slowdown`` is 1.0 on healthy machines; multiplying by exactly 1.0
+        # is a bitwise no-op, so the no-fault path is unchanged.
+        return work_seconds / speed * contention * self.io_penalty() * self.slowdown
 
     def power_draw(self) -> float:
         """Current power draw in watts (post-capping)."""
@@ -203,7 +212,11 @@ class Machine:
         self._int_io_bytes += self.io_rate_bytes_per_s * dt
         self._int_ram += self.ram_gb_in_use * dt
         self._int_ssd += self.ssd_gb_in_use * dt
-        if self.cap_watts is not None:
+        if self.faulted:
+            # A crashed machine is powered off: no power integral, and the
+            # downtime itself is accumulated for the availability column.
+            self._fault_seconds += dt
+        elif self.cap_watts is not None:
             self._int_power += self.power_draw() * dt
         else:
             self._uncapped_seconds += dt
@@ -259,6 +272,39 @@ class Machine:
         return queued.task, wait
 
     # ------------------------------------------------------------------
+    # Fault lifecycle
+    # ------------------------------------------------------------------
+    def crash(self, now: float) -> None:
+        """Take the machine down hard at ``now``.
+
+        Running containers vanish instantly (the simulator requeues them
+        elsewhere) and runtime state drops to the powered-off baseline. The
+        caller must have drained ``queue`` first — queued tasks carry their
+        accrued wait to their next placement.
+        """
+        self.advance(now)
+        self.faulted = True
+        self.n_running = 0
+        self.active_cores = 0.0
+        self.io_rate_bytes_per_s = 0.0
+        self.ram_gb_in_use = RAM_BASE_GB
+        self.ssd_gb_in_use = SSD_BASE_GB
+
+    def recover(self, now: float) -> None:
+        """Bring a crashed machine back into service at ``now``."""
+        self.advance(now)
+        self.faulted = False
+
+    def note_carried_wait(self, wait: float) -> None:
+        """Record a queue wait inherited from a crashed machine's queue.
+
+        Keeps the frame's wait samples end-to-end when a queued task's
+        machine dies and the task starts immediately at its next placement
+        (a queued re-placement folds the carry into ``enqueue_time`` instead).
+        """
+        self._queue_waits.append(wait)
+
+    # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def _finish_hour(self, now: float) -> tuple:
@@ -270,7 +316,8 @@ class Machine:
         total_data_read_bytes, tasks_finished, total_cpu_seconds,
         total_task_seconds, avg_cores_in_use, avg_ram_gb_in_use,
         avg_ssd_gb_in_use, avg_power_watts, queue_avg_length,
-        queue_enqueued, queue_dequeued, queue_waits).
+        queue_enqueued, queue_dequeued, queue_waits, available_fraction,
+        faulted).
         """
         self.advance(now)
         seconds = 3600.0
@@ -297,6 +344,10 @@ class Machine:
             self._queue_enqueued,
             self._queue_dequeued,
             self._queue_waits,
+            # 0.0 fault-seconds divides to exactly 0.0, so the no-fault
+            # availability is the literal 1.0 every consumer expects.
+            1.0 - self._fault_seconds / seconds,
+            self._fault_seconds > 0.0,
         )
         self._reset_accumulators()
         return values
@@ -322,6 +373,8 @@ class Machine:
             queue_enqueued,
             queue_dequeued,
             queue_waits,
+            available_fraction,
+            faulted,
         ) = self._finish_hour(now)
         # Positional call in append_hour's declared order: this runs once
         # per machine-hour, and keyword packing is measurable at fleet scale.
@@ -351,6 +404,8 @@ class Machine:
             queue_enqueued,
             queue_dequeued,
             queue_waits,
+            available_fraction,
+            faulted,
         )
 
     def flush_hour(self, now: float, hour: int) -> MachineHourRecord:
@@ -370,6 +425,8 @@ class Machine:
             queue_enqueued,
             queue_dequeued,
             queue_waits,
+            available_fraction,
+            faulted,
         ) = self._finish_hour(now)
         return MachineHourRecord(
             machine_id=self.machine_id,
@@ -393,6 +450,8 @@ class Machine:
             power_cap_watts=self.cap_watts,
             feature_enabled=self.feature_enabled,
             max_running_containers=self.max_running_containers,
+            available_fraction=available_fraction,
+            faulted=faulted,
             queue=QueueStats(
                 avg_length=queue_avg_length,
                 enqueued=queue_enqueued,
@@ -422,6 +481,7 @@ class Machine:
         self._queue_waits = []
         self._queue_enqueued = 0
         self._queue_dequeued = 0
+        self._fault_seconds = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -15,6 +15,10 @@ Event kinds, in priority order at equal timestamps:
 * ``ARRIVAL`` — a job arrives; its first stage's tasks are placed.
 * ``FINISH`` — a task finishes; stage/job bookkeeping, queue draining.
 * ``RETRY`` — a placement deferred by cluster-wide backpressure is retried.
+* ``CRASH`` / ``RECOVER`` / ``SLOW`` — fault-plane events (machine dies,
+  comes back, or becomes a straggler). Scheduled only by explicit fault
+  injection (:mod:`repro.faults`), so a fault-free run never dispatches
+  them — the no-fault hot loop is bit-identical with the plane compiled in.
 
 When every machine's container queue is full (possible once per-group
 ``max_queued_containers`` limits are tuned down), placement exercises
@@ -62,6 +66,10 @@ __all__ = [
 ]
 
 _HOUR, _ACTION, _ARRIVAL, _FINISH, _SAMPLE, _RETRY = 0, 1, 2, 3, 4, 5
+# Fault-plane kinds append after the original six: renumbering the existing
+# kinds would change equal-timestamp ordering and break bit-identity of
+# fault-free runs against earlier builds.
+_CRASH, _RECOVER, _SLOW = 6, 7, 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,6 +172,10 @@ class SimulationResult:
     tasks_started: int = 0
     tasks_queued: int = 0
     tasks_deferred: int = 0  # tasks hit by cluster-wide backpressure (≥1 time)
+    # Fault-plane counters (all zero on fault-free runs).
+    machines_crashed: int = 0
+    machines_recovered: int = 0
+    tasks_requeued: int = 0  # tasks displaced by a crash (running or queued)
     duration_hours: float = 0.0
     # Wall-clock attribution of the run itself (placement / event processing
     # / telemetry rollup). Out-of-band: never read by simulation logic.
@@ -192,7 +204,7 @@ class SimulationResult:
 class _TaskRun:
     """Payload of a FINISH event."""
 
-    __slots__ = ("machine", "job", "task", "duration", "log_row")
+    __slots__ = ("machine", "job", "task", "duration", "log_row", "cancelled")
 
     def __init__(self, machine: Machine, job: JobRuntime, task: Task,
                  duration: float, log_row: int):
@@ -201,6 +213,10 @@ class _TaskRun:
         self.task = task
         self.duration = duration
         self.log_row = log_row
+        # Set when the hosting machine crashes mid-execution: the FINISH
+        # event stays in the heap (removal would be O(n log n)) but becomes
+        # a no-op, and the task is requeued elsewhere.
+        self.cancelled = False
 
 
 class ClusterSimulator:
@@ -254,6 +270,11 @@ class ClusterSimulator:
         # the run token keeps identities distinct across runs and worker
         # processes.
         self._job_of_queued: dict[TaskId, JobRuntime] = {}
+        # Queue wait accrued on a crashed machine, keyed by task id, joined
+        # into the task's next placement so fault scenarios report
+        # end-to-end wait rather than per-placement wait. Empty on
+        # fault-free runs — _place only pays a falsy-dict check.
+        self._carried_wait: dict[TaskId, float] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -267,6 +288,33 @@ class ClusterSimulator:
         experiment designs to change configuration mid-run.
         """
         self._pending_actions.append((time, action))
+
+    def schedule_crash(self, time: float, machine: Machine) -> None:
+        """Schedule ``machine`` to crash at simulation time ``time`` (seconds).
+
+        Running containers are requeued through the normal placement path
+        (hitting backpressure if the rest of the fleet is full); queued
+        containers carry their accrued wait to the next placement. Crashing
+        an already-faulted machine is a no-op.
+        """
+        self._push(time, _CRASH, machine)
+
+    def schedule_recover(self, time: float, machine: Machine) -> None:
+        """Schedule a crashed ``machine`` to rejoin the fleet at ``time``."""
+        self._push(time, _RECOVER, machine)
+
+    def schedule_slowdown(
+        self, time: float, machine: Machine, factor: float
+    ) -> None:
+        """Scale ``machine``'s task durations by ``factor`` from ``time`` on.
+
+        ``factor`` > 1 makes a straggler; 1.0 restores nominal speed. Only
+        tasks *started* after the event are affected (in-flight durations
+        were fixed at start, like a real per-task placement decision).
+        """
+        if factor <= 0.0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        self._push(time, _SLOW, (machine, factor))
 
     def apply_yarn_config(self, config) -> None:
         """Apply a new YARN config now and refresh scheduler bookkeeping."""
@@ -332,6 +380,13 @@ class ClusterSimulator:
             elif kind == _RETRY:
                 job, task = payload
                 self._place(job, task, retried=True)
+            elif kind == _CRASH:
+                self._handle_crash(payload)
+            elif kind == _RECOVER:
+                self._handle_recover(payload)
+            else:  # _SLOW
+                machine, factor = payload
+                machine.slowdown = factor
             # Attribute the dispatch we just ran: hourly flushes and resource
             # samples are telemetry rollup; everything else (arrivals,
             # finishes, actions, retries) is event processing. Placement time
@@ -392,10 +447,24 @@ class ClusterSimulator:
             profile.placement_seconds += perf_counter() - tick
             profile.placements += 1
         if placement.started:
-            self._start_on(placement.machine, job, task, queue_wait=0.0)
+            wait = 0.0
+            if self._carried_wait:
+                wait = self._carried_wait.pop(task.task_id, 0.0)
+                if wait > 0.0:
+                    # The wait was served on a machine that died; sample it
+                    # on the machine that finally runs the task so frame
+                    # telemetry sees the end-to-end figure.
+                    placement.machine.note_carried_wait(wait)
+            self._start_on(placement.machine, job, task, queue_wait=wait)
             self.scheduler.note_started(placement.machine)
         else:
             self.result.tasks_queued += 1
+            if self._carried_wait:
+                carried = self._carried_wait.pop(task.task_id, 0.0)
+                if carried > 0.0:
+                    # Backdate the enqueue so the eventual dequeue reports
+                    # the joined cross-machine wait.
+                    placement.machine.queue[-1].enqueue_time -= carried
             self._job_of_queued[task.task_id] = job
 
     def _start_on(
@@ -428,6 +497,10 @@ class ClusterSimulator:
         self._push(self.now + duration, _FINISH, _TaskRun(machine, job, task, duration, log_row))
 
     def _handle_finish(self, run: _TaskRun) -> None:
+        if run.cancelled:
+            # The hosting machine crashed while this task ran; the task was
+            # requeued and will produce a fresh FINISH from its new machine.
+            return
         machine, job, task = run.machine, run.job, run.task
         machine.finish_task(
             self.now,
@@ -468,6 +541,50 @@ class ClusterSimulator:
             task, wait = popped
             job = self._job_of_queued.pop(task.task_id)
             self._start_on(machine, job, task, queue_wait=wait)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _handle_crash(self, machine: Machine) -> None:
+        if machine.faulted:
+            return
+        self.result.machines_crashed += 1
+        machine.advance(self.now)
+        # Displaced work, in deterministic order: queued tasks first (they
+        # carry their accrued wait), then running tasks from the heap scan.
+        displaced: list[tuple[JobRuntime, Task, float]] = []
+        while machine.queue:
+            queued = machine.queue.popleft()
+            task = queued.task
+            job = self._job_of_queued.pop(task.task_id)
+            displaced.append((job, task, self.now - queued.enqueue_time))
+        # O(heap) scan per crash: crashes are rare events, and lazily
+        # cancelling beats restructuring the heap on the hot path.
+        for item in self._heap:
+            if item[1] == _FINISH:
+                run = item[3]
+                if run.machine is machine and not run.cancelled:
+                    run.cancelled = True
+                    displaced.append((run.job, run.task, 0.0))
+        machine.crash(self.now)
+        # Faulted machines report no free slot / queue space, so the
+        # refresh evicts the machine from both scheduler sets.
+        self.scheduler.refresh_machine(machine)
+        for job, task, waited in displaced:
+            if waited > 0.0:
+                self._carried_wait[task.task_id] = waited
+            self.result.tasks_requeued += 1
+            self._place(job, task)
+
+    def _handle_recover(self, machine: Machine) -> None:
+        if not machine.faulted:
+            return
+        self.result.machines_recovered += 1
+        machine.recover(self.now)
+        # Readmit the machine to the scheduler's sets and let it pick up
+        # queued work immediately (its queue is empty post-crash, so this
+        # only flips set membership).
+        self.scheduler.refresh_machine(machine)
 
     def _flush_hour(self, hour: int) -> None:
         end = (hour + 1) * SECONDS_PER_HOUR

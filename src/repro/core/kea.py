@@ -465,6 +465,7 @@ class Kea:
         load_multiplier: float = 1.6,
         workload_tag: str | None = None,
         safety_gate: SafetyGate | None = None,
+        actions: Callable[[ClusterSimulator], None] | None = None,
     ) -> FlightValidation:
         """Campaign-grade flighting: pilot flights plus an optional safety gate.
 
@@ -479,7 +480,9 @@ class Kea:
         flight window to an explicit ``workload_tag`` (so re-running the same
         campaign round replays the same arrivals, in any process) and asks a
         :class:`~repro.flighting.safety.SafetyGate` to judge the flighted run
-        before the rollout may proceed.
+        before the rollout may proceed. ``actions`` registers extra
+        scheduled actions (e.g. a scenario's fault plan) on the flight
+        window's simulator before it runs.
         """
         if isinstance(plan, dict):
             plan = FlightPlan.from_container_deltas(plan)
@@ -520,6 +523,8 @@ class Kea:
         tool = FlightingTool(simulator)
         for flight in flights:
             tool.add_flight(flight)
+        if actions is not None:
+            actions(simulator)
         tracer = current_tracer()
         with tracer.span(
             "kea.flight", hours=hours, flights=len(flights)
@@ -539,6 +544,7 @@ class Kea:
         benchmark_period_hours: float = 6.0,
         load_multiplier: float = 1.6,
         workload_tag: str | None = None,
+        actions: Callable[[ClusterSimulator], None] | None = None,
     ) -> DeploymentImpact:
         """Before/after rollout evaluation with treatment effects (§5.2.2).
 
@@ -549,7 +555,9 @@ class Kea:
         well-placed containers convert into throughput. Pass ``workload_tag``
         to pin the window explicitly (campaign replay/caching); otherwise a
         fresh tag is reserved per call, so consecutive evaluations never
-        silently replay the same workload.
+        silently replay the same workload. ``actions`` (e.g. a scenario's
+        fault plan) is applied to *both* windows, so the pairing stays fair
+        under injected faults.
         """
         tag = workload_tag if workload_tag is not None else self._fresh_tag("deploy")
         tracer = current_tracer()
@@ -561,6 +569,7 @@ class Kea:
                     benchmark_period_hours=benchmark_period_hours,
                     workload_tag=tag,
                     load_multiplier=load_multiplier,
+                    actions=actions,
                 )
             with tracer.span("window.after"):
                 after = self.simulate(
@@ -569,6 +578,7 @@ class Kea:
                     benchmark_period_hours=benchmark_period_hours,
                     workload_tag=tag,
                     load_multiplier=load_multiplier,
+                    actions=actions,
                 )
         return _paired_impact(before, after)
 
@@ -582,6 +592,7 @@ class Kea:
         workload_tag: str | None = None,
         gate: SafetyGate | None = None,
         checkpoint: RolloutCheckpoint | None = None,
+        actions: Callable[[ClusterSimulator], None] | None = None,
     ) -> StagedRollout:
         """Ship a validated plan across the fleet in gated waves (§5.2.2).
 
@@ -607,7 +618,9 @@ class Kea:
         (flighted-so-far vs not-yet-covered machines in the wave's soak
         window) — plus a :class:`DeploymentImpact` pairing the rollout
         window against a baseline window replaying the identical workload
-        arrivals.
+        arrivals. ``actions`` (e.g. a scenario's fault plan) is applied to
+        both the baseline and the rollout window, so a mid-rollout fault
+        degrades the rollout's gates without biasing the paired impact.
         """
         if isinstance(plan, dict):
             plan = FlightPlan.from_container_deltas(plan)
@@ -641,10 +654,13 @@ class Kea:
                     benchmark_period_hours=benchmark_period_hours,
                     workload_tag=tag,
                     load_multiplier=load_multiplier,
+                    actions=actions,
                 )
             executions: list = []
 
             def stage_waves(sim: ClusterSimulator) -> None:
+                if actions is not None:
+                    actions(sim)
                 module = DeploymentModule(sim.cluster)
                 executions.append(
                     module.schedule(

@@ -1,0 +1,29 @@
+"""Per-tenant cost accounting: the dollars plane of the tuning service.
+
+KEA tunes a fleet whose machine-hours are real money; the Co-Tuning line
+of work makes cost a first-class objective next to throughput and latency.
+This package prices simulated windows:
+
+* :mod:`repro.cost.pricebook` — :class:`PriceBook`, per-SKU $/machine-hour
+  rates plus a $/kWh power surcharge (default derived from the SKU table).
+* :mod:`repro.cost.report` — :class:`CostReport` via :func:`frame_cost`
+  (one vectorized pass over a telemetry frame's SKU/availability/power
+  columns) or :func:`window_cost` (provisioned-rate estimate for
+  frame-less windows).
+
+Campaigns attach a report to every simulation outcome, accrue dollars in
+their :class:`~repro.obs.ledger.TuningCostLedger`, and may hand wave-level
+spend to a :class:`~repro.flighting.safety.DeploymentGuardrail` so rollouts
+whose measured impact is not worth their dollars get vetoed.
+"""
+
+from repro.cost.pricebook import PriceBook, default_price_book
+from repro.cost.report import CostReport, frame_cost, window_cost
+
+__all__ = [
+    "CostReport",
+    "PriceBook",
+    "default_price_book",
+    "frame_cost",
+    "window_cost",
+]

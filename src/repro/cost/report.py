@@ -1,0 +1,130 @@
+"""Dollar-cost rollups over machine-hour telemetry.
+
+:func:`frame_cost` prices a simulation window in one vectorized pass over
+the frame's SKU codes, availability and power columns — no per-record
+loop, so costing a fleet-scale window is O(rows) numpy work. Faulted
+machine-hours are billed only for the fraction of the hour the machine was
+actually up (``available_fraction``), and powered-off time draws no energy
+by construction (the machine's power integral already excludes it).
+
+:func:`window_cost` is the frame-less fallback: rollout/flight/impact
+windows summarize into effects rather than telemetry frames, so their
+spend is estimated from provisioned fleet rates alone and flagged
+``estimated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost.pricebook import PriceBook
+from repro.utils.tables import TextTable
+
+__all__ = ["CostReport", "frame_cost", "window_cost"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """What one simulation window cost, in dollars.
+
+    ``by_sku`` rows are ``(sku, billed machine-hours, machine dollars)``;
+    the power surcharge is fleet-wide (per-SKU attribution would just
+    re-split the same column). ``estimated`` marks reports priced from
+    provisioned fleet rates because the window produced no telemetry frame.
+    """
+
+    machine_hours: float
+    faulted_machine_hours: float
+    machine_dollars: float
+    power_kwh: float
+    power_dollars: float
+    by_sku: tuple[tuple[str, float, float], ...]
+    estimated: bool = False
+
+    @property
+    def total_dollars(self) -> float:
+        """Machine rates plus the power surcharge."""
+        return self.machine_dollars + self.power_dollars
+
+    def summary(self) -> str:
+        """Per-SKU cost table plus the power and fault lines."""
+        table = TextTable(
+            ["sku", "machine-hours", "machine $"],
+            title="Window cost"
+            + (" (estimated: no telemetry frame)" if self.estimated else ""),
+        )
+        for sku, hours, dollars in self.by_sku:
+            table.add_row([sku, f"{hours:,.1f}", f"{dollars:,.2f}"])
+        table.add_row(["(power)", f"{self.power_kwh:,.1f} kWh",
+                       f"{self.power_dollars:,.2f}"])
+        table.add_row(["total", f"{self.machine_hours:,.1f}",
+                       f"{self.total_dollars:,.2f}"])
+        lines = [table.render()]
+        if self.faulted_machine_hours > 0.0:
+            lines.append(
+                f"faulted (unbilled) machine-hours: "
+                f"{self.faulted_machine_hours:,.1f}"
+            )
+        return "\n".join(lines)
+
+
+def frame_cost(frame, book: PriceBook) -> CostReport:
+    """Price one telemetry frame: SKU rates × billed hours + energy.
+
+    Billed hours weight each row by its ``available_fraction``, so an
+    outage shows up as money *not* spent on dead machines; the remainder
+    is reported as ``faulted_machine_hours``.
+    """
+    n = len(frame)
+    if n == 0:
+        return CostReport(
+            machine_hours=0.0, faulted_machine_hours=0.0, machine_dollars=0.0,
+            power_kwh=0.0, power_dollars=0.0, by_sku=(),
+        )
+    categories = frame.categories("sku")
+    codes = frame.codes("sku")
+    available = frame.column("available_fraction")
+    hours_by_sku = np.bincount(codes, weights=available, minlength=len(categories))
+    rates = book.rate_vector(categories)
+    dollars_by_sku = rates * hours_by_sku
+    power_kwh = float(frame.column("avg_power_watts").sum()) / 1000.0
+    return CostReport(
+        machine_hours=float(available.sum()),
+        faulted_machine_hours=float(n - available.sum()),
+        machine_dollars=float(dollars_by_sku.sum()),
+        power_kwh=power_kwh,
+        power_dollars=power_kwh * book.power_dollars_per_kwh,
+        by_sku=tuple(
+            (sku, float(hours_by_sku[code]), float(dollars_by_sku[code]))
+            for code, sku in enumerate(categories)
+        ),
+    )
+
+
+def window_cost(fleet_spec, book: PriceBook, window_hours: float) -> CostReport:
+    """Estimate a window's spend from provisioned fleet rates alone.
+
+    Used for phases whose outcomes carry no telemetry frame (flight,
+    rollout, impact): every provisioned machine is billed for the full
+    window at its SKU rate, with no power term (draw is unknown without
+    telemetry).
+    """
+    by_sku = tuple(
+        (
+            population.sku.name,
+            population.count * window_hours,
+            population.count * window_hours * book.rate_for(population.sku.name),
+        )
+        for population in fleet_spec.populations
+    )
+    return CostReport(
+        machine_hours=float(fleet_spec.total_machines * window_hours),
+        faulted_machine_hours=0.0,
+        machine_dollars=float(sum(dollars for _, _, dollars in by_sku)),
+        power_kwh=0.0,
+        power_dollars=0.0,
+        by_sku=by_sku,
+        estimated=True,
+    )

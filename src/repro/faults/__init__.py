@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the simulated fleet.
+
+Production fleets lose machines mid-rollout and grow stragglers mid-soak;
+an immortal simulated fleet cannot exercise the gate → checkpoint → resume
+machinery those events trip. This package makes failure a first-class,
+reproducible scenario ingredient:
+
+* :mod:`repro.faults.plan` — frozen, picklable :class:`FaultPlan` /
+  :class:`OutageSpec` / :class:`StragglerSpec` / :class:`MachineSelector`
+  value objects (what fails, when, for how long, targeted at which slice
+  of the fleet).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, compiling a plan
+  into typed simulator crash/recover/slowdown events with all randomness
+  drawn from the plan's own seed.
+
+Fault-free runs never dispatch a fault event, so the plane costs nothing
+when unused and cannot perturb existing results.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, MachineSelector, OutageSpec, StragglerSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "MachineSelector",
+    "OutageSpec",
+    "StragglerSpec",
+]

@@ -1,0 +1,81 @@
+"""Compiles a :class:`~repro.faults.plan.FaultPlan` into simulator events.
+
+The injector owns all fault randomness: machine selection under a
+fractional selector and per-machine delayed-recovery draws come from
+``random.Random`` streams derived from the plan seed and each spec's index,
+never from the simulator's own :class:`~repro.utils.rng.RngStreams`. That
+separation is what keeps a fault-free run bit-identical whether or not the
+fault plane is linked in, and what makes the same plan reproduce the same
+faults across serial, pooled, and queue-backed execution.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan, MachineSelector
+from repro.utils.rng import derive_seed
+from repro.utils.units import SECONDS_PER_HOUR
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules one plan's crash/recover/slowdown events on a simulator."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def schedule_on(self, simulator) -> int:
+        """Push every event of the plan onto ``simulator``'s heap.
+
+        Must run before ``simulator.run`` (it is the body of a scenario's
+        actions hook). Returns the number of events scheduled.
+        """
+        events = 0
+        for index, outage in enumerate(self.plan.outages):
+            rng = self._stream("outage", index, outage.name)
+            start = outage.at_hour * SECONDS_PER_HOUR
+            base_down = outage.duration_hours * SECONDS_PER_HOUR
+            for machine in self._select(simulator.cluster, outage.selector, rng):
+                down = base_down
+                if outage.recovery_jitter_hours > 0.0:
+                    down += rng.expovariate(
+                        1.0 / (outage.recovery_jitter_hours * SECONDS_PER_HOUR)
+                    )
+                simulator.schedule_crash(start, machine)
+                simulator.schedule_recover(start + down, machine)
+                events += 2
+        for index, straggler in enumerate(self.plan.stragglers):
+            rng = self._stream("straggler", index, straggler.name)
+            start = straggler.at_hour * SECONDS_PER_HOUR
+            end = start + straggler.duration_hours * SECONDS_PER_HOUR
+            for machine in self._select(
+                simulator.cluster, straggler.selector, rng
+            ):
+                simulator.schedule_slowdown(start, machine, straggler.slowdown)
+                simulator.schedule_slowdown(end, machine, 1.0)
+                events += 2
+        return events
+
+    def _stream(self, kind: str, index: int, name: str) -> random.Random:
+        """An independent seeded stream per fault spec (stable across runs)."""
+        return random.Random(
+            derive_seed(self.plan.seed, f"fault:{kind}:{index}:{name}")
+        )
+
+    @staticmethod
+    def _select(cluster, selector: MachineSelector, rng: random.Random) -> list:
+        """The machines a selector hits, in stable machine order.
+
+        A fractional selector samples from the matching machines with the
+        spec's stream, then restores machine order so downstream event
+        scheduling is independent of the sample's internal ordering.
+        """
+        matching = [m for m in cluster.machines if selector.matches(m)]
+        if selector.fraction >= 1.0 or len(matching) <= 1:
+            return matching
+        count = max(1, round(selector.fraction * len(matching)))
+        chosen = rng.sample(matching, min(count, len(matching)))
+        chosen.sort(key=lambda machine: machine.machine_id)
+        return chosen

@@ -1,0 +1,146 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen, picklable description of everything that
+goes wrong with the fleet during one simulation window: availability-zone
+outages (machines crash hard and come back later, possibly with a
+per-machine delayed recovery) and straggler episodes (machines keep serving
+but run slower by a factor). Plans are *data*, not behaviour: the
+:class:`~repro.faults.injector.FaultInjector` compiles a plan into typed
+simulator events, drawing every random choice from the plan's own seed so
+
+* the same plan injects the same faults in any process (serial, pooled, or
+  queue-backed execution stays bit-identical), and
+* a plan rides on a :class:`~repro.service.scenarios.Scenario` into the
+  simulation cache key via its ``repr`` — two scenarios differing only in
+  their faults can never alias a cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineSelector", "OutageSpec", "StragglerSpec", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class MachineSelector:
+    """Which machines a fault targets.
+
+    All set criteria must match (``None`` matches everything), then
+    ``fraction`` of the matching machines — chosen deterministically from
+    the plan seed — are actually hit. The default selector targets the
+    whole fleet.
+    """
+
+    sku: str | None = None
+    software: str | None = None
+    subcluster: int | None = None
+    rack: int | None = None
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def matches(self, machine) -> bool:
+        """True when ``machine`` satisfies every set criterion."""
+        if self.sku is not None and machine.sku.name != self.sku:
+            return False
+        if self.software is not None and machine.software.name != self.software:
+            return False
+        if self.subcluster is not None and machine.subcluster != self.subcluster:
+            return False
+        if self.rack is not None and machine.rack != self.rack:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """A hard outage: selected machines crash at ``at_hour`` and recover.
+
+    ``recovery_jitter_hours`` > 0 models delayed recovery — each machine
+    draws an independent exponential extra delay with that mean (repair
+    crews don't finish a whole zone at once), from the plan's seeded
+    stream.
+    """
+
+    at_hour: float
+    duration_hours: float
+    selector: MachineSelector = field(default_factory=MachineSelector)
+    recovery_jitter_hours: float = 0.0
+    name: str = "outage"
+
+    def __post_init__(self) -> None:
+        if self.at_hour < 0.0:
+            raise ValueError(f"at_hour must be non-negative, got {self.at_hour}")
+        if self.duration_hours <= 0.0:
+            raise ValueError(
+                f"duration_hours must be positive, got {self.duration_hours}"
+            )
+        if self.recovery_jitter_hours < 0.0:
+            raise ValueError("recovery_jitter_hours must be non-negative")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """A straggler episode: selected machines slow down by ``slowdown``.
+
+    The machines keep accepting and serving work — only task durations
+    stretch — which is exactly the tail-skew failure mode that poisons a
+    rollout wave's soak window without tripping availability alarms.
+    """
+
+    at_hour: float
+    duration_hours: float
+    slowdown: float
+    selector: MachineSelector = field(default_factory=MachineSelector)
+    name: str = "straggler"
+
+    def __post_init__(self) -> None:
+        if self.at_hour < 0.0:
+            raise ValueError(f"at_hour must be non-negative, got {self.at_hour}")
+        if self.duration_hours <= 0.0:
+            raise ValueError(
+                f"duration_hours must be positive, got {self.duration_hours}"
+            )
+        if self.slowdown <= 1.0:
+            raise ValueError(
+                f"slowdown must exceed 1.0 (use no event for nominal speed), "
+                f"got {self.slowdown}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong during one simulation window.
+
+    Frozen and built from primitives only, so a plan pickles across pool
+    workers, hashes into cache keys via ``repr``, and compares by value.
+    An empty plan injects nothing — runs carrying one are bit-identical to
+    fault-free runs.
+    """
+
+    outages: tuple[OutageSpec, ...] = ()
+    stragglers: tuple[StragglerSpec, ...] = ()
+    seed: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules no fault at all."""
+        return not self.outages and not self.stragglers
+
+    def describe(self) -> str:
+        """One-line human summary of the plan."""
+        if self.is_empty:
+            return "no faults"
+        parts = [
+            f"{spec.name}@{spec.at_hour:g}h for {spec.duration_hours:g}h"
+            for spec in self.outages
+        ]
+        parts.extend(
+            f"{spec.name}@{spec.at_hour:g}h ×{spec.slowdown:g} "
+            f"for {spec.duration_hours:g}h"
+            for spec in self.stragglers
+        )
+        return ", ".join(parts)

@@ -1024,6 +1024,17 @@ class DeploymentModule:
         hours_sorted = frame.column("hour")[order]
         machine_ids = frame.column("machine_id")[order]
         values = frame.column("total_data_read_bytes")[order]
+        faulted = frame.column("faulted")
+        if faulted.any():
+            # Crashed machine-hours are neither treatment nor control: a
+            # machine that spent part of the hour dark reads low for reasons
+            # no config change caused, and would bias whichever arm it
+            # landed in. Masking after the sort keeps the no-fault path on
+            # the exact arrays it always used.
+            live = ~faulted[order]
+            hours_sorted = hours_sorted[live]
+            machine_ids = machine_ids[live]
+            values = values[live]
 
         def window_values(ids: frozenset[int], lo: int, hi: int) -> np.ndarray:
             if hi <= lo or not ids:

@@ -104,12 +104,16 @@ class DeploymentGuardrail:
         latency_allowance: float = 0.02,
         throughput_allowance: float = 0.02,
         alpha: float = 0.05,
+        dollars_per_point: float | None = None,
     ):
         if alpha <= 0 or alpha > 1:
             raise ValueError("alpha must be in (0, 1]")
+        if dollars_per_point is not None and dollars_per_point < 0:
+            raise ValueError("dollars_per_point must be non-negative")
         self.latency_allowance = latency_allowance
         self.throughput_allowance = throughput_allowance
         self.alpha = alpha
+        self.dollars_per_point = dollars_per_point
 
     def judge_wave_impact(self, effect) -> GateVerdict:
         """Verdict for one rollout wave's measured treatment effect.
@@ -139,6 +143,38 @@ class DeploymentGuardrail:
             reason=(
                 f"wave throughput {effect.relative_effect:+.1%}: "
                 "no significant regression"
+            ),
+        )
+
+    def judge_wave_cost(self, effect, dollars: float) -> GateVerdict:
+        """Verdict on whether a wave's measured win is worth its dollar cost.
+
+        Opt-in: when ``dollars_per_point`` is None (the default) every wave
+        passes. Otherwise the wave's throughput gain — in percentage points,
+        negative gains floor at zero — buys a budget of
+        ``dollars_per_point × points``; a wave whose priced machine-hour
+        spend (``dollars``) exceeds that budget is vetoed. This is the
+        cost-aware rollback policy the per-tenant ledger enables: a config
+        change that moves nothing does not get to burn fleet dollars.
+        """
+        if self.dollars_per_point is None:
+            return GateVerdict(passed=True, reason="cost gate disabled")
+        points = max(effect.relative_effect, 0.0) * 100.0
+        budget = self.dollars_per_point * points
+        if dollars > budget:
+            return GateVerdict(
+                passed=False,
+                reason=(
+                    f"wave cost ${dollars:,.2f} exceeds value budget "
+                    f"${budget:,.2f} ({points:.2f} points of throughput "
+                    f"at ${self.dollars_per_point:,.2f}/point)"
+                ),
+            )
+        return GateVerdict(
+            passed=True,
+            reason=(
+                f"wave cost ${dollars:,.2f} within value budget "
+                f"${budget:,.2f}"
             ),
         )
 

@@ -28,11 +28,15 @@ class PhaseCost:
     simulated_machine_hours: float = 0.0
     wall_seconds: float = 0.0
     charges: int = 0
+    dollars: float = 0.0
 
-    def add(self, machine_hours: float, wall_seconds: float) -> None:
+    def add(
+        self, machine_hours: float, wall_seconds: float, dollars: float = 0.0
+    ) -> None:
         """Accrue one charge against this phase."""
         self.simulated_machine_hours += machine_hours
         self.wall_seconds += wall_seconds
+        self.dollars += dollars
         self.charges += 1
 
 
@@ -43,18 +47,26 @@ class TuningCostLedger:
     ``simulated_machine_hours`` counts fleet time the phase's windows covered
     (machines × window-hours; paired before/after designs count both
     windows); ``wall_seconds`` counts service wall-clock actually spent
-    simulating. Plain data: picklable, mergeable, and comparable.
+    simulating; ``dollars`` prices the phase's windows through the
+    campaign's :class:`~repro.cost.pricebook.PriceBook` (zero when no book
+    is in force). Plain data: picklable, mergeable, and comparable.
     """
 
     tenant: str = ""
     phases: dict[str, PhaseCost] = field(default_factory=dict)
 
-    def charge(self, phase: str, machine_hours: float, wall_seconds: float) -> None:
+    def charge(
+        self,
+        phase: str,
+        machine_hours: float,
+        wall_seconds: float,
+        dollars: float = 0.0,
+    ) -> None:
         """Accrue ``machine_hours`` + ``wall_seconds`` against ``phase``."""
         cost = self.phases.get(phase)
         if cost is None:
             cost = self.phases[phase] = PhaseCost(phase=phase)
-        cost.add(machine_hours, wall_seconds)
+        cost.add(machine_hours, wall_seconds, dollars)
 
     @property
     def total_machine_hours(self) -> float:
@@ -66,6 +78,11 @@ class TuningCostLedger:
         """Service wall-clock across all phases."""
         return sum(cost.wall_seconds for cost in self.phases.values())
 
+    @property
+    def total_dollars(self) -> float:
+        """Priced spend across all phases."""
+        return sum(cost.dollars for cost in self.phases.values())
+
     def merge(self, other: "TuningCostLedger") -> None:
         """Fold another ledger's charges into this one (fleet rollups)."""
         for phase, cost in other.phases.items():
@@ -74,12 +91,20 @@ class TuningCostLedger:
                 mine = self.phases[phase] = PhaseCost(phase=phase)
             mine.simulated_machine_hours += cost.simulated_machine_hours
             mine.wall_seconds += cost.wall_seconds
+            mine.dollars += cost.dollars
             mine.charges += cost.charges
 
-    def rows(self) -> list[tuple[str, int, float, float]]:
-        """``(phase, charges, machine_hours, wall_seconds)`` in charge order."""
+    def rows(self) -> list[tuple[str, int, float, float, float]]:
+        """``(phase, charges, machine_hours, wall_seconds, dollars)`` in
+        charge order."""
         return [
-            (cost.phase, cost.charges, cost.simulated_machine_hours, cost.wall_seconds)
+            (
+                cost.phase,
+                cost.charges,
+                cost.simulated_machine_hours,
+                cost.wall_seconds,
+                cost.dollars,
+            )
             for cost in self.phases.values()
         ]
 
@@ -87,16 +112,21 @@ class TuningCostLedger:
         """Operator-readable per-phase cost table with a totals row."""
         title = f"tuning cost — {self.tenant}" if self.tenant else "tuning cost"
         table = TextTable(
-            ("phase", "charges", "sim machine-hours", "wall seconds"), title=title
+            ("phase", "charges", "sim machine-hours", "wall seconds", "$ spend"),
+            title=title,
         )
-        for phase, charges, machine_hours, wall in self.rows():
-            table.add_row((phase, charges, f"{machine_hours:,.1f}", f"{wall:.3f}"))
+        for phase, charges, machine_hours, wall, dollars in self.rows():
+            table.add_row(
+                (phase, charges, f"{machine_hours:,.1f}", f"{wall:.3f}",
+                 f"{dollars:,.2f}")
+            )
         table.add_row(
             (
                 "TOTAL",
                 sum(cost.charges for cost in self.phases.values()),
                 f"{self.total_machine_hours:,.1f}",
                 f"{self.total_wall_seconds:.3f}",
+                f"{self.total_dollars:,.2f}",
             )
         )
         return table.render()

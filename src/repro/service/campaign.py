@@ -66,6 +66,7 @@ from repro.cluster.simulator import SimulationResult
 from repro.core.application import APPLICATIONS, TuningApplication, TuningProposal
 from repro.core.kea import DeploymentImpact, FlightValidation, Observation
 from repro.core.whatif import WhatIfEngine
+from repro.cost import PriceBook, default_price_book, frame_cost, window_cost
 from repro.flighting.build import FlightPlan
 from repro.flighting.deployment import (
     RolloutCheckpoint,
@@ -257,6 +258,7 @@ class Campaign:
         require_flight_validation: bool = False,
         resume_halted_rollouts: bool = True,
         resume_checkpoint: RolloutCheckpoint | None = None,
+        price_book: PriceBook | None = None,
     ):
         if rounds < 1:
             raise ServiceError("a campaign needs at least one round")
@@ -284,6 +286,13 @@ class Campaign:
         #: checkpoint and the next round re-enters at the failed wave
         #: through a ``resume`` request instead of restarting from OBSERVE.
         self.resume_halted_rollouts = resume_halted_rollouts
+
+        #: Prices consumed windows into dollars (per-SKU machine-hour rates
+        #: plus power). Every consumed outcome gets a CostReport attached
+        #: and its total accrued in the ledger.
+        self.price_book = (
+            price_book if price_book is not None else default_price_book()
+        )
 
         self.round = 1
         self.phase = CampaignPhase.OBSERVE
@@ -492,8 +501,21 @@ class Campaign:
             window_hours = self.flight_hours
         else:  # rollout / resume / impact: a baseline window plus the change
             window_hours = self.impact_days * 24.0 * 2
+        # Price the window. Observation windows carry telemetry and are
+        # priced exactly off the frame's SKU/availability/power columns;
+        # the other kinds summarize into effects, so their spend is the
+        # provisioned-rate estimate for the window.
+        if len(outcome.frame):
+            outcome.cost = frame_cost(outcome.frame, self.price_book)
+        else:
+            outcome.cost = window_cost(
+                self.spec.fleet_spec, self.price_book, window_hours
+            )
         self.cost_ledger.charge(
-            outcome.kind, machines * window_hours, outcome.elapsed_seconds
+            outcome.kind,
+            machines * window_hours,
+            outcome.elapsed_seconds,
+            dollars=outcome.cost.total_dollars,
         )
         OPS_METRICS.histogram("campaign.phase_seconds", phase=outcome.kind).observe(
             outcome.elapsed_seconds
@@ -815,12 +837,47 @@ class Campaign:
                         f"wave {record.wave!r} impact regressed: "
                         f"{wave_verdict.reason}",
                     )
+            cost_failure = self._judge_wave_costs(shipped, outcome)
+            if cost_failure is not None:
+                self._end_round(CampaignPhase.ROLLED_BACK, cost_failure)
+                return
         verdict = self.guardrails.deployment.judge(outcome.impact)
         if verdict.passed:
             self.config = self.application.apply(self.config, self.tuning)
             self._end_round(CampaignPhase.DEPLOYED, f"adopted: {verdict.reason}")
         else:
             self._end_round(CampaignPhase.ROLLED_BACK, f"rolled back: {verdict.reason}")
+
+    def _judge_wave_costs(self, shipped, outcome: SimulationOutcome) -> str | None:
+        """Apply the opt-in dollars-for-value gate to every shipped wave.
+
+        The window's priced spend (``outcome.cost``) is apportioned to waves
+        by machine count, and each wave's measured throughput gain must buy
+        its share. Returns a rollback reason on the first veto, None when
+        every wave passes (or the gate/ledger is disabled).
+        """
+        if self.guardrails.deployment.dollars_per_point is None:
+            return None
+        if outcome.cost is None:
+            return None
+        total_machines = sum(r.machines for r in shipped)
+        if total_machines <= 0:
+            return None
+        for record in shipped:
+            if record.impact is None or record.machines <= 0:
+                continue
+            wave_dollars = (
+                outcome.cost.total_dollars * record.machines / total_machines
+            )
+            verdict = self.guardrails.deployment.judge_wave_cost(
+                record.impact, wave_dollars
+            )
+            if not verdict.passed:
+                return (
+                    f"wave {record.wave!r} not worth its spend: "
+                    f"{verdict.reason}"
+                )
+        return None
 
     def _end_round(self, result: CampaignPhase, detail: str) -> None:
         self._log(result, detail)

@@ -24,6 +24,7 @@ from hashlib import sha256
 from repro.cluster.config import YarnConfig
 from repro.cluster.simulator import ObservationSpec
 from repro.core.kea import DeploymentImpact
+from repro.cost import CostReport
 from repro.flighting.build import PlannedFlight
 from repro.flighting.deployment import (
     RolloutCheckpoint,
@@ -206,6 +207,10 @@ class SimulationOutcome:
     #: Set when a rollout/resume window halted mid-rollout: the coverage
     #: checkpoint a later ``resume`` request re-enters from.
     rollout_checkpoint: RolloutCheckpoint | None = None
+    #: Dollar cost of the window, priced by the campaign's PriceBook.
+    #: Attached orchestrator-side (cost is derived data: pricing must be
+    #: re-derivable under a new book without invalidating cached frames).
+    cost: CostReport | None = None
     timing: OutcomeTiming = field(default_factory=OutcomeTiming)
 
     @property
@@ -270,6 +275,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
                     window_hours=request.gate_window_hours,
                     allowance=request.gate_allowance,
                 ),
+                actions=scenario.fault_actions(),
             )
             produced["flight_reports"] = validation.reports
             produced["gate"] = validation.gate
@@ -281,6 +287,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
                 load_multiplier=scenario.stress_load_multiplier,
                 workload_tag=request.workload_tag,
                 checkpoint=request.checkpoint,
+                actions=scenario.fault_actions(),
             )
             produced["rollout_waves"] = list(staged.waves)
             produced["rollout_checkpoint"] = staged.checkpoint
@@ -292,6 +299,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
                 benchmark_period_hours=scenario.benchmark_period_hours,
                 load_multiplier=scenario.stress_load_multiplier,
                 workload_tag=request.workload_tag,
+                actions=scenario.fault_actions(),
             )
     return SimulationOutcome(
         tenant=request.tenant,

@@ -14,6 +14,13 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.cluster.simulator import ClusterSimulator
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MachineSelector,
+    OutageSpec,
+    StragglerSpec,
+)
 from repro.flighting.build import YarnLimitsBuild
 from repro.flighting.flight import Flight
 from repro.utils.errors import ServiceError
@@ -42,6 +49,13 @@ class Scenario:
     :class:`~repro.core.application.TuningApplication` campaigns launched
     against this scenario run (a tenant's own ``application`` takes
     precedence; None falls through to the default ``"yarn-config"``).
+
+    ``fault_plan`` injects deterministic machine faults (outages,
+    stragglers) into *every* simulation window of the scenario — observe,
+    flight, rollout and impact alike — so gates and cost reports face the
+    same weather the production fleet would. The plan participates in the
+    frozen dataclass ``repr``, hence in every simulation cache key: runs
+    differing only in faults can never alias.
     """
 
     name: str
@@ -53,6 +67,7 @@ class Scenario:
     decommission_sku: str | None = None
     decommission_hour: float = 0.0
     application: str | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -65,8 +80,46 @@ class Scenario:
     def actions(self) -> Callable[[ClusterSimulator], None] | None:
         """Scheduled-action hook for :meth:`repro.core.kea.Kea.simulate`.
 
-        Returns None when the scenario changes nothing mid-window. The
-        decommission reuses the flighting machinery: a one-way flight
+        Returns None when the scenario changes nothing mid-window.
+        Composes the decommission drain (observation windows only — see
+        :meth:`fault_actions`) with the scenario's fault plan.
+        """
+        hooks = [
+            hook
+            for hook in (self._decommission_actions(), self.fault_actions())
+            if hook is not None
+        ]
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+
+        def register(simulator: ClusterSimulator) -> None:
+            for hook in hooks:
+                hook(simulator)
+
+        return register
+
+    def fault_actions(self) -> Callable[[ClusterSimulator], None] | None:
+        """The fault-injection hook alone.
+
+        Flight/rollout/impact windows schedule their own config changes and
+        must not also replay the observation-window decommission, but they
+        do face the scenario's weather — this is the hook they compose in.
+        """
+        if self.fault_plan is None or self.fault_plan.is_empty:
+            return None
+        plan = self.fault_plan
+
+        def register(simulator: ClusterSimulator) -> None:
+            FaultInjector(plan).schedule_on(simulator)
+
+        return register
+
+    def _decommission_actions(self) -> Callable[[ClusterSimulator], None] | None:
+        """The mid-window machine-group drain, as a one-way flight.
+
+        The decommission reuses the flighting machinery: a one-way flight
         deploying a drain build (limit 1, queue closed) to the group.
         """
         if self.decommission_sku is None:
@@ -172,6 +225,46 @@ def default_catalog() -> ScenarioCatalog:
                 seasonality=FLAT_PROFILE,
                 load_multiplier=0.9,
                 benchmark_period_hours=2.0,
+            ),
+            Scenario(
+                name="az-outage",
+                description=(
+                    "sub-cluster 0 goes dark six hours in and trickles back "
+                    "with delayed per-machine recovery"
+                ),
+                fault_plan=FaultPlan(
+                    outages=(
+                        OutageSpec(
+                            at_hour=6.0,
+                            duration_hours=3.0,
+                            selector=MachineSelector(subcluster=0),
+                            recovery_jitter_hours=0.5,
+                            name="az0-outage",
+                        ),
+                    ),
+                    seed=2021,
+                ),
+            ),
+            Scenario(
+                name="straggler-tail",
+                description=(
+                    "half the oldest generation runs 2.5x slow through the "
+                    "mid-window soak hours"
+                ),
+                fault_plan=FaultPlan(
+                    stragglers=(
+                        StragglerSpec(
+                            at_hour=4.0,
+                            duration_hours=8.0,
+                            slowdown=2.5,
+                            selector=MachineSelector(
+                                sku="Gen 1.1", fraction=0.5
+                            ),
+                            name="gen1-tail",
+                        ),
+                    ),
+                    seed=2021,
+                ),
             ),
         )
     )

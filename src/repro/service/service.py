@@ -193,6 +193,8 @@ def _measured_frame_row_bytes() -> int:
             queue_enqueued=6,
             queue_dequeued=6,
             queue_waits=[30.0] * 6,
+            available_fraction=1.0,
+            faulted=False,
         )
     return max(1, frame.nbytes // len(frame))
 
@@ -303,7 +305,13 @@ class FleetCampaignReport:
         cost-of-tuning readout Tuneful argues a tuner must account for.
         """
         table = TextTable(
-            ["tenant", "sim machine-hours", "wall seconds", "dominant phase"],
+            [
+                "tenant",
+                "sim machine-hours",
+                "wall seconds",
+                "$ spend",
+                "dominant phase",
+            ],
             title=f"Tuning cost over scenario {self.scenario!r}",
         )
         for name in sorted(self.reports):
@@ -318,6 +326,7 @@ class FleetCampaignReport:
                     name,
                     f"{ledger.total_machine_hours:,.1f}",
                     f"{ledger.total_wall_seconds:.3f}",
+                    f"{ledger.total_dollars:,.2f}",
                     dominant.phase if dominant is not None else "-",
                 ]
             )

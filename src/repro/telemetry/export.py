@@ -39,6 +39,8 @@ _MACHINE_HOUR_FIELDS = (
     "power_cap_watts",
     "feature_enabled",
     "max_running_containers",
+    "available_fraction",
+    "faulted",
 )
 
 
@@ -122,6 +124,8 @@ def read_machine_hours_csv(path: str | Path) -> list[MachineHourRecord]:
                     power_cap_watts=float(cap) if cap not in ("", "None") else None,
                     feature_enabled=row["feature_enabled"] == "True",
                     max_running_containers=int(row["max_running_containers"]),
+                    available_fraction=float(row.get("available_fraction") or 1.0),
+                    faulted=row.get("faulted") == "True",
                     queue=QueueStats(avg_length=float(row["queue_avg_length"])),
                 )
             )

@@ -59,10 +59,11 @@ FLOAT_COLUMNS = (
     "avg_power_watts",
     "power_cap_watts",
     "queue_avg_length",
+    "available_fraction",
 )
 
 #: Boolean columns.
-BOOL_COLUMNS = ("feature_enabled",)
+BOOL_COLUMNS = ("feature_enabled", "faulted")
 
 #: String columns, stored as categorical codes + a per-frame category list.
 CATEGORICAL_COLUMNS = ("machine_name", "sku", "software")
@@ -162,20 +163,23 @@ class MachineHourFrame:
         queue_enqueued: int,
         queue_dequeued: int,
         queue_waits: list[float],
+        available_fraction: float = 1.0,
+        faulted: bool = False,
     ) -> None:
         """Append one machine-hour row straight into the column buffers."""
         self._invalidate()
         appenders = self._appenders
         if appenders is None:
             appenders = self._bind_appenders()
-        # One attribute load + unpack replaces 21 dict subscripts and three
+        # One attribute load + unpack replaces 23 dict subscripts and three
         # helper calls per row — this is the per-machine-hour simulator path.
         (
             ap_machine_id, ap_rack, ap_row, ap_subcluster, ap_hour,
             ap_tasks_finished, ap_max_running, ap_queue_enqueued,
             ap_queue_dequeued, ap_cpu, ap_avg_running, ap_data_read,
             ap_cpu_seconds, ap_task_seconds, ap_cores, ap_ram, ap_ssd,
-            ap_power, ap_power_cap, ap_queue_len, ap_feature,
+            ap_power, ap_power_cap, ap_queue_len, ap_available, ap_feature,
+            ap_faulted,
             name_index, name_cats, ap_name_code,
             sku_index, sku_cats, ap_sku_code,
             sw_index, sw_cats, ap_sw_code,
@@ -201,7 +205,9 @@ class MachineHourFrame:
         ap_power(avg_power_watts)
         ap_power_cap(_NAN if power_cap_watts is None else power_cap_watts)
         ap_queue_len(queue_avg_length)
+        ap_available(available_fraction)
         ap_feature(feature_enabled)
+        ap_faulted(faulted)
         code = name_index.get(machine_name)
         if code is None:
             code = len(name_cats)
@@ -248,7 +254,9 @@ class MachineHourFrame:
             cols["avg_power_watts"].append,
             cols["power_cap_watts"].append,
             cols["queue_avg_length"].append,
+            cols["available_fraction"].append,
             cols["feature_enabled"].append,
+            cols["faulted"].append,
             self._category_index["machine_name"],
             self._categories["machine_name"],
             self._codes["machine_name"].append,
@@ -293,6 +301,8 @@ class MachineHourFrame:
             queue_enqueued=queue.enqueued,
             queue_dequeued=queue.dequeued,
             queue_waits=queue.waits,
+            available_fraction=record.available_fraction,
+            faulted=record.faulted,
         )
 
     @classmethod
@@ -479,6 +489,8 @@ class MachineHourFrame:
                     ),
                     feature_enabled=cols["feature_enabled"][i],
                     max_running_containers=cols["max_running_containers"][i],
+                    available_fraction=cols["available_fraction"][i],
+                    faulted=cols["faulted"][i],
                     queue=QueueStats(
                         avg_length=cols["queue_avg_length"][i],
                         enqueued=cols["queue_enqueued"][i],

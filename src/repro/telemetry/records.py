@@ -86,6 +86,10 @@ class MachineHourRecord:
     feature_enabled: bool
     # Config in force during the hour.
     max_running_containers: int
+    # Availability (fault plane): fraction of the hour the machine was up,
+    # and whether any fault overlapped the hour at all.
+    available_fraction: float = 1.0
+    faulted: bool = False
     # Queueing.
     queue: QueueStats = field(default_factory=QueueStats)
 

@@ -171,13 +171,15 @@ class TestRegistry:
 
 
 class TestScenarios:
-    def test_default_catalog_has_the_five_scenarios(self):
+    def test_default_catalog_has_the_stock_scenarios(self):
         assert default_catalog().names() == [
             "diurnal-baseline",
             "demand-spike",
             "sustained-overload",
             "group-decommission",
             "benchmark-heavy",
+            "az-outage",
+            "straggler-tail",
         ]
 
     def test_unknown_and_duplicate_scenarios_rejected(self):
