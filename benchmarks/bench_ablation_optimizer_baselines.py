@@ -46,7 +46,7 @@ def test_ablation_optimizer_baselines(benchmark, production_run):
     def objective(x: np.ndarray) -> float:
         latency = 0.0
         capacity = 0.0
-        for value, g in zip(x, groups):
+        for value, g in zip(x, groups, strict=True):
             slope, intercept = engine.latency_affine_in_containers(g)
             latency += weights[g] * (intercept + slope * value)
             capacity += sizes[g] * value

@@ -37,7 +37,7 @@ def test_ablation_tuning_cost(benchmark, production_run):
 
     def latency_of(x: np.ndarray) -> float:
         total = 0.0
-        for value, g in zip(x, groups):
+        for value, g in zip(x, groups, strict=True):
             slope, intercept = engine.latency_affine_in_containers(g)
             total += weights[g] * (intercept + slope * value)
         return total
@@ -45,7 +45,7 @@ def test_ablation_tuning_cost(benchmark, production_run):
     def objective(x: np.ndarray) -> float:
         if latency_of(x) > latency_budget + 1e-9:
             return -1e18
-        return sum(sizes[g] * v for g, v in zip(groups, x))
+        return sum(sizes[g] * v for g, v in zip(groups, x, strict=True))
 
     bounds = [
         (
@@ -93,7 +93,7 @@ def test_ablation_tuning_cost(benchmark, production_run):
         f"{OBSERVATION_WINDOW_DAYS} days, per Section 2)",
     )
 
-    for _name, deployments, days, bad in rows:
+    for _name, _deployments, days, bad in rows:
         # Experimental tuning is calendar-infeasible and risk-laden at scale.
         assert days > 6 * 2 * OBSERVATION_WINDOW_DAYS
         assert bad > 0

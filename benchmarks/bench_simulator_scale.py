@@ -123,6 +123,6 @@ def test_bench_simulator_scale(benchmark):
     # the analysis step the sweep's telemetry feeds (simulations are measured
     # once above; re-simulating per harness iteration would swamp the
     # numbers).
-    largest = max(zip(frames, rows), key=lambda fr: fr[1]["machine_hours"])[0]
+    largest = max(zip(frames, rows, strict=True), key=lambda fr: fr[1]["machine_hours"])[0]
     monitor = PerformanceMonitor(largest)
     benchmark(monitor.snapshot)

@@ -1,0 +1,49 @@
+"""reprolint — static enforcement of this repository's invariants.
+
+Every load-bearing guarantee of the KEA reproduction — seed-determinism
+of the simulator, serial == pooled == queue bit-identity, pickle-clean
+wire types, cache keys covering every behavior-affecting field, the
+out-of-band observability layering — was previously enforced only
+dynamically, by tests that had to think to exercise the violating path.
+This package is the static layer: an AST linter whose rules encode those
+contracts directly, so an invariant-breaking change fails ``lint`` before
+any test runs (KEA's own validate-before-production argument, applied to
+the codebase itself).
+
+Usage::
+
+    python -m repro.analysis src tests benchmarks examples --format text
+
+Suppressions are explicit and justified::
+
+    tick = perf_counter()  # repro: allow[REP001] obs-gated; never enters state
+
+and a pragma that suppresses nothing is itself an error (REP000).
+
+The package is self-contained by design — it imports no simulation layer
+(its own REP005 rule enforces that), so the linter can never be broken
+by the code it polices.
+"""
+
+from repro.analysis.core import Finding, ModuleContext, build_context
+from repro.analysis.registry import Rule, all_rules, known_codes, register
+from repro.analysis.runner import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "build_context",
+    "iter_python_files",
+    "known_codes",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,63 @@
+"""``python -m repro.analysis [paths] --format text|json|github``.
+
+Exit status: 0 when every checked file is clean, 1 when any finding
+survives suppression (including stale/malformed pragmas), 2 on usage
+errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.registry import all_rules
+from repro.analysis.reporting import FORMATS, render
+from repro.analysis.runner import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: statically enforce the repository's determinism, "
+            "pickle-safety, cache-key, and layering contracts"
+        ),
+        epilog="rules: "
+        + "; ".join(f"{rule.code} {rule.name}" for rule in all_rules()),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    findings, checked = lint_paths(args.paths)
+    output = render(findings, args.format, checked)
+    if output:
+        print(output)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

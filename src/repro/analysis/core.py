@@ -1,0 +1,263 @@
+"""Shared analysis substrate: findings, parent links, imports, scopes.
+
+Every reprolint rule works off a :class:`ModuleContext` — one parsed file
+plus the indexes the checkers need and ``ast`` does not provide:
+
+* **parent links** (``ctx.parent(node)``), so a rule that matches a call
+  can ask *where* the value flows (into a subscript key? a comparison?);
+* an **import table** mapping local names to their dotted origins
+  (``np`` → ``numpy``, ``perf_counter`` → ``time.perf_counter``), so bans
+  are expressed against canonical module paths, not spelling variants;
+* a **scope index** of names bound by enclosing functions, so a local
+  variable or parameter that shadows ``id``/``open``/an import is never
+  mistaken for the builtin or module it hides.
+
+The package is deliberately self-contained: it imports nothing from the
+simulation layers it polices (enforced by its own REP005 layering rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "build_context",
+    "dotted_origin",
+    "module_package",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based (GitHub annotation convention; ``ast``
+    column offsets are shifted by one at construction sites).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class _ScopeCollector(ast.NodeVisitor):
+    """Collects the names a function scope binds, without descending into
+    nested scopes (each nested function gets its own collector pass)."""
+
+    def __init__(self) -> None:
+        self.bound: set[str] = set()
+
+    def _bind_target(self, target: ast.expr) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.bound.add(node.id)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)  # the def itself binds; body is a new scope
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # new scope
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        pass  # comprehension targets live in their own scope
+
+    visit_SetComp = visit_ListComp
+    visit_DictComp = visit_ListComp
+    visit_GeneratorExp = visit_ListComp
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass  # imports resolve through the import table, never as shadows
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        pass
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        pass
+
+
+def _collect_scope_bindings(scope: ast.AST) -> set[str]:
+    """Names bound directly inside ``scope`` (a function/lambda/module)."""
+    collector = _ScopeCollector()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = scope.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        ):
+            collector.bound.add(arg.arg)
+        body = scope.body if isinstance(scope.body, list) else [scope.body]
+        for stmt in body:
+            collector.visit(stmt)
+    else:
+        for stmt in getattr(scope, "body", []):
+            collector.visit(stmt)
+    return collector.bound
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus the indexes the rules consume."""
+
+    path: str
+    module: str  # dotted module name, e.g. "repro.cluster.simulator"
+    source: str
+    tree: ast.Module
+    #: local name -> dotted origin ("np" -> "numpy",
+    #: "perf_counter" -> "time.perf_counter"). Function-local imports are
+    #: folded in too: the origin is what matters, not where it was bound.
+    imports: dict[str, str] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    _scope_bindings: dict[ast.AST, set[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str | None:
+        """The ``repro`` sub-package this module lives in, or None."""
+        return module_package(self.module)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        """Walk outward from ``node`` toward the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def is_shadowed(self, name: str, at: ast.AST) -> bool:
+        """True when an enclosing function scope rebinds ``name``.
+
+        Module-level rebindings of builtins/imports are not tracked here —
+        the import table already wins for imports, and a module-level
+        ``id = ...`` would be flagged by ruff's A-family anyway.
+        """
+        for ancestor in self.ancestors(at):
+            if isinstance(ancestor, _SCOPE_NODES):
+                bindings = self._scope_bindings.get(ancestor)
+                if bindings is None:
+                    bindings = _collect_scope_bindings(ancestor)
+                    self._scope_bindings[ancestor] = bindings
+                if name in bindings:
+                    return True
+        return False
+
+    def resolve_call_origin(self, func: ast.expr, at: ast.AST) -> str | None:
+        """Canonical dotted origin of a call target, or None.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when ``np`` was imported as numpy; a bare unshadowed name with no
+        import resolves to itself (the builtin namespace): ``id`` → ``id``.
+        """
+        return dotted_origin(self, func, at)
+
+
+def dotted_origin(
+    ctx: ModuleContext, node: ast.expr, at: ast.AST
+) -> str | None:
+    """Resolve an attribute chain / name to its canonical dotted path."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = current.id
+    parts.append(base)
+    parts.reverse()
+    if ctx.is_shadowed(base, at):
+        return None
+    origin = ctx.imports.get(base)
+    if origin is not None:
+        return ".".join([origin, *parts[1:]])
+    return ".".join(parts)
+
+
+def module_package(module: str) -> str | None:
+    """``repro.cluster.simulator`` → ``cluster``; non-repro → None.
+
+    The top-level facade (``repro`` / ``repro.__init__``) has no layer and
+    returns None: it may re-export anything.
+    """
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return None
+
+
+def _index_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _index_imports(tree: ast.Module) -> dict[str, str]:
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # "import a.b" binds "a" to module "a"; with an alias the
+                # full dotted path is bound.
+                table[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                continue  # relative imports carry no canonical origin here
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+def build_context(source: str, path: str, module: str) -> ModuleContext:
+    """Parse ``source`` and build the full rule-facing context.
+
+    Raises :class:`SyntaxError` — the runner turns that into a REP000
+    finding rather than crashing the whole lint run.
+    """
+    tree = ast.parse(source, filename=path)
+    return ModuleContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        imports=_index_imports(tree),
+        _parents=_index_parents(tree),
+    )

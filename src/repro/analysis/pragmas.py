@@ -1,0 +1,192 @@
+"""``# repro: allow[REP0xx] reason`` suppression pragmas.
+
+A pragma suppresses named rules on exactly one line of code:
+
+* trailing — ``x = id(y)  # repro: allow[REP002] diagnostics only`` —
+  suppresses findings on its own line;
+* standalone — a comment-only line — suppresses findings on the next line
+  that contains code.
+
+Several codes may be listed: ``allow[REP001,REP002]``. Discipline is part
+of the contract, so pragma misuse is itself a REP000 finding: a pragma
+without a written reason, with an unknown rule code, malformed after the
+``# repro:`` introducer, or — crucially — one that suppressed nothing
+(stale pragmas rot into false confidence that a violation is still there
+and still justified).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.core import Finding
+
+__all__ = ["Pragma", "PragmaSet", "collect_pragmas"]
+
+STALE_RULE = "REP000"
+
+_INTRODUCER = re.compile(r"#\s*repro:\s*(?P<rest>.*)$")
+_ALLOW = re.compile(
+    r"^allow\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``allow`` pragma and its suppression bookkeeping."""
+
+    line: int  # line the comment sits on
+    target_line: int  # line of code it suppresses
+    codes: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.codes
+
+    def mark_used(self, rule: str) -> None:
+        self.used.add(rule)
+
+
+@dataclass
+class PragmaSet:
+    """All pragmas of one file, plus the pragma-syntax findings."""
+
+    pragmas: list[Pragma] = field(default_factory=list)
+    errors: list[Finding] = field(default_factory=list)
+
+    def suppress(self, finding: Finding) -> bool:
+        """Consume a suppression for ``finding`` if one matches."""
+        for pragma in self.pragmas:
+            if pragma.suppresses(finding.rule, finding.line):
+                pragma.mark_used(finding.rule)
+                return True
+        return False
+
+    def stale_findings(self, path: str, known_codes: set[str]) -> list[Finding]:
+        """REP000 findings for pragma codes that suppressed nothing."""
+        stale = []
+        for pragma in self.pragmas:
+            for code in pragma.codes:
+                if code in pragma.used:
+                    continue
+                stale.append(
+                    Finding(
+                        path=path,
+                        line=pragma.line,
+                        col=1,
+                        rule=STALE_RULE,
+                        message=(
+                            f"stale pragma: allow[{code}] suppressed nothing "
+                            "on its target line — delete it or re-justify it"
+                        ),
+                    )
+                )
+        return stale
+
+
+def collect_pragmas(source: str, path: str, known_codes: set[str]) -> PragmaSet:
+    """Tokenize ``source`` and extract every ``# repro:`` pragma.
+
+    Tokenization (not regex over lines) keeps pragma-shaped text inside
+    string literals — test fixtures, docs — from being treated as live
+    pragmas.
+    """
+    result = PragmaSet()
+    comments: list[tuple[int, int, str]] = []  # (line, col, text)
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return result  # the parser will report the syntax problem
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.start[1], tok.string))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            for line in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(line)
+
+    for line, col, text in comments:
+        introducer = _INTRODUCER.match(text)
+        if introducer is None:
+            continue
+        rest = introducer.group("rest").strip()
+        allow = _ALLOW.match(rest)
+        if allow is None:
+            result.errors.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col + 1,
+                    rule=STALE_RULE,
+                    message=(
+                        "malformed pragma: expected "
+                        "'# repro: allow[REP0xx] reason', got "
+                        f"{text.strip()!r}"
+                    ),
+                )
+            )
+            continue
+        codes = tuple(
+            code.strip() for code in allow.group("codes").split(",")
+        )
+        unknown = [code for code in codes if code not in known_codes]
+        if unknown:
+            result.errors.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col + 1,
+                    rule=STALE_RULE,
+                    message=(
+                        f"pragma names unknown rule(s) {', '.join(unknown)}; "
+                        f"known: {', '.join(sorted(known_codes))}"
+                    ),
+                )
+            )
+            continue
+        reason = allow.group("reason").strip()
+        if not reason:
+            result.errors.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col + 1,
+                    rule=STALE_RULE,
+                    message=(
+                        f"pragma allow[{','.join(codes)}] carries no reason — "
+                        "every suppression must say why the violation is safe"
+                    ),
+                )
+            )
+            continue
+        if line in code_lines:
+            target = line
+        else:
+            later = [code_line for code_line in code_lines if code_line > line]
+            if not later:
+                result.errors.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=col + 1,
+                        rule=STALE_RULE,
+                        message="standalone pragma has no following line of code",
+                    )
+                )
+                continue
+            target = min(later)
+        result.pragmas.append(
+            Pragma(line=line, target_line=target, codes=codes, reason=reason)
+        )
+    return result

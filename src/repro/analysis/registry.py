@@ -1,0 +1,71 @@
+"""Rule registry: one place each checker declares its code and contract.
+
+Rules register at import time via :func:`register`; the runner asks
+:func:`all_rules` for the active set. Codes are the public, stable
+interface — pragmas, CI annotations and docs all speak REP0xx — so
+re-using or renumbering a code is an error the registry refuses.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["Rule", "register", "all_rules", "known_codes"]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code`` (``REP0xx``), ``name`` (kebab-case slug) and
+    ``summary`` (one line, shown in ``--format text`` footers and docs),
+    and implement :meth:`check` yielding findings for one module.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node`` (1-based column)."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = rule_cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} must set code and name")
+    existing = _RULES.get(rule.code)
+    if existing is not None and type(existing) is not rule_cls:
+        raise ValueError(
+            f"rule code {rule.code} already registered by "
+            f"{type(existing).__name__}"
+        )
+    _RULES[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """Registered rules, in code order."""
+    for code in sorted(_RULES):
+        yield _RULES[code]
+
+
+def known_codes() -> set[str]:
+    """Every valid pragma target: rule codes plus REP000 itself."""
+    return {"REP000", *_RULES}

@@ -1,0 +1,78 @@
+"""Finding reporters: ``text`` for humans, ``json`` for tooling,
+``github`` for workflow annotations.
+
+The GitHub format emits one ``::error`` workflow command per finding, so
+the ``static-analysis`` CI job surfaces violations inline on the PR diff
+exactly like the ruff job's annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["FORMATS", "render"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _render_text(findings: Sequence[Finding], checked: int) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "file" if checked == 1 else "files"
+    if findings:
+        count = len(findings)
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} in {checked} {noun}"
+        )
+    else:
+        lines.append(f"clean: {checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding], checked: int) -> str:
+    return json.dumps(
+        {
+            "files_checked": checked,
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "rule": finding.rule,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+        },
+        indent=2,
+    )
+
+
+def _render_github(findings: Sequence[Finding], checked: int) -> str:
+    lines = []
+    for finding in findings:
+        # Workflow-command data must escape %, CR and LF.
+        message = (
+            finding.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule}::{message}"
+        )
+    lines.append(_render_text((), checked) if not findings else
+                 f"{len(findings)} findings in {checked} files")
+    return "\n".join(lines)
+
+
+def render(findings: Sequence[Finding], fmt: str, checked: int) -> str:
+    if fmt == "text":
+        return _render_text(findings, checked)
+    if fmt == "json":
+        return _render_json(findings, checked)
+    if fmt == "github":
+        return _render_github(findings, checked)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

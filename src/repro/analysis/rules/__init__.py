@@ -1,0 +1,11 @@
+"""The reprolint checkers. Importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401  (import-for-registration)
+    cache_keys,
+    determinism,
+    idkeys,
+    layering,
+    pickle_safety,
+)
+
+__all__ = ["cache_keys", "determinism", "idkeys", "layering", "pickle_safety"]

@@ -1,0 +1,227 @@
+"""REP004 — cache keys must cover every behavior-affecting field.
+
+``SimulationRequest.cache_key()`` is the service's memoization contract:
+two requests with equal keys are replayed from cache without simulating.
+Add a dataclass field that changes behavior but forget to fold it into
+the key and the cache silently serves wrong results — the bug class PRs
+3, 4, and 9 each had to extend the key by hand to avoid. This rule makes
+the omission a lint error:
+
+* For every dataclass that defines a key method (``cache_key`` or
+  ``fingerprint``), each declared field must be *reachable* from that
+  method — read as ``self.<field>`` in the method itself or in any
+  same-class method/property it (transitively) calls. Passing the whole
+  instance (``repr(self)``, ``asdict(self)``, f-strings over ``self``)
+  covers everything, since the dataclass repr includes every field.
+* Classes whose *repr* is the key material (``Scenario`` and the fault
+  types folded in via ``repr(self.scenario)``) must keep that repr
+  complete: ``field(repr=False)`` and hand-written ``__repr__`` are
+  flagged, because either silently drops fields from every cache key
+  built on the repr.
+
+Intentionally key-exempt fields (derived caches, display-only labels)
+take a field-level ``# repro: allow[REP004] <why it cannot change
+behavior>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, ModuleContext
+from repro.analysis.registry import Rule, register
+
+__all__ = ["CacheKeyCompletenessRule", "KEY_METHODS", "REPR_KEYED_CLASSES"]
+
+#: Methods whose return value is cache-key material.
+KEY_METHODS = ("cache_key", "fingerprint")
+
+#: Dataclasses whose ``repr`` feeds a cache key elsewhere (the request
+#: folds ``repr(self.scenario)`` / ``repr(self.spec)`` into its digest,
+#: and the scenario's repr transitively embeds its fault plan's).
+REPR_KEYED_CLASSES = frozenset(
+    {
+        "Scenario",
+        "TenantSpec",
+        "FaultPlan",
+        "OutageSpec",
+        "StragglerSpec",
+        "MachineSelector",
+        "SeasonalityProfile",
+        "SpikeProfile",
+    }
+)
+
+#: Whole-instance sinks: passing ``self`` to one of these covers every
+#: field at once (dataclass repr/astuple/asdict include all fields).
+_WHOLE_INSTANCE_CALLS = frozenset(
+    {"repr", "str", "format", "vars", "hash", "asdict", "astuple",
+     "dataclasses.asdict", "dataclasses.astuple"}
+)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", None)
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((stmt.target.id, stmt))
+    return fields
+
+
+class _SelfUseCollector(ast.NodeVisitor):
+    """Attribute reads and whole-instance uses of ``self`` in one method."""
+
+    def __init__(self) -> None:
+        self.attribute_reads: set[str] = set()
+        self.whole_instance = False
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            # Do not descend: the base `self` Name here is an attribute
+            # access, not a whole-instance use.
+            self.attribute_reads.add(node.attr)
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # A bare `self` that is not the base of an attribute access —
+        # repr(self), f"{self}", asdict(self) — exposes every field.
+        if node.id == "self":
+            self.whole_instance = True
+
+
+@register
+class CacheKeyCompletenessRule(Rule):
+    code = "REP004"
+    name = "cache-key-completeness"
+    summary = (
+        "every dataclass field must be reachable from the class's "
+        "cache_key()/fingerprint(), and repr-keyed classes must keep "
+        "their repr complete"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_dataclass(node):
+                yield from self._check_key_methods(ctx, node)
+                if node.name in REPR_KEYED_CLASSES:
+                    yield from self._check_repr_keyed(ctx, node)
+
+    # ------------------------------------------------------------------
+    # key-method completeness
+
+    def _check_key_methods(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        key_methods = [name for name in KEY_METHODS if name in methods]
+        if not key_methods:
+            return
+        fields = _dataclass_fields(cls)
+        if not fields:
+            return
+
+        # Transitive closure over same-class helpers: reading self.helper
+        # (a property) or calling self.helper() pulls that method's own
+        # reads into the reachable set.
+        reachable_reads: set[str] = set()
+        whole_instance = False
+        visited: set[str] = set()
+        frontier = list(key_methods)
+        while frontier:
+            name = frontier.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            method = methods.get(name)
+            if method is None:
+                continue
+            collector = _SelfUseCollector()
+            for stmt in method.body:
+                collector.visit(stmt)
+            whole_instance = whole_instance or collector.whole_instance
+            for attr in collector.attribute_reads:
+                if attr in methods:
+                    frontier.append(attr)
+                else:
+                    reachable_reads.add(attr)
+        if whole_instance:
+            return
+
+        key_label = " / ".join(f"{name}()" for name in key_methods)
+        for field_name, stmt in fields:
+            if field_name in reachable_reads:
+                continue
+            yield self.finding(
+                ctx,
+                stmt,
+                f"field {field_name!r} of {cls.name} is not folded into "
+                f"{key_label}: two instances differing only in "
+                f"{field_name!r} would produce equal keys and alias in "
+                "the cache — fold it in, or pragma it with a reason it "
+                "cannot affect behavior",
+            )
+
+    # ------------------------------------------------------------------
+    # repr-keyed classes
+
+    def _check_repr_keyed(
+        self, ctx: ModuleContext, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__repr__":
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"{cls.name}'s repr is cache-key material, but it "
+                        "defines a hand-written __repr__ — a custom repr "
+                        "can silently drop fields from every key built on "
+                        "it; rely on the dataclass-generated repr",
+                    )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                origin = ctx.resolve_call_origin(stmt.value.func, stmt.value)
+                if origin not in ("field", "dataclasses.field"):
+                    continue
+                for kw in stmt.value.keywords:
+                    if (
+                        kw.arg == "repr"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        yield self.finding(
+                            ctx,
+                            kw,
+                            f"field(repr=False) on {cls.name}: this "
+                            "class's repr is cache-key material, so "
+                            "hiding a field from it drops the field from "
+                            "every cache key — keep it in the repr",
+                        )

@@ -1,0 +1,134 @@
+"""REP001 — ambient nondeterminism inside the deterministic core.
+
+The KEA reproduction's load-bearing guarantee is that a simulation is a
+pure function of its seeds and declarative inputs: serial == pooled ==
+queue bit-identity, cache-key replay, and resumable rollouts all rest on
+it. Wall clocks, OS entropy, and process-global RNG state are the ways
+that guarantee silently dies, so inside the core packages
+(``cluster``, ``workload``, ``faults``, ``service``, ``core``) this rule
+bans them at lint time:
+
+* wall/CPU clocks: ``time.time``/``monotonic``/``perf_counter``/
+  ``process_time`` (+ ``_ns`` variants), ``datetime.now``/``utcnow``/
+  ``today``;
+* OS entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``, anything from
+  ``secrets``;
+* process-global RNG: every ``random.*`` module-level function (seeded
+  ``random.Random(seed)`` instances are the sanctioned spelling) and
+  numpy's legacy global namespace (``np.random.rand`` etc.);
+* unseeded constructions: ``np.random.default_rng()`` /
+  ``RandomState()`` with no seed argument.
+
+Out-of-band measurement (profiling gated on an active tracer, worker
+wall-clock that never enters a cache key) is legitimate — those sites
+carry ``# repro: allow[REP001] <why it cannot leak into results>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, ModuleContext
+from repro.analysis.registry import Rule, register
+
+__all__ = ["AmbientNondeterminismRule", "CORE_PACKAGES"]
+
+#: Layers whose behavior must be a pure function of seeds and inputs.
+CORE_PACKAGES = frozenset({"cluster", "workload", "faults", "service", "core"})
+
+_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Module prefixes where *every* call is process-global or OS-entropy
+#: nondeterminism unless explicitly sanctioned below.
+_BANNED_PREFIXES = ("random.", "numpy.random.", "secrets.")
+
+#: Explicit, seedable constructions that are fine to call anywhere.
+_SANCTIONED = {
+    "random.Random",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.BitGenerator",
+}
+
+#: Constructors that are deterministic *only* when given a seed argument.
+_NEEDS_SEED = {"numpy.random.default_rng", "numpy.random.RandomState"}
+
+
+@register
+class AmbientNondeterminismRule(Rule):
+    code = "REP001"
+    name = "ambient-nondeterminism"
+    summary = (
+        "no wall clocks, OS entropy, global RNG state, or unseeded "
+        "generators inside the deterministic core"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.package not in CORE_PACKAGES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve_call_origin(node.func, node)
+            if origin is None:
+                continue
+            message = self._diagnose(origin, node)
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    def _diagnose(self, origin: str, call: ast.Call) -> str | None:
+        if origin in _SANCTIONED:
+            return None
+        if origin in _NEEDS_SEED:
+            if call.args or call.keywords:
+                return None
+            return (
+                f"unseeded {origin}() in the deterministic core: every "
+                "generator must be constructed from an explicit seed so "
+                "replays are bit-identical"
+            )
+        if origin in _CLOCKS:
+            return (
+                f"{origin}() in the deterministic core: wall/CPU clocks "
+                "must not influence simulation state — derive timing from "
+                "simulated hours, or keep the measurement out-of-band "
+                "under a justified pragma"
+            )
+        if origin in _ENTROPY:
+            return (
+                f"{origin}() in the deterministic core: OS entropy breaks "
+                "seed-determinism — draw from a seeded RNG stream instead"
+            )
+        for prefix in _BANNED_PREFIXES:
+            if origin.startswith(prefix):
+                return (
+                    f"{origin}() uses process-global or OS-entropy "
+                    "randomness: the deterministic core must draw from "
+                    "seeded, explicitly-passed generators "
+                    "(random.Random(seed) / np.random.default_rng(seed))"
+                )
+        return None

@@ -1,0 +1,172 @@
+"""REP005 — the package dependency DAG, enforced at import sites.
+
+The observability contract ("``obs`` is out-of-band: imported by anyone,
+imports no simulation layer") and the service boundary ("``telemetry`` /
+``cluster`` / ``workload`` never import ``service``") hold today only by
+convention — one convenience import inverts them silently, and the
+inversion is invisible until a pickle cycle or a cache-key dependency
+appears in production. This rule pins the whole DAG: every ``repro``
+sub-package declares the sub-packages it may import, and any other
+``repro.*`` import is an error. A brand-new package is also an error
+until it is placed in the DAG — adding a layer is an architectural act,
+not a side effect.
+
+Importing the top-level ``repro`` facade from inside a layer is banned
+outright: the facade re-exports everything, so a facade import is a
+cycle in disguise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, ModuleContext
+from repro.analysis.registry import Rule, register
+
+__all__ = ["ImportLayeringRule", "LAYER_DAG"]
+
+_EVERYTHING = frozenset(
+    {
+        "utils",
+        "stats",
+        "obs",
+        "telemetry",
+        "ml",
+        "optim",
+        "workload",
+        "cluster",
+        "faults",
+        "cost",
+        "flighting",
+        "experiment",
+        "core",
+    }
+)
+
+#: package -> the sub-packages it may import. ``obs`` (out-of-band
+#: observability) and ``utils`` are leaves importable from anywhere;
+#: ``service`` sits on top and is importable by nobody; ``analysis``
+#: (this linter) is fully self-contained in both directions.
+LAYER_DAG: dict[str, frozenset[str]] = {
+    "utils": frozenset(),
+    "stats": frozenset({"utils"}),
+    "obs": frozenset({"utils"}),
+    "telemetry": frozenset({"utils", "stats", "obs"}),
+    "ml": frozenset({"utils", "stats"}),
+    "optim": frozenset({"utils", "stats", "ml"}),
+    "workload": frozenset({"utils", "stats", "telemetry", "obs"}),
+    "cluster": frozenset(
+        {"utils", "stats", "telemetry", "workload", "obs"}
+    ),
+    "faults": frozenset({"utils", "cluster", "workload", "obs"}),
+    "cost": frozenset({"utils", "cluster", "telemetry", "obs"}),
+    "flighting": frozenset(
+        {"utils", "stats", "telemetry", "cluster", "workload", "obs"}
+    ),
+    "experiment": frozenset(
+        {
+            "utils",
+            "stats",
+            "telemetry",
+            "cluster",
+            "workload",
+            "flighting",
+            "ml",
+            "optim",
+            "obs",
+        }
+    ),
+    "core": frozenset(
+        {
+            "utils",
+            "stats",
+            "telemetry",
+            "cluster",
+            "workload",
+            "flighting",
+            "experiment",
+            "ml",
+            "optim",
+            "obs",
+            "faults",
+            "cost",
+        }
+    ),
+    "service": _EVERYTHING,
+    "analysis": frozenset(),
+}
+
+
+@register
+class ImportLayeringRule(Rule):
+    code = "REP005"
+    name = "import-layering"
+    summary = (
+        "repro sub-packages may import only the layers below them in the "
+        "declared dependency DAG"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        package = ctx.package
+        if package is None:
+            return  # the top-level facade, or a non-repro module
+        allowed = LAYER_DAG.get(package)
+        if allowed is None:
+            yield self.finding(
+                ctx,
+                ctx.tree,
+                f"package {package!r} is not in the layering DAG — place "
+                "it in repro.analysis.rules.layering.LAYER_DAG before "
+                "adding modules to it (adding a layer is an "
+                "architectural decision)",
+            )
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_target(
+                        ctx, node, alias.name, package, allowed
+                    )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                yield from self._check_target(
+                    ctx, node, node.module or "", package, allowed
+                )
+
+    def _check_target(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        target: str,
+        package: str,
+        allowed: frozenset[str],
+    ) -> Iterable[Finding]:
+        parts = target.split(".")
+        if parts[0] != "repro":
+            return
+        if len(parts) == 1:
+            yield self.finding(
+                ctx,
+                node,
+                f"{package!r} imports the top-level repro facade, which "
+                "re-exports every layer — import the needed layer module "
+                "directly",
+            )
+            return
+        imported = parts[1]
+        if imported == package:
+            return
+        if imported not in allowed:
+            relation = (
+                "above it in the dependency DAG"
+                if imported in LAYER_DAG
+                else "not in the layering DAG"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"layering violation: {package!r} imports "
+                f"repro.{imported}, which is {relation} "
+                f"({package!r} may import: "
+                f"{', '.join(sorted(allowed)) or 'nothing'})",
+            )

@@ -1,0 +1,127 @@
+"""Lint orchestration: file discovery, per-file runs, suppression.
+
+The flow per file: parse → run every registered rule → apply pragma
+suppressions (marking each pragma used) → append pragma-syntax findings
+and stale-pragma findings. A syntax error is not a crash but a REP000
+finding — a linter that dies on the file most in need of review is
+useless in CI.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+
+import repro.analysis.rules  # noqa: F401  (registers every checker)
+from repro.analysis.core import Finding, build_context
+from repro.analysis.pragmas import STALE_RULE, collect_pragmas
+from repro.analysis.registry import all_rules, known_codes
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "out"}
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Files under a ``repro`` package directory get their real dotted name
+    (``.../src/repro/cluster/simulator.py`` → ``repro.cluster.simulator``)
+    so the package-scoped rules (REP001, REP005) know which layer they
+    are looking at; anything else — tests, benchmarks, examples — is
+    identified by its stem and only the package-agnostic rules apply.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        anchor = len(parts) - 2 - parts[-2::-1].index("repro")
+        dotted = [*parts[anchor:-1], stem]
+        if stem == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return stem
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[str] = set()
+    collected: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        else:
+            candidates = []
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                candidates.extend(
+                    os.path.join(root, name)
+                    for name in sorted(files)
+                    if name.endswith(".py")
+                )
+        for candidate in candidates:
+            marker = os.path.abspath(candidate)
+            if marker not in seen:
+                seen.add(marker)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def lint_source(
+    source: str, path: str = "<string>", module: str | None = None
+) -> list[Finding]:
+    """Lint one source string (tests feed virtual modules through this).
+
+    ``module`` overrides the path-derived dotted name, letting a fixture
+    masquerade as e.g. ``repro.cluster.fake`` to exercise the
+    package-scoped rules.
+    """
+    if module is None:
+        module = module_name_for(path)
+    codes = known_codes()
+    pragma_set = collect_pragmas(source, path, codes)
+    findings: list[Finding] = list(pragma_set.errors)
+    try:
+        ctx = build_context(source, path, module)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=STALE_RULE,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return findings
+    for rule in all_rules():
+        for finding in rule.check(ctx):
+            if not pragma_set.suppress(finding):
+                findings.append(finding)
+    findings.extend(pragma_set.stale_findings(path, codes))
+    findings.sort()
+    return findings
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path)
+
+
+def lint_paths(paths: Iterable[str]) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, files_checked)`` — the file count feeds the
+    reporters' summaries.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path))
+    findings.sort()
+    return findings, checked

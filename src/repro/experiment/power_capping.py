@@ -68,7 +68,7 @@ def assign_power_capping_groups(
     return PowerCappingGroups(
         sku=sku,
         capping_level=capping_level,
-        groups=dict(zip(GROUP_NAMES, groups)),
+        groups=dict(zip(GROUP_NAMES, groups, strict=True)),
     )
 
 

@@ -334,7 +334,7 @@ class RolloutPlan:
         """
         selections: dict[str, list[Machine]] = {}
         last_fraction = 0.0
-        checked_entries: set[int] = set()
+        checked_entries: set[tuple[str, ...]] = set()
         for wave in self.waves:
             if wave.fraction <= last_fraction:
                 raise ConfigurationError(
@@ -342,12 +342,17 @@ class RolloutPlan:
                     f"{wave.fraction} after {last_fraction}"
                 )
             last_fraction = wave.fraction
-            # Policy-built plans share one entries tuple across all waves;
-            # scanning the fleet once per distinct tuple keeps validation
-            # O(fleet), not O(fleet × waves).
-            if id(wave.entries) in checked_entries:
+            # Policy-built plans repeat the same entries across all waves;
+            # scanning the fleet once per distinct entry list keeps
+            # validation O(fleet), not O(fleet × waves). Dedup is by the
+            # entries' describe() fingerprints — equal-valued lists made of
+            # distinct objects dedup too, and (unlike the id()-based dedup
+            # this replaces) a recycled object id can never skip the
+            # validation of a genuinely different wave.
+            entries_key = tuple(entry.describe() for entry in wave.entries)
+            if entries_key in checked_entries:
                 continue
-            checked_entries.add(id(wave.entries))
+            checked_entries.add(entries_key)
             # Overlap is keyed by entry *position*, not name: auto-generated
             # names collide for same-selector builds of one type, and two
             # builds racing for a machine is the hazard regardless of names.
@@ -782,7 +787,7 @@ class DeploymentModule:
                     plan, checkpoint, resume_from, populations, starts, execution
                 ),
             )
-        for index, (wave, start) in enumerate(zip(plan.waves, starts)):
+        for index, (wave, start) in enumerate(zip(plan.waves, starts, strict=True)):
             if resume_from is not None and index < resume_from:
                 continue
             simulator.schedule_action(hours(start), wave_action(index, wave, start))

@@ -54,7 +54,7 @@ def grid_search(
     evaluations: list[GridPoint] = []
     best: GridPoint | None = None
     for combo in itertools.product(*(axes[name] for name in names)):
-        point = dict(zip(names, combo))
+        point = dict(zip(names, combo, strict=True))
         value = float(objective(point))
         cell = GridPoint(point=point, value=value)
         evaluations.append(cell)

@@ -166,7 +166,7 @@ class LinearProgram:
             b_ub=b_ub if a_ub is not None else None,
             A_eq=a_eq,
             b_eq=b_eq if a_eq is not None else None,
-            bounds=list(zip(lower, upper)),
+            bounds=list(zip(lower, upper, strict=True)),
             method="highs",
         )
         if res.status == 0:

@@ -206,7 +206,7 @@ def queue_task_id(request: SimulationRequest) -> str:
     can reuse a result an earlier drain already produced.
     """
     tenant, digest, tag = request.cache_key()
-    return sha256(f"{tenant}|{digest}|{tag}".encode("utf-8")).hexdigest()[:24]
+    return sha256(f"{tenant}|{digest}|{tag}".encode()).hexdigest()[:24]
 
 
 def _atomic_write(path: Path, blob: bytes) -> None:
@@ -374,7 +374,7 @@ class LocalQueueBackend(ExecutionBackend):
         # file is cleared so this run retries it fresh.
         fresh: dict[str, bytes] = {}
         reused: set[str] = set()
-        for request, task_id in zip(requests, ids):
+        for request, task_id in zip(requests, ids, strict=True):
             if task_id in fresh or task_id in reused:
                 continue  # duplicate request within the batch
             if self._done_path(task_id).exists():
@@ -440,7 +440,7 @@ class LocalQueueBackend(ExecutionBackend):
         # re-execute it rather than replay its pickled exception.
         outcomes: list[SimulationOutcome | None] = []
         failures: list[tuple[SimulationRequest, Exception]] = []
-        for request, task_id in zip(requests, ids):
+        for request, task_id in zip(requests, ids, strict=True):
             if task_id in errors:
                 outcomes.append(None)
                 failures.append((request, errors[task_id]))

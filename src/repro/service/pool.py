@@ -86,7 +86,7 @@ def config_fingerprint(config: YarnConfig) -> str:
         f"default={config.default_limits.max_running_containers}"
         f"/{config.default_limits.max_queued_containers}"
     )
-    return sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+    return sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -168,7 +168,7 @@ class SimulationRequest:
             repr(self.scenario),
             repr(self.spec),
         ]
-        digest = sha256("|".join(material).encode("utf-8")).hexdigest()[:16]
+        digest = sha256("|".join(material).encode()).hexdigest()[:16]
         return (self.tenant, digest, self.workload_tag)
 
 
@@ -234,6 +234,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
     mutated afterwards), so the orchestrator can merge a worker's span tree
     into the beat's trace.
     """
+    # repro: allow[REP001] out-of-band worker wall-clock: rides OutcomeTiming, never a cache key or decision
     started = time.perf_counter()
     scenario = request.scenario
     tracer = Tracer(trace_id=f"{request.tenant}/{request.workload_tag}")
@@ -306,6 +307,7 @@ def execute_request(request: SimulationRequest) -> SimulationOutcome:
         kind=request.kind,
         workload_tag=request.workload_tag,
         timing=OutcomeTiming(
+            # repro: allow[REP001] out-of-band worker wall-clock: rides OutcomeTiming, never a cache key or decision
             elapsed_seconds=time.perf_counter() - started,
             trace=tuple(tracer.spans),
         ),
@@ -378,7 +380,7 @@ class SimulationPool:
                 executor.submit(execute_request, request)
                 for request in requests
             ]
-            for request, future in zip(requests, futures):
+            for request, future in zip(requests, futures, strict=True):
                 try:
                     outcomes.append(future.result())
                 except Exception as exc:  # re-raised below, naming the request

@@ -375,7 +375,7 @@ class _FleetRun:
 
 def _shard_key(tenant: str, shards: int) -> int:
     """Stable tenant-id shard assignment (hash-mod, process-independent)."""
-    return int(sha256(tenant.encode("utf-8")).hexdigest(), 16) % shards
+    return int(sha256(tenant.encode()).hexdigest(), 16) % shards
 
 
 class ContinuousTuningService:
@@ -584,7 +584,7 @@ class ContinuousTuningService:
                     # pays for the request that actually failed. Salvaged
                     # siblings carry their worker traces and timings too.
                     for (_index, request), outcome in zip(
-                        to_execute, error.outcomes
+                        to_execute, error.outcomes, strict=True
                     ):
                         if outcome is not None:
                             self.cache.store(request, outcome)
@@ -593,7 +593,7 @@ class ContinuousTuningService:
                             )
                     self._log_beat_cache_delta(tracer)
                     raise
-                for (index, request), outcome in zip(to_execute, fresh):
+                for (index, request), outcome in zip(to_execute, fresh, strict=True):
                     self.cache.store(request, outcome)
                     outcomes[index] = outcome
                     # Graft the worker's span tree into this beat's trace,

@@ -154,7 +154,7 @@ class CampaignStore:
         """Filesystem-safe stem for a tenant name (collision-proofed)."""
         safe = _SLUG_UNSAFE.sub("_", tenant)
         if safe != tenant or not safe:
-            safe = f"{safe or 'tenant'}-{sha256(tenant.encode('utf-8')).hexdigest()[:8]}"
+            safe = f"{safe or 'tenant'}-{sha256(tenant.encode()).hexdigest()[:8]}"
         return safe
 
     def record_path(self, tenant: str) -> Path:
@@ -194,7 +194,7 @@ class CampaignStore:
         self._atomic_write(path, blob)
         self._atomic_write(
             self.meta_path(tenant),
-            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
         )
         OPS_METRICS.counter("store.saves").inc()
         OPS_METRICS.histogram("store.record_bytes").observe(len(blob))

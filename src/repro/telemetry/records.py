@@ -205,7 +205,7 @@ class TaskLog:
         """Fraction of logged tasks that were critical, per SKU (Figure 5 right)."""
         totals: dict[str, int] = {}
         criticals: dict[str, int] = {}
-        for sku, crit in zip(self.sku, self.critical):
+        for sku, crit in zip(self.sku, self.critical, strict=True):
             totals[sku] = totals.get(sku, 0) + 1
             if crit:
                 criticals[sku] = criticals.get(sku, 0) + 1
@@ -225,7 +225,7 @@ class TaskLog:
         else:
             raise ValueError(f"unsupported grouping {key!r}; use 'rack' or 'sku'")
         counts: dict[object, dict[str, int]] = {}
-        for group, op in zip(groups, self.op):
+        for group, op in zip(groups, self.op, strict=True):
             counts.setdefault(group, {})
             counts[group][op] = counts[group].get(op, 0) + 1
         mix: dict[object, dict[str, float]] = {}
@@ -239,7 +239,7 @@ class TaskLog:
         keys: list[str], values: list[float]
     ) -> dict[str, np.ndarray]:
         grouped: dict[str, list[float]] = {}
-        for key, value in zip(keys, values):
+        for key, value in zip(keys, values, strict=True):
             grouped.setdefault(key, []).append(value)
         return {key: np.asarray(vals) for key, vals in grouped.items()}
 

@@ -24,7 +24,7 @@ def derive_seed(root_seed: int, name: str) -> int:
     independent seeds and the mapping is stable across processes and runs
     (unlike ``hash()``, which is salted per interpreter).
     """
-    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
 

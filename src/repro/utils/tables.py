@@ -64,12 +64,12 @@ class TextTable:
         lines: list[str] = []
         if self.title:
             lines.append(self.title)
-        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=True))
         rule = "-+-".join("-" * w for w in widths)
         lines.append(header)
         lines.append(rule)
         for row in self.rows:
-            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience alias

@@ -259,6 +259,76 @@ class TestRolloutPlanValidation:
         with pytest.raises(ConfigurationError, match="final wave"):
             plan.validate(cluster)
 
+    def test_equal_but_distinct_entry_lists_dedup_by_value(self, cluster):
+        """Regression: validation dedup must key on entry *values*.
+
+        The old implementation keyed the once-per-distinct-entries scan on
+        ``id(wave.entries)`` — the id-reuse hazard REP002 exists to catch:
+        a recycled object id could silently skip validating a genuinely
+        different wave. Two waves whose entry lists are equal but distinct
+        objects must behave exactly like two waves sharing one tuple.
+        """
+        group = sorted(cluster.machines_by_group())[0]
+
+        def fresh_entries():
+            return (
+                PlannedFlight(
+                    build=ContainerDeltaBuild(delta=1), group=group, name="bump"
+                ),
+            )
+
+        first, second = fresh_entries(), fresh_entries()
+        assert first is not second and first == second
+        distinct = RolloutPlan(
+            waves=(
+                RolloutWave(fraction=0.5, entries=first, name="pilot"),
+                RolloutWave(fraction=1.0, entries=second, name="fleet"),
+            )
+        )
+        shared = RolloutPlan(
+            waves=(
+                RolloutWave(fraction=0.5, entries=first, name="pilot"),
+                RolloutWave(fraction=1.0, entries=first, name="fleet"),
+            )
+        )
+        distinct_selections = distinct.validate(cluster)
+        shared_selections = shared.validate(cluster)
+        assert distinct_selections.keys() == shared_selections.keys()
+        for key in shared_selections:
+            assert [m.machine_id for m in distinct_selections[key]] == [
+                m.machine_id for m in shared_selections[key]
+            ]
+
+    def test_distinct_valued_second_wave_is_still_validated(self, cluster):
+        """A later wave with genuinely different entries is never skipped:
+        its own violations (an overlap) must surface even when an earlier
+        wave validated cleanly."""
+        group = sorted(cluster.machines_by_group())[0]
+        clean = (
+            PlannedFlight(
+                build=ContainerDeltaBuild(delta=1), group=group, name="clean"
+            ),
+        )
+        overlapping = (
+            PlannedFlight(
+                build=ContainerDeltaBuild(delta=2), group=group, name="a"
+            ),
+            PlannedFlight(
+                build=YarnLimitsBuild(max_running_containers=9),
+                sku=group.sku,
+                software=group.software,
+                name="b",
+            ),
+        )
+        plan = RolloutPlan(
+            waves=(
+                RolloutWave(fraction=0.5, entries=clean, name="pilot"),
+                RolloutWave(fraction=1.0, entries=overlapping, name="fleet"),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="overlapping selectors"):
+            plan.validate(cluster)
+
 
 class TestLegacyShim:
     def test_yarn_target_stages_per_group_builds(self, cluster):

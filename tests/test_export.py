@@ -24,7 +24,7 @@ class TestMachineHourRoundTrip:
         assert write_machine_hours_csv(records, path) == 6
         loaded = read_machine_hours_csv(path)
         assert len(loaded) == 6
-        for original, restored in zip(records, loaded):
+        for original, restored in zip(records, loaded, strict=True):
             assert restored.machine_id == original.machine_id
             assert restored.group == original.group
             assert restored.cpu_utilization == pytest.approx(

@@ -611,7 +611,7 @@ class TestAzOutageCampaign:
 
     def test_campaign_completes_with_per_tenant_dollars(self, serial_run):
         assert set(serial_run.reports) == {"east", "west"}
-        for name, report in serial_run.reports.items():
+        for _name, report in serial_run.reports.items():
             assert report.final_phase.value in TERMINAL
             assert report.cost_ledger.total_dollars > 0.0
         ops = serial_run.ops_report()

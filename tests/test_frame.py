@@ -25,7 +25,7 @@ def random_records(n: int = 200, seed: int = 7):
     skus = ["Gen 1.1", "Gen 2.2", "Gen 4.1"]
     softwares = ["SC1", "SC2"]
     records = []
-    for i in range(n):
+    for _i in range(n):
         waits = [rng.expovariate(0.01) for _ in range(rng.randrange(0, 5))]
         records.append(
             make_record(
@@ -215,6 +215,7 @@ class TestVectorizedConsumersOnLiveSimulation:
                 for q, series in zip(
                     (5, 25, 50, 75, 95),
                     (bands.p5, bands.p25, bands.p50, bands.p75, bands.p95),
+                    strict=True,
                 ):
                     assert series[i] == np.percentile(hour_values, q)
                 assert bands.mean[i] == np.mean(hour_values)

@@ -148,7 +148,7 @@ class TestBenchmarkImpact:
         results = kea.benchmark_impact(tuning.proposed_config, days=0.5,
                                        benchmark_period_hours=3.0)
         assert results
-        for template, (before, after) in results.items():
+        for _template, (before, after) in results.items():
             assert before.size > 0 and after.size > 0
 
 

@@ -310,7 +310,7 @@ class TestSimulatorProfile:
         # Phase spans tile the parent end-to-end: each starts where the
         # previous ended, and the overhead remainder closes the gap.
         assert spans[0].start == pytest.approx(sim.start)
-        for previous, current in zip(spans, spans[1:]):
+        for previous, current in zip(spans, spans[1:], strict=False):
             assert current.start == pytest.approx(previous.end)
         assert sum(r.duration for r in spans) == pytest.approx(10.0)
         assert spans[0].attribute("count") == 3

@@ -498,7 +498,7 @@ class TestQueueCampaignFlights:
         assert [r.flight_name for r in pooled_reports] == [
             r.flight_name for r in serial_reports
         ]
-        for s, p in zip(serial_reports, pooled_reports):
+        for s, p in zip(serial_reports, pooled_reports, strict=True):
             for metric in ("QueueLength", "QueueWaitP99"):
                 assert p.impact(metric).flighted_mean == s.impact(metric).flighted_mean
                 assert p.impact(metric).test.p_value == s.impact(metric).test.p_value

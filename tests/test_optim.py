@@ -89,7 +89,7 @@ class TestSimplex:
         lower = np.zeros(n)
         upper = rng.uniform(1.0, 8.0, n)
         mine = simplex_solve(c, a_ub=a, b_ub=b, lower=lower, upper=upper)
-        ref = linprog(-c, A_ub=a, b_ub=b, bounds=list(zip(lower, upper)),
+        ref = linprog(-c, A_ub=a, b_ub=b, bounds=list(zip(lower, upper, strict=True)),
                       method="highs")
         assert mine.is_optimal and ref.status == 0
         assert mine.objective == pytest.approx(-ref.fun, abs=1e-7)

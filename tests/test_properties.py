@@ -70,7 +70,7 @@ class TestSimplexProperties:
         lower = rng.uniform(-2.0, 0.0, n)
         upper = lower + rng.uniform(0.5, 6.0, n)
         mine = simplex_solve(c, a_ub=a_ub, b_ub=b_ub, lower=lower, upper=upper)
-        ref = linprog(-c, A_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper)),
+        ref = linprog(-c, A_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper, strict=True)),
                       method="highs")
         if ref.status == 0:
             assert mine.is_optimal

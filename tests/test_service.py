@@ -358,12 +358,12 @@ class TestRequestsAndCache:
             after = pool.run(siblings)
         with SimulationPool(max_workers=1) as reference_pool:
             reference = reference_pool.run(siblings)
-        for got, want in zip(after, reference):
+        for got, want in zip(after, reference, strict=True):
             assert got.tenant == want.tenant
             assert got.workload_tag == want.workload_tag
             assert len(got.records) == len(want.records)
             assert got.snapshot == want.snapshot
-        for got, want in zip(salvaged, reference):
+        for got, want in zip(salvaged, reference, strict=True):
             assert got.snapshot == want.snapshot
 
     def test_service_caches_salvaged_siblings_from_a_failed_beat(self):

@@ -138,7 +138,7 @@ class TestRolloutPlansAcrossApplications:
         staged = {name: plan for name, (plan, _p) in plans.items() if plan}
         assert "yarn-config" in staged, "yarn tuning always stages its deltas"
         assert "queue-tuning" in staged, "queue tuning stages its new bounds"
-        for name, plan in staged.items():
+        for _name, plan in staged.items():
             assert [w.name for w in plan.waves] == ["pilot", "10%", "50%", "fleet"]
             fractions = [w.fraction for w in plan.waves]
             assert fractions == sorted(fractions) and fractions[-1] == 1.0

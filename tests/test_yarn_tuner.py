@@ -103,14 +103,14 @@ class TestLpDetails:
     def test_delta_range_bounds_solution(self, cluster):
         engine = build_engine()
         result = YarnConfigTuner(engine, delta_range=2.0).tune(cluster)
-        for group, shift in result.suggested_shift.items():
+        for _group, shift in result.suggested_shift.items():
             assert abs(shift) <= 2.0 + 1e-9
 
     def test_utilization_cap_respected(self, cluster):
         engine = build_engine()
         result = YarnConfigTuner(engine, utilization_cap=0.7,
                                  delta_range=50.0).tune(cluster)
-        for group, prediction in result.predictions.items():
+        for _group, prediction in result.predictions.items():
             assert prediction.utilization <= 0.7 + 1e-6
 
     def test_proposed_config_applies_deltas(self, cluster):
